@@ -1,0 +1,122 @@
+(* Tests for the cost model and the MPI rank-scaling model. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_op_cycles_ordering () =
+  let p = Cost.default in
+  let c op = Cost.op_cycles p op in
+  checkb "div costlier than add" true (c (Fbin (D, Div, 0, 1, 2)) > c (Fbin (D, Add, 0, 1, 2)));
+  checkb "single div cheaper" true (c (Fbin (S, Div, 0, 1, 2)) < c (Fbin (D, Div, 0, 1, 2)));
+  checkb "single sqrt cheaper" true (c (Funop (S, Sqrt, 0, 1)) < c (Funop (D, Sqrt, 0, 1)));
+  checkb "single libm cheaper" true (c (Flibm (S, Exp, 0, 1)) < c (Flibm (D, Exp, 0, 1)));
+  checkb "testflag priced" true (c (Ftestflag (0, 0)) > 0.0);
+  checkb "int op cheap" true (c (Iconst (0, 1)) <= c (Fbin (D, Add, 0, 1, 2)))
+
+let small_kernel () =
+  let t = Builder.create () in
+  let x = Builder.alloc_f t 64 in
+  let y = Builder.alloc_f t 64 in
+  let main =
+    Builder.func t ~module_:"k" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let c = Builder.fconst b 1.0001 in
+        Builder.for_range b 0 64 (fun i ->
+            let v = Builder.loadf b (Builder.idx x i) in
+            Builder.storef b (Builder.idx y i) (Builder.fdiv b (Builder.fmul b v c) c)))
+  in
+  Builder.program t ~main
+
+let run prog =
+  let vm = Vm.create prog in
+  Vm.run vm;
+  vm
+
+let test_of_run_consistency () =
+  let prog = small_kernel () in
+  let vm = run prog in
+  let rc = Cost.of_run vm in
+  checkb "cycles positive" true (rc.Cost.cycles > 0.0);
+  checkb "bytes positive" true (rc.Cost.mem_bytes > 0.0);
+  checkb "roofline" true
+    (rc.Cost.time_cycles >= rc.Cost.cycles
+    || rc.Cost.time_cycles >= rc.Cost.mem_bytes /. Cost.default.Cost.bandwidth);
+  checkf "roofline is max"
+    (Float.max rc.Cost.cycles (rc.Cost.mem_bytes /. Cost.default.Cost.bandwidth))
+    rc.Cost.time_cycles;
+  checkb "fp ops counted" true (rc.Cost.fp_ops >= 64 * 2);
+  checkb "seconds consistent" true
+    (Float.abs (rc.Cost.seconds -. (rc.Cost.time_cycles /. (Cost.default.Cost.clock_ghz *. 1e9)))
+    < 1e-12)
+
+let test_instrumented_costs_more () =
+  let prog = small_kernel () in
+  let nat = Cost.of_run (run prog) in
+  let patched = Patcher.patch prog Config.empty in
+  let vm = Vm.create ~checked:true patched in
+  Vm.run vm;
+  let ins = Cost.of_run vm in
+  checkb "overhead > 1" true (Cost.overhead ins nat > 1.0)
+
+let test_fmem_bytes_override () =
+  let prog = small_kernel () in
+  let vm = run prog in
+  let full = Cost.of_run vm in
+  let half = Cost.of_run ~fmem_bytes:4.0 vm in
+  checkb "half traffic" true (half.Cost.mem_bytes < full.Cost.mem_bytes)
+
+let test_mflops () =
+  let prog = small_kernel () in
+  let rc = Cost.of_run (run prog) in
+  checkb "mflops positive" true (Cost.mflops rc > 0.0)
+
+let test_allreduce () =
+  let net = Mpi_model.default_net in
+  checkf "1 rank free" 0.0 (Mpi_model.allreduce net ~ranks:1 ~bytes:1e6);
+  let c2 = Mpi_model.allreduce net ~ranks:2 ~bytes:100.0 in
+  let c8 = Mpi_model.allreduce net ~ranks:8 ~bytes:100.0 in
+  checkb "log scaling" true (c8 > c2 && c8 < 4.0 *. c2)
+
+let test_alltoall () =
+  let net = Mpi_model.default_net in
+  checkf "1 rank free" 0.0 (Mpi_model.alltoall net ~ranks:1 ~bytes_total:1e6);
+  let c2 = Mpi_model.alltoall net ~ranks:2 ~bytes_total:1e6 in
+  let c8 = Mpi_model.alltoall net ~ranks:8 ~bytes_total:1e6 in
+  checkb "more ranks, more movement" true (c8 > c2)
+
+let test_halo () =
+  let net = Mpi_model.default_net in
+  checkf "1 rank free" 0.0 (Mpi_model.halo net ~ranks:1 ~bytes_boundary:1e3);
+  checkb "positive" true (Mpi_model.halo net ~ranks:4 ~bytes_boundary:1e3 > 0.0)
+
+let test_overhead_dilution () =
+  (* with communication in the denominator, instrumentation overhead shrinks
+     as ranks grow — the Fig. 8 trend *)
+  let comp = 1e9 in
+  let comp_i = 8e9 in
+  let comm n = if n <= 1 then 0.0 else 2e8 in
+  let o1 = Mpi_model.overhead_at ~comp_native:comp ~comp_instr:comp_i ~comm 1 in
+  let o4 = Mpi_model.overhead_at ~comp_native:comp ~comp_instr:comp_i ~comm 4 in
+  let o8 = Mpi_model.overhead_at ~comp_native:comp ~comp_instr:comp_i ~comm 8 in
+  checkf "single rank is the pure ratio" 8.0 o1;
+  checkb "decreasing" true (o1 > o4 && o4 > o8);
+  checkb "above one" true (o8 > 1.0)
+
+let test_overhead_flat_without_comm () =
+  let comm _ = 0.0 in
+  let o1 = Mpi_model.overhead_at ~comp_native:1e9 ~comp_instr:5e9 ~comm 1 in
+  let o8 = Mpi_model.overhead_at ~comp_native:1e9 ~comp_instr:5e9 ~comm 8 in
+  checkf "flat" o1 o8
+
+let suite =
+  [
+    ("op cycle ordering", `Quick, test_op_cycles_ordering);
+    ("of_run consistency", `Quick, test_of_run_consistency);
+    ("instrumented costs more", `Quick, test_instrumented_costs_more);
+    ("fmem override", `Quick, test_fmem_bytes_override);
+    ("mflops", `Quick, test_mflops);
+    ("allreduce", `Quick, test_allreduce);
+    ("alltoall", `Quick, test_alltoall);
+    ("halo", `Quick, test_halo);
+    ("overhead dilution with ranks", `Quick, test_overhead_dilution);
+    ("overhead flat without comm", `Quick, test_overhead_flat_without_comm);
+  ]
