@@ -1,0 +1,263 @@
+(* The craft command-line tool: exposes the analysis pipeline on the bundled
+   benchmark binaries (list, disassemble, run, view configurations, patch,
+   search, recommend). *)
+
+open Cmdliner
+
+let kernels () =
+  let mk name f = (name, f) in
+  [
+    mk "ep" (fun c -> Nas_ep.make c);
+    mk "cg" (fun c -> Nas_cg.make c);
+    mk "ft" (fun c -> Nas_ft.make c);
+    mk "mg" (fun c -> Nas_mg.make c);
+    mk "bt" (fun c -> Nas_bt.make c);
+    mk "lu" (fun c -> Nas_lu.make c);
+    mk "sp" (fun c -> Nas_sp.make c);
+  ]
+
+let class_of_string = function
+  | "W" | "w" -> Ok Kernel.W
+  | "A" | "a" -> Ok Kernel.A
+  | "C" | "c" -> Ok Kernel.C
+  | s -> Error (Printf.sprintf "unknown class %S (use W, A or C)" s)
+
+let load name cls =
+  if String.equal name "amg" then Ok (Amg_kernel.make ())
+  else
+    match List.assoc_opt name (kernels ()) with
+    | Some f -> Ok (f cls)
+    | None -> Error (Printf.sprintf "unknown benchmark %S" name)
+
+let bench_arg =
+  let doc = "Benchmark name: ep, cg, ft, mg, bt, lu, sp or amg." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let class_arg =
+  let doc = "Problem class (W, A or C)." in
+  Arg.(value & opt string "W" & info [ "c"; "class" ] ~docv:"CLASS" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("craft: " ^ msg);
+      exit 1
+
+let with_kernel name cls f =
+  let cls = or_die (class_of_string cls) in
+  let k = or_die (load name cls) in
+  f k
+
+let list_cmd =
+  let run () =
+    List.iter (fun (n, _) -> Printf.printf "%s\t(classes W A C)\n" n) (kernels ());
+    print_endline "amg\t(single configuration)"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark binaries") Term.(const run $ const ())
+
+let listing_cmd =
+  let run name cls =
+    with_kernel name cls (fun k -> Format.printf "%a@." Ir.pp_program k.Kernel.program)
+  in
+  Cmd.v
+    (Cmd.info "listing" ~doc:"Disassemble a benchmark binary")
+    Term.(const run $ bench_arg $ class_arg)
+
+let run_cmd =
+  let run name cls =
+    with_kernel name cls (fun k ->
+        let out, vm = Kernel.run_native k in
+        let cost = Cost.of_run vm in
+        Format.printf "outputs:@.";
+        Array.iteri (fun i v -> Format.printf "  [%d] %.17g@." i v) out;
+        Format.printf "verification: %s@." (if k.Kernel.verify out then "pass" else "fail");
+        Format.printf "executed %d instructions (%d FP), modeled %.3e cycles@." vm.Vm.steps
+          cost.Cost.fp_ops cost.Cost.time_cycles)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark binary natively and verify")
+    Term.(const run $ bench_arg $ class_arg)
+
+let config_arg =
+  let doc = "Configuration file in the exchange format (omit for all-double)." in
+  Arg.(value & opt (some file) None & info [ "f"; "config" ] ~docv:"FILE" ~doc)
+
+let read_config program = function
+  | None -> Config.empty
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      or_die (Config.parse program text |> Result.map_error (fun e -> "config: " ^ e))
+
+let view_cmd =
+  let run name cls cfg_file =
+    with_kernel name cls (fun k ->
+        let cfg = read_config k.Kernel.program cfg_file in
+        let _, vm = Kernel.run_native k in
+        print_string (Tree_view.render ~counts:vm.Vm.counts k.Kernel.program cfg))
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Render a configuration over the program tree (the GUI view)")
+    Term.(const run $ bench_arg $ class_arg $ config_arg)
+
+let patch_cmd =
+  let run name cls cfg_file =
+    with_kernel name cls (fun k ->
+        let cfg = read_config k.Kernel.program cfg_file in
+        let patched = Patcher.patch k.Kernel.program cfg in
+        print_endline (Patcher.patch_stats k.Kernel.program patched);
+        let out, pvm = Kernel.run_patched ~config:cfg k in
+        let nout, nvm = Kernel.run_native k in
+        Format.printf "verification: %s@." (if k.Kernel.verify out then "pass" else "fail");
+        Format.printf "max |instrumented - native|: %.3e@."
+          (Array.fold_left Float.max 0.0
+             (Array.map2 (fun a bv -> Float.abs (a -. bv)) out nout));
+        Format.printf "overhead: %.2fX@." (Cost.overhead (Cost.of_run pvm) (Cost.of_run nvm)))
+  in
+  Cmd.v
+    (Cmd.info "patch" ~doc:"Instrument a benchmark under a configuration and run it")
+    Term.(const run $ bench_arg $ class_arg $ config_arg)
+
+let workers_arg =
+  Arg.(value & opt int 1 & info [ "j"; "workers" ] ~docv:"N" ~doc:"Parallel evaluation domains.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the final configuration here.")
+
+let strategy_arg =
+  let doc = "Search strategy: bfs (the paper's), ddmax, or greedy." in
+  Arg.(value & opt string "bfs" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let search_cmd =
+  let run name cls workers out strategy =
+    with_kernel name cls (fun k ->
+        match strategy with
+        | "bfs" -> (
+            let options = { Bfs.default_options with workers; base = k.Kernel.hints } in
+            let rec_ =
+              Analysis.recommend_target ~options (Kernel.target k) ~setup:k.Kernel.setup
+            in
+            Format.printf "%a@." Analysis.pp_summary rec_;
+            match out with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc rec_.Analysis.config_text;
+                close_out oc;
+                Format.printf "final configuration written to %s@." path
+            | None -> print_string rec_.Analysis.tree)
+        | ("ddmax" | "greedy") as s ->
+            let f =
+              if String.equal s "ddmax" then Strategies.delta_debug else Strategies.greedy_grow
+            in
+            let r = f ~base:k.Kernel.hints (Kernel.target k) in
+            Format.printf
+              "strategy %s: tested %d configurations, replaced %d of %d candidates (%s)@." s
+              r.Strategies.tested r.Strategies.static_replaced r.Strategies.candidates
+              (if r.Strategies.final_pass then "pass" else "fail");
+            (match out with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Config.print k.Kernel.program r.Strategies.final);
+                close_out oc;
+                Format.printf "final configuration written to %s@." path
+            | None -> print_string (Tree_view.render k.Kernel.program r.Strategies.final))
+        | s ->
+            prerr_endline ("craft: unknown strategy " ^ s);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Run the automatic mixed-precision search and print the recommendation")
+    Term.(const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg)
+
+let cancel_cmd =
+  let run name cls =
+    with_kernel name cls (fun k ->
+        let instr, layout = Cancellation.instrument k.Kernel.program in
+        let vm = Vm.create instr in
+        k.Kernel.setup vm;
+        Vm.run vm;
+        print_string (Cancellation.report layout vm))
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Run the dynamic cancellation detector on a benchmark")
+    Term.(const run $ bench_arg $ class_arg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly listing file.")
+
+let assemble_cmd =
+  let run path =
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Asm.parse text with
+    | Error e ->
+        prerr_endline ("craft: " ^ e);
+        exit 1
+    | Ok prog ->
+        let cands = Array.length (Static.candidates prog) in
+        Format.printf "assembled %d function(s), %d instruction(s), %d FP candidate(s)@."
+          (Array.length prog.Ir.funcs) (Static.insn_count prog) cands;
+        Format.printf "%a@." Ir.pp_program prog
+  in
+  Cmd.v
+    (Cmd.info "assemble" ~doc:"Assemble a listing file and print the validated binary")
+    Term.(const run $ file_arg)
+
+let slots_arg =
+  Arg.(value & opt int 8 & info [ "n"; "slots" ] ~docv:"N" ~doc:"Float-heap slots to print.")
+
+let asm_run_cmd =
+  let run path slots =
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Asm.parse text with
+    | Error e ->
+        prerr_endline ("craft: " ^ e);
+        exit 1
+    | Ok prog ->
+        let vm = Vm.create prog in
+        Vm.run vm;
+        let n = min slots prog.Ir.fheap_size in
+        for i = 0 to n - 1 do
+          Format.printf "[%d] %.17g@." i (Vm.get_f_value vm i)
+        done;
+        Format.printf "executed %d instructions@." vm.Vm.steps
+  in
+  Cmd.v
+    (Cmd.info "asm-run" ~doc:"Assemble a listing file, run it, and print the float heap")
+    Term.(const run $ file_arg $ slots_arg)
+
+let snippet_cmd =
+  let run () = print_string (Patcher.snippet_listing ()) in
+  Cmd.v
+    (Cmd.info "snippet" ~doc:"Show the single-precision replacement snippet (paper Fig. 6)")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "craft" ~version:"1.0.0"
+      ~doc:"Mixed-precision floating-point analysis of binaries (paper reproduction)"
+  in
+  Cmd.group info
+    [
+      list_cmd;
+      listing_cmd;
+      run_cmd;
+      view_cmd;
+      patch_cmd;
+      search_cmd;
+      cancel_cmd;
+      assemble_cmd;
+      asm_run_cmd;
+      snippet_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

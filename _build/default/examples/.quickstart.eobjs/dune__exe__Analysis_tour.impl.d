@@ -1,0 +1,1 @@
+examples/analysis_tour.ml: Array Bfs Cancellation Config Cost Dataflow Format Kernel List Nas_cg Patcher Static Vm

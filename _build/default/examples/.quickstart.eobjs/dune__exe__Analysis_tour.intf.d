@@ -1,0 +1,1 @@
+examples/analysis_tour.mli:

@@ -1,0 +1,1 @@
+examples/nas_search.ml: Analysis Array Bfs Format Kernel List Nas_bt Nas_cg Nas_ep Nas_ft Nas_lu Nas_mg Nas_sp Sys

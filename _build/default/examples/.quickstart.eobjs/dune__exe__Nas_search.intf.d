@@ -1,0 +1,1 @@
+examples/nas_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Config Float Format Ir List Patcher Static String Tree_view Vm

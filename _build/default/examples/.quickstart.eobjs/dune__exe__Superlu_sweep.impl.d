@@ -1,0 +1,1 @@
+examples/superlu_sweep.ml: Bfs Format List Patcher Slu Sparse_csc Vm

@@ -1,0 +1,1 @@
+examples/superlu_sweep.mli:

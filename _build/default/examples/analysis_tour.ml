@@ -1,0 +1,60 @@
+(* A tour of the secondary analyses: the dynamic cancellation detector
+   (paper §4.4) and the static data-flow check-removal optimization
+   (paper §2.5), both applied to the CG benchmark.
+
+   Run with: dune exec examples/analysis_tour.exe *)
+
+let () =
+  let k = Nas_cg.make Kernel.W in
+
+  (* 1. where does this program lose significance? *)
+  Format.printf "=== dynamic cancellation detection ===@.";
+  let instr, layout = Cancellation.instrument k.Kernel.program in
+  let vm = Vm.create instr in
+  k.Kernel.setup vm;
+  Vm.run vm;
+  print_string (Cancellation.report ~min_cancellations:1 layout vm);
+
+  (* 2. search for a mixed-precision configuration *)
+  Format.printf "@.=== mixed-precision search ===@.";
+  let res =
+    Bfs.search ~options:{ Bfs.default_options with workers = 4 } (Kernel.target k)
+  in
+  Format.printf "replaced %d of %d candidates (%.1f%% static), final %s@."
+    res.Bfs.static_replaced res.Bfs.candidates res.Bfs.static_pct
+    (if res.Bfs.final_pass then "pass" else "fail");
+
+  (* 3. how much instrumentation the static analysis can strip *)
+  Format.printf "@.=== static data-flow check removal ===@.";
+  let df = Dataflow.analyze k.Kernel.program res.Bfs.final in
+  let removable, total = Dataflow.checks_removable df k.Kernel.program res.Bfs.final in
+  Format.printf "%d of %d operand checks are statically decidable@." removable total;
+  let run p =
+    let vm = Vm.create ~checked:true p in
+    k.Kernel.setup vm;
+    Vm.run vm;
+    Cost.of_run vm
+  in
+  let _, nvm = Kernel.run_native k in
+  let nat = Cost.of_run nvm in
+  let plain = run (Patcher.patch k.Kernel.program res.Bfs.final) in
+  let opt = run (Patcher.patch ~dataflow:true k.Kernel.program res.Bfs.final) in
+  Format.printf "analysis overhead: %.2fX unoptimized, %.2fX optimized@."
+    (Cost.overhead plain nat) (Cost.overhead opt nat);
+
+  (* 4. cross-reference the two analyses: what did the search decide about
+     the instruction that cancels hardest? (cancellation flags *potential*
+     sensitivity; here the cancelled bits feed a residual norm the
+     verification tolerates, so the site may still be replaceable) *)
+  let worst =
+    Cancellation.read_sites layout vm
+    |> List.sort (fun a b -> compare b.Cancellation.total_bits a.Cancellation.total_bits)
+    |> List.hd
+  in
+  let info =
+    Array.to_list (Static.candidates k.Kernel.program)
+    |> List.find (fun (i : Static.insn_info) -> i.Static.addr = worst.Cancellation.addr)
+  in
+  Format.printf "@.hottest cancellation site 0x%06x (%s) is configured %c by the search@."
+    worst.Cancellation.addr worst.Cancellation.disasm
+    (Config.flag_char (Config.effective res.Bfs.final info))

@@ -1,0 +1,29 @@
+(* Mixed-precision iterative refinement (paper Fig. 12): the O(n^3)
+   factorization and the triangular solves run in single precision, while the
+   O(n^2) residual and solution update stay in double precision. The refined
+   solution recovers double-precision accuracy.
+
+   Run with: dune exec examples/mixed_refinement.exe *)
+
+let () =
+  let t = Refine.create () in
+  let d = Refine.run t Config.empty in
+  let m = Refine.run t Refine.mixed_config in
+  let s = Refine.run t Refine.all_single_config in
+  Format.printf "dense LU + %d refinement steps, n = %d@.@." t.Refine.refine_steps t.Refine.n;
+  Format.printf "%-22s %14s %14s@." "configuration" "solution error" "converted cost";
+  let row name (o : Refine.outcome) =
+    Format.printf "%-22s %14.3e %13.0fc@." name o.Refine.error o.Refine.converted.Cost.cycles
+  in
+  row "all double" d;
+  row "mixed (Fig. 12)" m;
+  row "all single" s;
+  Format.printf "@.residual history (mixed): ";
+  Array.iter (fun r -> Format.printf "%.2e " r) m.Refine.history;
+  Format.printf "@.@.";
+  Format.printf
+    "the mixed configuration recovers double-precision accuracy (%.1e vs %.1e)@."
+    m.Refine.error d.Refine.error;
+  Format.printf
+    "while doing its O(n^3) work in single precision (cheaper arithmetic; on@.";
+  Format.printf "real hardware the 4-byte factor storage also halves memory traffic).@."

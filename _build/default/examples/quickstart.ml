@@ -1,0 +1,67 @@
+(* Quickstart: author a tiny "binary" with the builder, instrument it under a
+   mixed-precision configuration, and compare against the native run.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A small program: evaluate a Horner polynomial and a distance, 64 times. *)
+  let n = 64 in
+  let t = Builder.create () in
+  let xs = Builder.alloc_f t n in
+  let out = Builder.alloc_f t n in
+  let main =
+    Builder.func t ~module_:"quickstart" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let c3 = Builder.fconst b 0.25 in
+        let c2 = Builder.fconst b (-1.5) in
+        let c1 = Builder.fconst b 2.0 in
+        let c0 = Builder.fconst b 0.75 in
+        Builder.for_range b 0 n (fun i ->
+            let x = Builder.loadf b (Builder.idx xs i) in
+            (* poly = ((c3*x + c2)*x + c1)*x + c0 *)
+            let p = Builder.fadd b (Builder.fmul b c3 x) c2 in
+            let p = Builder.fadd b (Builder.fmul b p x) c1 in
+            let p = Builder.fadd b (Builder.fmul b p x) c0 in
+            let d = Builder.fsqrt b (Builder.fadd b (Builder.fmul b x x) (Builder.fmul b p p)) in
+            Builder.storef b (Builder.idx out i) d))
+  in
+  let prog = Builder.program t ~main in
+  Format.printf "=== disassembly ===@.%a@." Ir.pp_program prog;
+
+  (* Run it natively. *)
+  let input = Array.init n (fun i -> (float_of_int i /. 8.0) -. 3.0) in
+  let run ?(smode = Vm.Flagged) ?(checked = false) p =
+    let vm = Vm.create ~checked ~smode p in
+    Vm.write_f vm xs input;
+    Vm.run vm;
+    (Vm.read_f vm out n, vm)
+  in
+  let native, _ = run prog in
+
+  (* Build a configuration: whole module single, but keep the sqrt double. *)
+  let sqrt_insn =
+    Array.to_list (Static.candidates prog)
+    |> List.find (fun (i : Static.insn_info) ->
+           String.length i.disasm >= 4 && String.sub i.disasm 0 4 = "sqrt")
+  in
+  let cfg =
+    Config.set_insn
+      (List.fold_left
+         (fun acc (i : Static.insn_info) -> Config.set_insn acc i.addr Config.Single)
+         Config.empty
+         (Array.to_list (Static.candidates prog)))
+      sqrt_insn.addr Config.Double
+  in
+  Format.printf "=== configuration (exchange format, paper Fig. 3) ===@.%s@."
+    (Config.print prog cfg);
+
+  (* Instrument and run. *)
+  let patched = Patcher.patch prog cfg in
+  Format.printf "=== patching ===@.%s@." (Patcher.patch_stats prog patched);
+  let mixed, _ = run ~checked:true patched in
+  let max_err =
+    Array.fold_left Float.max 0.0 (Array.map2 (fun a b -> Float.abs (a -. b)) mixed native)
+  in
+  Format.printf "max |mixed - native| = %.3e (single precision elsewhere)@." max_err;
+
+  (* And the tree view (paper Fig. 4). *)
+  Format.printf "=== configuration tree ===@.%s@." (Tree_view.render prog cfg)

@@ -1,0 +1,30 @@
+(* Sweep verification thresholds on the sparse LU solver and report how much
+   of the solver the search can replace at each bound — a scaled-down version
+   of the paper's Fig. 11 experiment.
+
+   Run with: dune exec examples/superlu_sweep.exe *)
+
+let () =
+  let s = Slu.create ~n:400 () in
+  let x, _ = Slu.solve_native s in
+  let xs, _ = Slu.solve_converted s in
+  Format.printf "solver: n=%d nnz=%d (memplus-like)@." s.Slu.a.Sparse_csc.n
+    (Sparse_csc.nnz s.Slu.a);
+  Format.printf "double-precision error: %.3e@." (Slu.error s x);
+  Format.printf "single-precision error: %.3e@.@." (Slu.error s xs);
+  Format.printf "%-12s %10s %10s %12s@." "threshold" "static" "dynamic" "final error";
+  List.iter
+    (fun threshold ->
+      let res =
+        Bfs.search
+          ~options:{ Bfs.default_options with workers = 4 }
+          (Slu.target s ~threshold)
+      in
+      let patched = Patcher.patch s.Slu.program res.Bfs.final in
+      let vm = Vm.create ~checked:true patched in
+      s.Slu.setup vm;
+      Vm.run vm;
+      let err = Slu.error s (s.Slu.output vm) in
+      Format.printf "%-12.1e %9.1f%% %9.1f%% %12.2e@." threshold res.Bfs.static_pct
+        res.Bfs.dynamic_pct err)
+    [ 1e-3; 1e-4; 1e-5 ]

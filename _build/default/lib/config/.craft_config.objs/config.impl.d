@@ -1,0 +1,1 @@
+lib/config/config.ml: Array Buffer Format Hashtbl Int Ir List Map Printf Seq Static String

@@ -1,0 +1,1 @@
+lib/config/config.mli: Ir Static

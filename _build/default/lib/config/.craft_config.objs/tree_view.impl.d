@@ -1,0 +1,1 @@
+lib/config/tree_view.ml: Array Buffer Config Ir List Printf Static

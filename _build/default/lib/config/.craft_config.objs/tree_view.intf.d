@@ -1,0 +1,1 @@
+lib/config/tree_view.mli: Config Ir

@@ -1,0 +1,203 @@
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+
+type flag = Single | Double | Ignore
+
+type t = {
+  modules : flag SMap.t;
+  funcs : flag SMap.t;
+  blocks : flag IMap.t;
+  insns : flag IMap.t;
+}
+
+let empty =
+  { modules = SMap.empty; funcs = SMap.empty; blocks = IMap.empty; insns = IMap.empty }
+
+let set_module t m f = { t with modules = SMap.add m f t.modules }
+let set_func t name f = { t with funcs = SMap.add name f t.funcs }
+let set_block t label f = { t with blocks = IMap.add label f t.blocks }
+let set_insn t addr f = { t with insns = IMap.add addr f t.insns }
+
+let set_node t node f =
+  match (node : Static.node) with
+  | Module (m, _) -> set_module t m f
+  | Func (_, name, _) -> set_func t name f
+  | Block (label, _) -> set_block t label f
+  | Insn { addr; _ } -> set_insn t addr f
+
+let of_nodes nodes f = List.fold_left (fun acc n -> set_node acc n f) empty nodes
+
+let union a b =
+  let keep_left _ x _ = Some x in
+  {
+    modules = SMap.union (fun k x y -> keep_left k x y) a.modules b.modules;
+    funcs = SMap.union (fun k x y -> keep_left k x y) a.funcs b.funcs;
+    blocks = IMap.union (fun k x y -> keep_left k x y) a.blocks b.blocks;
+    insns = IMap.union (fun k x y -> keep_left k x y) a.insns b.insns;
+  }
+
+(* Aggregates override children (paper §2.1), so resolution goes from the
+   coarsest structure inwards. *)
+let effective t (info : Static.insn_info) =
+  match SMap.find_opt info.module_name t.modules with
+  | Some f -> f
+  | None -> (
+      match SMap.find_opt info.fname t.funcs with
+      | Some f -> f
+      | None -> (
+          match IMap.find_opt info.block_label t.blocks with
+          | Some f -> f
+          | None -> (
+              match IMap.find_opt info.addr t.insns with Some f -> f | None -> Double)))
+
+let is_empty t =
+  SMap.is_empty t.modules && SMap.is_empty t.funcs && IMap.is_empty t.blocks
+  && IMap.is_empty t.insns
+
+let flag_char = function Single -> 's' | Double -> 'd' | Ignore -> 'i'
+
+let flag_of_char = function
+  | 's' -> Some Single
+  | 'd' -> Some Double
+  | 'i' -> Some Ignore
+  | _ -> None
+
+let print (p : Ir.program) t =
+  let buf = Buffer.create 4096 in
+  let line ?flag ~indent fmt =
+    Format.kasprintf
+      (fun s ->
+        let c = match flag with Some f -> flag_char f | None -> ' ' in
+        Buffer.add_char buf c;
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let ordinal = ref 0 in
+  let emit_node node =
+    match (node : Static.node) with
+    | Module (m, funcs) ->
+        line ?flag:(SMap.find_opt m t.modules) ~indent:1 "MODULE: %s" m;
+        List.iter
+          (fun fnode ->
+            match (fnode : Static.node) with
+            | Func (fid, name, blocks) ->
+                line ?flag:(SMap.find_opt name t.funcs) ~indent:3 "FUNC%02d: %s()" (fid + 1)
+                  name;
+                List.iter
+                  (fun bnode ->
+                    match (bnode : Static.node) with
+                    | Block (label, insns) ->
+                        line ?flag:(IMap.find_opt label t.blocks) ~indent:5 "BBLK%02d" label;
+                        List.iter
+                          (fun inode ->
+                            match (inode : Static.node) with
+                            | Insn info ->
+                                incr ordinal;
+                                line
+                                  ?flag:(IMap.find_opt info.addr t.insns)
+                                  ~indent:7 "INSN%02d: 0x%06x \"%s\"" !ordinal info.addr
+                                  info.disasm
+                            | Module _ | Func _ | Block _ -> ())
+                          insns
+                    | Module _ | Func _ | Insn _ -> ())
+                  blocks
+            | Module _ | Block _ | Insn _ -> ())
+          funcs
+    | Func _ | Block _ | Insn _ -> ()
+  in
+  List.iter emit_node (Static.tree p);
+  Buffer.contents buf
+
+let parse (p : Ir.program) text =
+  let known_modules =
+    Array.to_list p.modules |> List.to_seq |> Seq.map (fun m -> (m, ())) |> Hashtbl.of_seq
+  in
+  let known_funcs = Hashtbl.create 16 in
+  Array.iter (fun (f : Ir.func) -> Hashtbl.replace known_funcs f.fname ()) p.funcs;
+  let known_blocks = Hashtbl.create 64 in
+  let known_addrs = Hashtbl.create 256 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Hashtbl.replace known_blocks b.label ();
+          Array.iter
+            (fun (i : Ir.instr) ->
+              if Ir.is_candidate i.op then Hashtbl.replace known_addrs i.addr ())
+            b.instrs)
+        f.blocks)
+    p.funcs;
+  let result = ref empty in
+  let error = ref None in
+  let fail lineno fmt =
+    Format.kasprintf
+      (fun s -> if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno s))
+      fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      if String.trim raw <> "" && !error = None then begin
+        let flag = if String.length raw > 0 then flag_of_char raw.[0] else None in
+        let body = String.trim (if String.length raw > 1 then String.sub raw 1 (String.length raw - 1) else "") in
+        let with_flag f = match flag with Some fl -> f fl | None -> () in
+        if String.length body >= 7 && String.sub body 0 7 = "MODULE:" then begin
+          let m = String.trim (String.sub body 7 (String.length body - 7)) in
+          if not (Hashtbl.mem known_modules m) then fail lineno "unknown module %S" m
+          else with_flag (fun fl -> result := set_module !result m fl)
+        end
+        else if String.length body >= 4 && String.sub body 0 4 = "FUNC" then begin
+          match String.index_opt body ':' with
+          | None -> fail lineno "malformed FUNC line"
+          | Some i ->
+              let name = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+              let name =
+                if String.length name >= 2 && String.sub name (String.length name - 2) 2 = "()"
+                then String.sub name 0 (String.length name - 2)
+                else name
+              in
+              if not (Hashtbl.mem known_funcs name) then fail lineno "unknown function %S" name
+              else with_flag (fun fl -> result := set_func !result name fl)
+        end
+        else if String.length body >= 4 && String.sub body 0 4 = "BBLK" then begin
+          match int_of_string_opt (String.sub body 4 (String.length body - 4)) with
+          | None -> fail lineno "malformed BBLK line"
+          | Some label ->
+              if not (Hashtbl.mem known_blocks label) then fail lineno "unknown block %d" label
+              else with_flag (fun fl -> result := set_block !result label fl)
+        end
+        else if String.length body >= 4 && String.sub body 0 4 = "INSN" then begin
+          match String.index_opt body ':' with
+          | None -> fail lineno "malformed INSN line"
+          | Some i -> (
+              let rest = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+              let addr_str =
+                match String.index_opt rest ' ' with
+                | Some j -> String.sub rest 0 j
+                | None -> rest
+              in
+              match int_of_string_opt addr_str with
+              | None -> fail lineno "malformed instruction address %S" addr_str
+              | Some addr ->
+                  if not (Hashtbl.mem known_addrs addr) then
+                    fail lineno "unknown instruction address 0x%x" addr
+                  else with_flag (fun fl -> result := set_insn !result addr fl))
+        end
+        else fail lineno "unrecognized line %S" body
+      end)
+    lines;
+  match !error with Some e -> Error e | None -> Ok !result
+
+let stats p t =
+  let s = ref 0 and d = ref 0 and i = ref 0 in
+  Array.iter
+    (fun info ->
+      match effective t info with
+      | Single -> incr s
+      | Double -> incr d
+      | Ignore -> incr i)
+    (Static.candidates p);
+  (!s, !d, !i)

@@ -1,0 +1,66 @@
+(** Precision configurations (paper §2.1).
+
+    A configuration maps each double-precision candidate instruction to
+    [Single], [Double] or [Ignore]. Decisions can also be attached to
+    aggregate structures — modules, functions, basic blocks — and an
+    aggregate's flag {e overrides} any flags of its children (the paper's
+    semantics: "If an aggregate entry has a flag in the first column, it
+    overrides any flags specified for its children").
+
+    Configurations are immutable; the search manipulates thousands of them,
+    and immutability makes the domain-parallel evaluator safe by
+    construction. *)
+
+type flag = Single | Double | Ignore
+
+type t
+
+val empty : t
+(** Everything defaults to [Double]. *)
+
+val set_module : t -> string -> flag -> t
+val set_func : t -> string -> flag -> t
+(** Functions are addressed by name (unique within a program). *)
+
+val set_block : t -> int -> flag -> t
+(** Blocks are addressed by label. *)
+
+val set_insn : t -> int -> flag -> t
+(** Instructions are addressed by address. *)
+
+val set_node : t -> Static.node -> flag -> t
+(** Attach a flag to a structure-tree node at the node's own level. *)
+
+val of_nodes : Static.node list -> flag -> t
+(** [of_nodes nodes f] flags each node [f] (everything else default). *)
+
+val union : t -> t -> t
+(** Merge two configurations; on conflicting entries the left one wins.
+    Used to compose the "final" configuration from individually-passing
+    replacements. *)
+
+val effective : t -> Static.insn_info -> flag
+(** Resolve the flag of one candidate instruction: module flag if present,
+    else function, else block, else the instruction's own flag, else
+    [Double]. *)
+
+val is_empty : t -> bool
+
+val flag_char : flag -> char
+(** ['s'], ['d'], ['i']. *)
+
+(** {1 The exchange file format (paper Fig. 3)} *)
+
+val print : Ir.program -> t -> string
+(** Render in the plain-text exchange format: the program's structure
+    listing with per-line flag characters in the first column. *)
+
+val parse : Ir.program -> string -> (t, string) result
+(** Parse the exchange format back. Structures are matched to the program
+    by module name, function name, block label and instruction address;
+    unknown structures are an error. [parse p (print p c)] observationally
+    equals [c] (same effective flag on every candidate). *)
+
+val stats : Ir.program -> t -> int * int * int
+(** [(singles, doubles, ignores)] over the program's candidate
+    instructions, using effective flags. *)

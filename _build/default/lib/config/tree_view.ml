@@ -1,0 +1,34 @@
+let summary cfg insns =
+  let s = ref 0 and d = ref 0 and i = ref 0 in
+  List.iter
+    (fun info ->
+      match Config.effective cfg info with
+      | Config.Single -> incr s
+      | Config.Double -> incr d
+      | Config.Ignore -> incr i)
+    insns;
+  Printf.sprintf "[s:%d d:%d%s of %d]" !s !d
+    (if !i > 0 then Printf.sprintf " i:%d" !i else "")
+    (!s + !d + !i)
+
+let render ?counts (p : Ir.program) cfg =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let rec walk prefix node =
+    match (node : Static.node) with
+    | Static.Insn info ->
+        let f = Config.effective cfg info in
+        let count_str =
+          match counts with
+          | Some c when info.addr < Array.length c -> Printf.sprintf "  (exec %d)" c.(info.addr)
+          | _ -> ""
+        in
+        add "%s%c 0x%06x \"%s\"%s\n" prefix (Config.flag_char f) info.addr info.disasm
+          count_str
+    | Static.Block (_, children) | Static.Func (_, _, children) | Static.Module (_, children)
+      ->
+        add "%s%s  %s\n" prefix (Static.node_name node) (summary cfg (Static.node_insns node));
+        List.iter (walk (prefix ^ "  ")) children
+  in
+  List.iter (walk "") (Static.tree p);
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Terminal rendering of a configuration over the program structure tree —
+    the reproduction's stand-in for the paper's GUI editor (Fig. 4).
+
+    Each aggregate line shows its explicit flag (if any) and a summary of
+    how many contained candidate instructions are effectively single /
+    double / ignored; instruction leaves show their flag, address, and
+    disassembly, plus dynamic execution counts when a profile is given
+    (the GUI's execution-count view). *)
+
+val render : ?counts:int array -> Ir.program -> Config.t -> string
+(** [counts] is an address-indexed execution-count array, as produced by a
+    {!Vm.t} profiling run. *)

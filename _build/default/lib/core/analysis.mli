@@ -1,0 +1,41 @@
+(** The end-to-end mixed-precision analysis system (paper Fig. 2).
+
+    Given a program, a representative data set and a verification routine
+    (bundled as a {!Bfs.Target.t}), [recommend] runs the configuration
+    generator and breadth-first search, composes the final configuration,
+    evaluates the expected benefit of applying it (cost model of the
+    source-level conversion), and returns everything a developer needs:
+    the recommended configuration, its exchange-format text, the search
+    statistics, and the projected speedup. *)
+
+type recommendation = {
+  result : Bfs.result;  (** full search result, including the final config *)
+  config_text : string;  (** exchange-format rendering (paper Fig. 3) *)
+  tree : string;  (** configuration tree view (paper Fig. 4) *)
+  native_cost : Cost.run_cost;
+  converted_cost : Cost.run_cost;
+      (** modeled cost after the suggested source-level conversion (single
+          instructions become native single, 4-byte memory traffic) *)
+  projected_speedup : float;
+}
+
+val recommend :
+  ?options:Bfs.options ->
+  ?params:Cost.params ->
+  program:Ir.program ->
+  setup:(Vm.t -> unit) ->
+  output:(Vm.t -> float array) ->
+  verify:(float array -> bool) ->
+  unit ->
+  recommendation
+
+val recommend_target :
+  ?options:Bfs.options ->
+  ?params:Cost.params ->
+  Bfs.Target.t ->
+  setup:(Vm.t -> unit) ->
+  recommendation
+(** Same, from an existing search target ([setup] is needed again to run
+    the cost-model executions). *)
+
+val pp_summary : Format.formatter -> recommendation -> unit

@@ -1,0 +1,1 @@
+lib/fpbits/f32.ml: Float Int32 Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/fpbits/f32.mli:

@@ -1,0 +1,1 @@
+lib/fpbits/ieee.ml: Format Int32 Int64

@@ -1,0 +1,1 @@
+lib/fpbits/ieee.mli: Format

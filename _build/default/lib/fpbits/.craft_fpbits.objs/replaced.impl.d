@@ -1,0 +1,1 @@
+lib/fpbits/replaced.ml: F32 Format Int32 Int64

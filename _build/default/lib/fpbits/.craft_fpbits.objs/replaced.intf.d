@@ -1,0 +1,1 @@
+lib/fpbits/replaced.mli: Format

@@ -1,0 +1,31 @@
+let round (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
+
+let is_exact x =
+  let r = round x in
+  Int64.equal (Int64.bits_of_float r) (Int64.bits_of_float x) || (Float.is_nan r && Float.is_nan x)
+
+let bits x = Int32.bits_of_float x
+let of_bits b = Int32.float_of_bits b
+
+(* Operands are assumed already representable in binary32 (the instrumented
+   VM guarantees this); the double op + single rounding is then exact. *)
+let add a b = round (a +. b)
+let sub a b = round (a -. b)
+let mul a b = round (a *. b)
+let div a b = round (a /. b)
+let sqrt a = round (Stdlib.sqrt a)
+let neg a = round (-.a)
+let abs a = round (Float.abs a)
+let min a b = round (Float.min a b)
+let max a b = round (Float.max a b)
+let sin a = round (Stdlib.sin a)
+let cos a = round (Stdlib.cos a)
+let tan a = round (Stdlib.tan a)
+let exp a = round (Stdlib.exp a)
+let log a = round (Stdlib.log a)
+let atan a = round (Stdlib.atan a)
+let pow a b = round (a ** b)
+
+let epsilon = 0x1.0p-23
+let max_value = of_bits 0x7F7F_FFFFl
+let min_normal = 0x1.0p-126

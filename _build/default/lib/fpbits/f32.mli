@@ -1,0 +1,52 @@
+(** Emulated IEEE binary32 ("single precision") arithmetic.
+
+    OCaml has no native 32-bit scalar float, so single precision is emulated
+    on doubles: a binary32 value is any double that survives the round-trip
+    through [Int32.bits_of_float] / [Int32.float_of_bits] unchanged.
+
+    For [+ - * / sqrt] on binary32 operands, computing in binary64 and then
+    rounding to binary32 is bit-identical to native binary32 arithmetic: the
+    classical double-rounding theorem requires p2 >= 2*p1 + 2, and 53 >=
+    2*24 + 2 holds. Transcendentals use the host libm rounded to single,
+    which matches real hardware-libm behaviour to within the usual libm
+    tolerance. *)
+
+val round : float -> float
+(** Round a double to the nearest binary32, as a double (cvtsd2ss;cvtss2sd). *)
+
+val is_exact : float -> bool
+(** [is_exact x] is true iff [x] is exactly representable in binary32
+    (including nan/inf/signed zero). *)
+
+val bits : float -> int32
+(** Binary32 bit pattern of [round x]. *)
+
+val of_bits : int32 -> float
+(** Widen binary32 bits to double (exact). *)
+
+val add : float -> float -> float
+val sub : float -> float -> float
+val mul : float -> float -> float
+val div : float -> float -> float
+val sqrt : float -> float
+val neg : float -> float
+val abs : float -> float
+val min : float -> float -> float
+val max : float -> float -> float
+
+val sin : float -> float
+val cos : float -> float
+val tan : float -> float
+val exp : float -> float
+val log : float -> float
+val atan : float -> float
+val pow : float -> float -> float
+
+val epsilon : float
+(** Machine epsilon of binary32, [2^-23]. *)
+
+val max_value : float
+(** Largest finite binary32, as a double. *)
+
+val min_normal : float
+(** Smallest positive normal binary32. *)

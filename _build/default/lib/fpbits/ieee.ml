@@ -1,0 +1,69 @@
+type fields = { sign : int; exponent : int; significand : int64 }
+
+type class_ = Zero | Subnormal | Normal | Infinite | Nan
+
+let exponent_bits64 = 11
+let significand_bits64 = 52
+let exponent_bits32 = 8
+let significand_bits32 = 23
+let bias64 = 1023
+let bias32 = 127
+
+let fields64 x =
+  let bits = Int64.bits_of_float x in
+  {
+    sign = Int64.to_int (Int64.shift_right_logical bits 63);
+    exponent = Int64.to_int (Int64.logand (Int64.shift_right_logical bits 52) 0x7FFL);
+    significand = Int64.logand bits 0xF_FFFF_FFFF_FFFFL;
+  }
+
+let of_fields64 { sign; exponent; significand } =
+  let bits =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int (sign land 1)) 63)
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (exponent land 0x7FF)) 52)
+         (Int64.logand significand 0xF_FFFF_FFFF_FFFFL))
+  in
+  Int64.float_of_bits bits
+
+let fields32 bits =
+  {
+    sign = Int32.to_int (Int32.shift_right_logical bits 31);
+    exponent = Int32.to_int (Int32.logand (Int32.shift_right_logical bits 23) 0xFFl);
+    significand = Int64.of_int32 (Int32.logand bits 0x7F_FFFFl);
+  }
+
+let of_fields32 { sign; exponent; significand } =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (sign land 1)) 31)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int (exponent land 0xFF)) 23)
+       (Int32.logand (Int64.to_int32 significand) 0x7F_FFFFl))
+
+let classify_fields ~max_exp { exponent; significand; _ } =
+  if exponent = 0 then if significand = 0L then Zero else Subnormal
+  else if exponent = max_exp then if significand = 0L then Infinite else Nan
+  else Normal
+
+let classify64 x = classify_fields ~max_exp:0x7FF (fields64 x)
+let classify32 bits = classify_fields ~max_exp:0xFF (fields32 bits)
+
+let pp_class ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Zero -> "zero"
+    | Subnormal -> "subnormal"
+    | Normal -> "normal"
+    | Infinite -> "infinite"
+    | Nan -> "nan")
+
+let describe64 x =
+  let f = fields64 x in
+  Format.asprintf "binary64 sign=%d exp=%d (unbiased %d) frac=0x%013Lx [%a]" f.sign
+    f.exponent (f.exponent - bias64) f.significand pp_class (classify64 x)
+
+let describe32 bits =
+  let f = fields32 bits in
+  Format.asprintf "binary32 sign=%d exp=%d (unbiased %d) frac=0x%06Lx [%a]" f.sign
+    f.exponent (f.exponent - bias32) f.significand pp_class (classify32 bits)

@@ -1,0 +1,41 @@
+(** IEEE-754 field-level views of binary32 and binary64 (paper Fig. 1).
+
+    These are used by the documentation bench ([fig1_ieee_formats]), by the
+    replaced-value encoding, and in tests that check the emulated single
+    precision against first principles. *)
+
+type fields = {
+  sign : int;  (** 0 or 1 *)
+  exponent : int;  (** raw biased exponent field *)
+  significand : int64;  (** raw trailing-significand field *)
+}
+
+type class_ = Zero | Subnormal | Normal | Infinite | Nan
+
+val fields64 : float -> fields
+(** Decode a double into its 1/11/52 fields. *)
+
+val of_fields64 : fields -> float
+(** Inverse of {!fields64}. Fields are masked to their widths. *)
+
+val fields32 : int32 -> fields
+(** Decode binary32 bits into 1/8/23 fields. *)
+
+val of_fields32 : fields -> int32
+
+val classify64 : float -> class_
+val classify32 : int32 -> class_
+
+val exponent_bits64 : int
+val significand_bits64 : int
+val exponent_bits32 : int
+val significand_bits32 : int
+val bias64 : int
+val bias32 : int
+
+val pp_class : Format.formatter -> class_ -> unit
+
+val describe64 : float -> string
+(** Human-readable field breakdown, e.g. for the Fig.-1 table. *)
+
+val describe32 : int32 -> string

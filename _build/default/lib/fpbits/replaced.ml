@@ -1,0 +1,30 @@
+let flag = 0x7FF4DEADL
+let flag_shifted = 0x7FF4DEAD00000000L
+
+let is_replaced_bits bits = Int64.equal (Int64.shift_right_logical bits 32) flag
+
+let is_replaced x = is_replaced_bits (Int64.bits_of_float x)
+
+let pack (b32 : int32) : float =
+  let low = Int64.logand (Int64.of_int32 b32) 0xFFFF_FFFFL in
+  Int64.float_of_bits (Int64.logor flag_shifted low)
+
+let downcast x = pack (Int32.bits_of_float x)
+let encode x = downcast x
+
+let extract_bits x = Int64.to_int32 (Int64.bits_of_float x)
+
+let upcast x =
+  if not (is_replaced x) then invalid_arg "Replaced.upcast: value is not replaced";
+  Int32.float_of_bits (extract_bits x)
+
+let coerce v = if is_replaced v then Int32.float_of_bits (extract_bits v) else v
+
+let coerce32 v =
+  if is_replaced v then Int32.float_of_bits (extract_bits v) else F32.round v
+
+let pp ppf x =
+  let bits = Int64.bits_of_float x in
+  if is_replaced x then
+    Format.fprintf ppf "0x%016Lx (replaced: %h)" bits (Int32.float_of_bits (extract_bits x))
+  else Format.fprintf ppf "0x%016Lx (%h)" bits x

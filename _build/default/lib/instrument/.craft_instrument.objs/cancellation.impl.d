@@ -1,0 +1,1 @@
+lib/instrument/cancellation.ml: Array Buffer Ir List Printf Static Vm

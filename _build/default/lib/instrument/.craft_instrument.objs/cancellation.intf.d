@@ -1,0 +1,1 @@
+lib/instrument/cancellation.mli: Ir Vm

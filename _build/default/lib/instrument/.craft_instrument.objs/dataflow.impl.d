@@ -1,0 +1,1 @@
+lib/instrument/dataflow.ml: Array Config Hashtbl Ir List Queue Static

@@ -1,0 +1,1 @@
+lib/instrument/dataflow.mli: Config Ir

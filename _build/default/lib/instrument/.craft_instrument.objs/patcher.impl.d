@@ -1,0 +1,1 @@
+lib/instrument/patcher.ml: Array Builder Config Dataflow Format Ir List Printf Static

@@ -1,0 +1,1 @@
+lib/instrument/patcher.mli: Config Ir

@@ -1,0 +1,1 @@
+lib/instrument/to_single.ml: Array Config Ir Patcher Static

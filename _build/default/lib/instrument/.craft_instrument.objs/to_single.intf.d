@@ -1,0 +1,1 @@
+lib/instrument/to_single.mli: Config Ir

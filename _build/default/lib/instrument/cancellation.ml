@@ -1,0 +1,114 @@
+type site = {
+  addr : int;
+  disasm : string;
+  executions : int;
+  cancellations : int;
+  total_bits : int;
+  max_bits : int;
+}
+
+type layout = { base : int; sites : (int * string) array; threshold : int }
+
+let instrument ?(threshold_bits = 10) (prog : Ir.program) =
+  let next_addr = ref (Static.max_addr prog + 1) in
+  let fresh_addr () =
+    let a = !next_addr in
+    incr next_addr;
+    a
+  in
+  let base = prog.Ir.iheap_size in
+  let sites = ref [] in
+  let n_sites = ref 0 in
+  let instr_func (f : Ir.func) : Ir.func =
+    (* seven scratch integer registers for the branch-free counter update *)
+    let e1 = f.Ir.n_iregs and e2 = f.Ir.n_iregs + 1 and e3 = f.Ir.n_iregs + 2 in
+    let t1 = f.Ir.n_iregs + 3 and t2 = f.Ir.n_iregs + 4 in
+    let t3 = f.Ir.n_iregs + 5 and t4 = f.Ir.n_iregs + 6 in
+    let blocks =
+      Array.map
+        (fun (b : Ir.block) ->
+          let out = ref [] in
+          let emit op = out := { Ir.addr = fresh_addr (); op } :: !out in
+          Array.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.op with
+              | Fbin (D, (Add | Sub), dst, a, bb) ->
+                  let k = !n_sites in
+                  incr n_sites;
+                  sites := (i.Ir.addr, Ir.disasm i.Ir.op) :: !sites;
+                  let ctr off : Ir.mem =
+                    { base = None; index = None; scale = 1; offset = base + (4 * k) + off }
+                  in
+                  emit (Ir.Fexpo (e1, a));
+                  emit (Ir.Fexpo (e2, bb));
+                  out := i :: !out;
+                  emit (Ir.Fexpo (e3, dst));
+                  emit (Ir.Ibin (Imax, t1, e1, e2));
+                  emit (Ir.Ibin (Isub, t1, t1, e3));
+                  (* drop = max(e_a, e_b) - e_r; c = drop >= threshold *)
+                  emit (Ir.Iconst (t2, threshold_bits));
+                  emit (Ir.Icmp (Ge, t2, t1, t2));
+                  emit (Ir.Iload (t3, ctr 0));
+                  emit (Ir.Iconst (t4, 1));
+                  emit (Ir.Ibin (Iadd, t3, t3, t4));
+                  emit (Ir.Istore (ctr 0, t3));
+                  emit (Ir.Iload (t3, ctr 1));
+                  emit (Ir.Ibin (Iadd, t3, t3, t2));
+                  emit (Ir.Istore (ctr 1, t3));
+                  emit (Ir.Ibin (Imul, t4, t1, t2));
+                  emit (Ir.Iload (t3, ctr 2));
+                  emit (Ir.Ibin (Iadd, t3, t3, t4));
+                  emit (Ir.Istore (ctr 2, t3));
+                  emit (Ir.Iload (t3, ctr 3));
+                  emit (Ir.Ibin (Imax, t3, t3, t4));
+                  emit (Ir.Istore (ctr 3, t3))
+              | _ -> out := i :: !out)
+            b.Ir.instrs;
+          { b with Ir.instrs = Array.of_list (List.rev !out) })
+        f.Ir.blocks
+    in
+    { f with Ir.n_iregs = f.Ir.n_iregs + 7; blocks }
+  in
+  let funcs = Array.map instr_func prog.Ir.funcs in
+  let instrumented =
+    Ir.validate_exn
+      { prog with Ir.funcs; iheap_size = prog.Ir.iheap_size + (4 * max 1 !n_sites) }
+  in
+  (instrumented, { base; sites = Array.of_list (List.rev !sites); threshold = threshold_bits })
+
+let read_sites layout (vm : Vm.t) =
+  Array.to_list
+    (Array.mapi
+       (fun k (addr, disasm) ->
+         let g off = Vm.get_i vm (layout.base + (4 * k) + off) in
+         {
+           addr;
+           disasm;
+           executions = g 0;
+           cancellations = g 1;
+           total_bits = g 2;
+           max_bits = g 3;
+         })
+       layout.sites)
+
+let report ?(min_cancellations = 1) layout vm =
+  let sites =
+    read_sites layout vm
+    |> List.filter (fun s -> s.cancellations >= min_cancellations)
+    |> List.sort (fun a b -> compare b.total_bits a.total_bits)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "cancellation report (threshold %d bits): %d instructions\n"
+       layout.threshold (List.length sites));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  0x%06x %-28s execs %-9d cancels %-8d avg bits %5.1f  max %d\n" s.addr
+           s.disasm s.executions s.cancellations
+           (if s.cancellations = 0 then 0.0
+            else float_of_int s.total_bits /. float_of_int s.cancellations)
+           s.max_bits))
+    sites;
+  Buffer.contents buf

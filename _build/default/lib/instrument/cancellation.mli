@@ -1,0 +1,38 @@
+(** Dynamic cancellation detection (the paper's §4.4 prior work, Lam et
+    al., WHIST'11 — the analysis whose heavyweight successors the paper
+    compares overheads against).
+
+    [instrument] rewrites a binary so that every double-precision addition
+    and subtraction also measures how many bits of significance cancel:
+    the biased exponents of both operands and of the result are extracted
+    (the [Fexpo] analysis op, a movq+shr+and sequence on real hardware)
+    and the exponent drop [max(e_a, e_b) - e_r] is accumulated branch-free
+    into per-instruction counters in the integer heap. A cancellation
+    event is recorded when the drop reaches the threshold (default 10
+    bits, as in the original tool).
+
+    The instrumented binary computes exactly the same floating-point
+    results as the original (the detector only observes); tests assert
+    bit-for-bit equality. *)
+
+type site = {
+  addr : int;  (** original instruction address *)
+  disasm : string;
+  executions : int;
+  cancellations : int;  (** executions with exponent drop >= threshold *)
+  total_bits : int;  (** cancelled bits summed over cancellations *)
+  max_bits : int;  (** worst single cancellation *)
+}
+
+type layout
+(** Where the counters live in the instrumented program's integer heap. *)
+
+val instrument : ?threshold_bits:int -> Ir.program -> Ir.program * layout
+
+val read_sites : layout -> Vm.t -> site list
+(** Extract the per-instruction statistics after a run of the instrumented
+    binary. Sites are returned in program order. *)
+
+val report : ?min_cancellations:int -> layout -> Vm.t -> string
+(** Human-readable aggregate report (instructions sorted by cancelled
+    bits), like the original tool's per-instruction output. *)

@@ -1,0 +1,200 @@
+type state = Bot | Plain | Repl | Either
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Plain, Plain -> Plain
+  | Repl, Repl -> Repl
+  | _ -> Either
+
+let le a b = join a b = b
+
+type t = { table : (int * int, state) Hashtbl.t }
+
+(* Per-function summary: joined argument states over all call sites seen so
+   far, and the current return-register states. *)
+type summary = { mutable args : state array; mutable rets : state array }
+
+let effective_flag (cfg : Config.t) (f : Ir.func) (b : Ir.block) (i : Ir.instr) =
+  Config.effective cfg
+    {
+      Static.addr = i.Ir.addr;
+      fid = f.Ir.fid;
+      fname = f.Ir.fname;
+      module_name = f.Ir.module_name;
+      block_label = b.Ir.label;
+      disasm = "";
+    }
+
+let analyze (prog : Ir.program) (cfg : Config.t) : t =
+  let nf = Array.length prog.Ir.funcs in
+  let summaries =
+    Array.map
+      (fun (f : Ir.func) ->
+        {
+          args = Array.make (max f.Ir.n_fargs 1) Bot;
+          rets = Array.make (max (Array.length f.Ir.ret_fregs) 1) Bot;
+        })
+      prog.Ir.funcs
+  in
+  (* heap summary cell: data poked before the run is plain *)
+  let mem = ref Plain in
+  let changed = ref true in
+  let table = Hashtbl.create 256 in
+  let record = ref false in
+  (* Transfer one instruction over a register-state array. *)
+  let transfer (f : Ir.func) (b : Ir.block) (regs : state array) (i : Ir.instr) =
+    let flag () = effective_flag cfg f b i in
+    let force s rs = List.iter (fun r -> regs.(r) <- s) rs in
+    let candidate_transfer () =
+      if !record then
+        List.iter
+          (fun r ->
+            let key = (i.Ir.addr, r) in
+            let prev = try Hashtbl.find table key with Not_found -> Bot in
+            Hashtbl.replace table key (join prev regs.(r)))
+          (Ir.used_fregs i.Ir.op);
+      match flag () with
+      | Config.Single ->
+          (* the snippet converts operands in place and flags the result *)
+          force Repl (Ir.used_fregs i.Ir.op);
+          force Repl (Ir.defined_fregs i.Ir.op)
+      | Config.Double ->
+          force Plain (Ir.used_fregs i.Ir.op);
+          force Plain (Ir.defined_fregs i.Ir.op)
+      | Config.Ignore ->
+          (* left untouched: a native double op; operands unchanged *)
+          force Plain (Ir.defined_fregs i.Ir.op)
+    in
+    match i.Ir.op with
+    | Fbin _ | Fbinp _ | Funop _ | Flibm _ | Fcmp _ | Fconst _ | Fcvt_i2f _ | Fcvt_f2i _ ->
+        candidate_transfer ()
+    | Fmov (d, a) -> regs.(d) <- regs.(a)
+    | Fload (d, _) -> regs.(d) <- !mem
+    | Fstore (_, a) ->
+        let m = join !mem regs.(a) in
+        if m <> !mem then begin
+          mem := m;
+          changed := true
+        end
+    | Call { callee; fargs; frets; _ } ->
+        let s = summaries.(callee) in
+        Array.iteri
+          (fun k r ->
+            let j = join s.args.(k) regs.(r) in
+            if j <> s.args.(k) then begin
+              s.args.(k) <- j;
+              changed := true
+            end)
+          fargs;
+        Array.iteri (fun k r -> regs.(r) <- s.rets.(k)) frets
+    | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _ | Istore _ -> ()
+    | Ftestflag _ | Fdowncast _ | Fupcast _ | Fexpo _ ->
+        (* the analysis runs on original (un-patched) programs *)
+        ()
+  in
+  let analyze_func fid =
+    let f = prog.Ir.funcs.(fid) in
+    let s = summaries.(fid) in
+    let nb = Array.length f.Ir.blocks in
+    let entry_states = Array.init nb (fun _ -> Array.make f.Ir.n_fregs Bot) in
+    (* entry block: args from the summary (unseen call sites contribute
+       nothing); all other registers start as the VM's 0.0 — plain *)
+    let entry0 = Array.make f.Ir.n_fregs Plain in
+    for k = 0 to f.Ir.n_fargs - 1 do
+      entry0.(k) <- (if s.args.(k) = Bot then Plain else s.args.(k))
+    done;
+    entry_states.(f.Ir.entry) <- entry0;
+    let in_work = Array.make nb false in
+    let work = Queue.create () in
+    Queue.add f.Ir.entry work;
+    in_work.(f.Ir.entry) <- true;
+    let rets = Array.make (Array.length f.Ir.ret_fregs) Bot in
+    while not (Queue.is_empty work) do
+      let bi = Queue.pop work in
+      in_work.(bi) <- false;
+      let b = f.Ir.blocks.(bi) in
+      let regs = Array.copy entry_states.(bi) in
+      Array.iter (transfer f b regs) b.Ir.instrs;
+      let push tgt =
+        let dst = entry_states.(tgt) in
+        let grew = ref false in
+        Array.iteri
+          (fun k v ->
+            let j = join dst.(k) v in
+            if j <> dst.(k) then begin
+              dst.(k) <- j;
+              grew := true
+            end)
+          regs;
+        if !grew && not in_work.(tgt) then begin
+          in_work.(tgt) <- true;
+          Queue.add tgt work
+        end
+      in
+      match b.Ir.term with
+      | Jmp t -> push t
+      | Br (_, t, e) ->
+          push t;
+          push e
+      | Ret -> Array.iteri (fun k r -> rets.(k) <- join rets.(k) regs.(r)) f.Ir.ret_fregs
+    done;
+    Array.iteri
+      (fun k v ->
+        let j = join s.rets.(k) v in
+        if j <> s.rets.(k) then begin
+          s.rets.(k) <- j;
+          changed := true
+        end)
+      rets
+  in
+  (* outer fix point over function summaries and the heap cell *)
+  let rounds = ref 0 in
+  while !changed && !rounds < 4 * (nf + 2) do
+    changed := false;
+    incr rounds;
+    for fid = 0 to nf - 1 do
+      analyze_func fid
+    done
+  done;
+  (* one stable recording pass *)
+  record := true;
+  for fid = 0 to nf - 1 do
+    analyze_func fid
+  done;
+  { table }
+
+let operand_state t ~addr ~reg =
+  match Hashtbl.find_opt t.table (addr, reg) with
+  | Some s -> s
+  | None -> Either
+
+let dedup regs =
+  List.fold_left (fun acc r -> if List.mem r acc then acc else r :: acc) [] regs
+  |> List.rev
+
+let checks_removable t (prog : Ir.program) (cfg : Config.t) =
+  let removable = ref 0 and total = ref 0 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun (i : Ir.instr) ->
+              if Ir.is_candidate i.Ir.op then
+                match effective_flag cfg f b i with
+                | Config.Ignore -> ()
+                | Config.Single | Config.Double ->
+                    List.iter
+                      (fun r ->
+                        incr total;
+                        if operand_state t ~addr:i.Ir.addr ~reg:r <> Either then
+                          incr removable)
+                      (dedup (Ir.used_fregs i.Ir.op)))
+            b.Ir.instrs)
+        f.Ir.blocks)
+    prog.Ir.funcs;
+  (!removable, !total)
+
+(* keep the unused-value warning away for `le` which documents the lattice *)
+let _ = le

@@ -1,0 +1,191 @@
+type tgt = Old of int | New of int
+type pterm = PJmp of tgt | PBr of int * tgt * tgt | PRet
+
+type out_block = {
+  label : int;
+  mutable rev_instrs : Ir.instr list;
+  mutable term : pterm;
+}
+
+let with_prec (op : Ir.op) (p : Ir.prec) : Ir.op =
+  match op with
+  | Fbin (_, o, d, a, b) -> Fbin (p, o, d, a, b)
+  | Fbinp (_, o, d, a, b) -> Fbinp (p, o, d, a, b)
+  | Funop (_, o, d, a) -> Funop (p, o, d, a)
+  | Flibm (_, o, d, a) -> Flibm (p, o, d, a)
+  | Fcmp (_, c, d, a, b) -> Fcmp (p, c, d, a, b)
+  | Fconst (_, d, x) -> Fconst (p, d, x)
+  | Fcvt_i2f (_, d, a) -> Fcvt_i2f (p, d, a)
+  | Fcvt_f2i (_, d, a) -> Fcvt_f2i (p, d, a)
+  | _ -> invalid_arg "Patcher.with_prec: not a candidate op"
+
+let dedup regs =
+  List.fold_left (fun acc r -> if List.mem r acc then acc else r :: acc) [] regs
+  |> List.rev
+
+let patch ?(dataflow = false) (prog : Ir.program) (cfg : Config.t) : Ir.program =
+  let df = if dataflow then Some (Dataflow.analyze prog cfg) else None in
+  let next_addr = ref (Static.max_addr prog + 1) in
+  let fresh_addr () =
+    let a = !next_addr in
+    incr next_addr;
+    a
+  in
+  let next_label =
+    ref
+      (1
+      + Array.fold_left
+          (fun acc (f : Ir.func) ->
+            Array.fold_left (fun acc (b : Ir.block) -> max acc b.label) acc f.blocks)
+          0 prog.funcs)
+  in
+  let fresh_label () =
+    let l = !next_label in
+    incr next_label;
+    l
+  in
+  let patch_func (f : Ir.func) : Ir.func =
+    let tf = f.n_iregs in
+    (* scratch register for flag tests *)
+    let out : out_block list ref = ref [] in
+    let n_out = ref 0 in
+    let first_chunk = Array.make (Array.length f.blocks) 0 in
+    let cur = ref { label = 0; rev_instrs = []; term = PRet } in
+    let push_block label =
+      let b = { label; rev_instrs = []; term = PRet } in
+      let idx = !n_out in
+      out := b :: !out;
+      incr n_out;
+      cur := b;
+      idx
+    in
+    let emit op = !cur.rev_instrs <- { Ir.addr = fresh_addr (); op } :: !cur.rev_instrs in
+    let emit_instr (i : Ir.instr) = !cur.rev_instrs <- i :: !cur.rev_instrs in
+    (* One operand check-and-convert diamond (the Fig.-6 template's per-input
+       sequence, as explicit control flow per Fig. 7). With the static
+       data-flow optimization, definite operand states collapse the diamond
+       to an unconditional conversion or remove it entirely (paper §2.5). *)
+    let rec check_operand ?(addr = -1) (flag : Config.flag) r =
+      let st =
+        match df with
+        | Some t when addr >= 0 -> Dataflow.operand_state t ~addr ~reg:r
+        | _ -> Dataflow.Either
+      in
+      match (flag, st) with
+      | Config.Single, (Dataflow.Repl | Dataflow.Bot) -> () (* already replaced *)
+      | Config.Double, (Dataflow.Plain | Dataflow.Bot) -> () (* already plain *)
+      | Config.Single, Dataflow.Plain -> emit (Ir.Fdowncast (r, r))
+      | Config.Double, Dataflow.Repl -> emit (Ir.Fupcast (r, r))
+      | (Config.Single | Config.Double), Dataflow.Either -> check_operand_full flag r
+      | Config.Ignore, _ -> assert false
+    and check_operand_full (flag : Config.flag) r =
+      emit (Ir.Ftestflag (tf, r));
+      let prev = !cur in
+      let conv_idx = !n_out in
+      let _ = push_block (fresh_label ()) in
+      let conv = !cur in
+      let cont_idx = !n_out in
+      let _ = push_block (fresh_label ()) in
+      let cont_blk = !cur in
+      (match flag with
+      | Config.Single ->
+          (* replaced? skip : downcast *)
+          prev.term <- PBr (tf, New cont_idx, New conv_idx);
+          cur := conv;
+          emit (Ir.Fdowncast (r, r))
+      | Config.Double ->
+          (* replaced? upcast : skip *)
+          prev.term <- PBr (tf, New conv_idx, New cont_idx);
+          cur := conv;
+          emit (Ir.Fupcast (r, r))
+      | Config.Ignore -> assert false);
+      conv.term <- PJmp (New cont_idx);
+      cur := cont_blk
+    in
+    Array.iteri
+      (fun k (b : Ir.block) ->
+        first_chunk.(k) <- push_block b.label;
+        Array.iter
+          (fun (i : Ir.instr) ->
+            if not (Ir.is_candidate i.op) then emit_instr i
+            else begin
+              let info : Static.insn_info =
+                {
+                  addr = i.addr;
+                  fid = f.fid;
+                  fname = f.fname;
+                  module_name = f.module_name;
+                  block_label = b.label;
+                  disasm = "";
+                }
+              in
+              match Config.effective cfg info with
+              | Config.Ignore -> emit_instr i
+              | Config.Single as flag ->
+                  List.iter (check_operand ~addr:i.addr flag) (dedup (Ir.used_fregs i.op));
+                  emit_instr { i with op = with_prec i.op S }
+              | Config.Double as flag ->
+                  List.iter (check_operand ~addr:i.addr flag) (dedup (Ir.used_fregs i.op));
+                  emit_instr { i with op = with_prec i.op D }
+            end)
+          b.instrs;
+        !cur.term <-
+          (match b.term with
+          | Jmp t -> PJmp (Old t)
+          | Br (r, t, e) -> PBr (r, Old t, Old e)
+          | Ret -> PRet))
+      f.blocks;
+    let out_blocks = Array.of_list (List.rev !out) in
+    let resolve = function Old k -> first_chunk.(k) | New j -> j in
+    let blocks =
+      Array.map
+        (fun ob ->
+          {
+            Ir.label = ob.label;
+            instrs = Array.of_list (List.rev ob.rev_instrs);
+            term =
+              (match ob.term with
+              | PJmp t -> Ir.Jmp (resolve t)
+              | PBr (r, t, e) -> Ir.Br (r, resolve t, resolve e)
+              | PRet -> Ir.Ret);
+          })
+        out_blocks
+    in
+    { f with n_iregs = f.n_iregs + 1; entry = first_chunk.(f.entry); blocks }
+  in
+  Ir.validate_exn { prog with funcs = Array.map patch_func prog.funcs }
+
+let snippet_listing () =
+  let t = Builder.create () in
+  let base = Builder.alloc_f t 3 in
+  let main =
+    Builder.func t ~module_:"demo" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let x = Builder.loadf b (Builder.at base) in
+        let y = Builder.loadf b (Builder.at (base + 1)) in
+        let z = Builder.fadd b x y in
+        Builder.storef b (Builder.at (base + 2)) z)
+  in
+  let prog = Builder.program t ~main in
+  let cand = (Static.candidates prog).(0) in
+  let cfg = Config.set_insn Config.empty cand.addr Config.Single in
+  let patched = patch prog cfg in
+  Format.asprintf
+    "original instruction: %s@.--- patched (single-precision snippet) ---@.%a" cand.disasm
+    Ir.pp_program patched
+
+let count_prog (p : Ir.program) =
+  Array.fold_left
+    (fun (nb, ni) (f : Ir.func) ->
+      ( nb + Array.length f.blocks,
+        ni
+        + Array.fold_left (fun acc (b : Ir.block) -> acc + Array.length b.instrs) 0 f.blocks
+      ))
+    (0, 0) p.funcs
+
+let patch_stats original patched =
+  let ob, oi = count_prog original in
+  let pb, pi = count_prog patched in
+  let cands = Array.length (Static.candidates original) in
+  Printf.sprintf
+    "blocks: %d -> %d (+%d from splitting); instructions: %d -> %d (+%d snippet ops); %d candidates rewritten"
+    ob pb (pb - ob) oi pi (pi - oi) cands

@@ -1,0 +1,49 @@
+(** Binary modification (paper §2.3–2.4).
+
+    [patch] turns an original (all-double) program plus a precision
+    configuration into an instrumented program in which {e every}
+    floating-point candidate instruction — including the ones kept in
+    double precision — is replaced by a snippet:
+
+    - for each float input operand, a flag test and a conditional
+      conversion (downcast for [Single] targets, upcast for [Double]
+      targets), emitted as real control flow: the containing basic block
+      is split and the conversion sits in its own block (paper Fig. 7);
+    - the instruction itself, with its opcode rewritten to the configured
+      precision (addsd → addss for [Single]);
+    - [Single] results are stored in the replaced encoding (the flag fix
+      of the Fig. 6 template).
+
+    Instructions flagged [Ignore] are left untouched; if a replaced value
+    ever reaches them the checked VM traps — the paper's "anything missed
+    causes a crash".
+
+    Rewritten instructions keep their original addresses (so dynamic
+    replacement percentages can be measured against the original
+    program); snippet instructions and blocks get fresh addresses and
+    labels. *)
+
+val patch : ?dataflow:bool -> Ir.program -> Config.t -> Ir.program
+(** The result is validated. Run it with [Vm.create ~checked:true].
+
+    With [dataflow:true] (default false) the static replaced-value
+    reachability analysis of {!Dataflow} runs first and operand checks
+    whose outcome is statically known are collapsed: definitely-converted
+    operands lose the test-and-branch, definitely-unconverted operands
+    lose the whole check — the paper's §2.5 overhead optimization. The
+    instrumented semantics is unchanged (enforced by tests: optimized and
+    unoptimized patched binaries agree bit-for-bit, and the checked VM
+    traps on any analysis unsoundness). *)
+
+val with_prec : Ir.op -> Ir.prec -> Ir.op
+(** Opcode rewriting (addsd ↔ addss). Raises [Invalid_argument] on
+    non-candidate ops. *)
+
+val snippet_listing : unit -> string
+(** The emitted snippet for one [addsd] rewritten to single precision, as
+    a disassembly listing — the reproduction's rendering of the paper's
+    Fig. 6 template. *)
+
+val patch_stats : Ir.program -> Ir.program -> string
+(** [patch_stats original patched] summarizes the transformation: blocks
+    before/after (splits), instructions added, candidates rewritten. *)

@@ -1,0 +1,44 @@
+let with_prec = Patcher.with_prec
+
+let map_candidates (p : Ir.program) choose =
+  let funcs =
+    Array.map
+      (fun (f : Ir.func) ->
+        let blocks =
+          Array.map
+            (fun (b : Ir.block) ->
+              let instrs =
+                Array.map
+                  (fun (i : Ir.instr) ->
+                    if Ir.is_candidate i.op then
+                      match choose f b i with
+                      | Some prec -> { i with Ir.op = with_prec i.op prec }
+                      | None -> i
+                    else i)
+                  b.instrs
+              in
+              { b with Ir.instrs })
+            f.blocks
+        in
+        { f with Ir.blocks })
+      p.funcs
+  in
+  Ir.validate_exn { p with funcs }
+
+let convert p = map_candidates p (fun _ _ _ -> Some Ir.S)
+
+let convert_config p cfg =
+  map_candidates p (fun f b i ->
+      let info : Static.insn_info =
+        {
+          addr = i.addr;
+          fid = f.fid;
+          fname = f.fname;
+          module_name = f.module_name;
+          block_label = b.label;
+          disasm = "";
+        }
+      in
+      match Config.effective cfg info with
+      | Config.Single -> Some Ir.S
+      | Config.Double | Config.Ignore -> None)

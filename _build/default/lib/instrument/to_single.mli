@@ -1,0 +1,23 @@
+(** Whole-program "manual conversion" to single precision.
+
+    The paper validates its instrumentation by manually converting codes to
+    [real*4]/[float] and comparing bit-for-bit (§3.1), and obtains its
+    speedups (AMG §3.2, SuperLU §3.3) from such converted builds. Here the
+    conversion is the transformation a programmer would apply after the
+    analysis: every candidate opcode is rewritten to its single-precision
+    variant, with no flags or snippets.
+
+    Run converted programs with [Vm.create ~smode:Plain]; price them with
+    [Cost.of_run ~fmem_bytes:4.] (a real single build moves 4-byte
+    floats). *)
+
+val convert : Ir.program -> Ir.program
+(** Rewrite every candidate instruction to its [S] variant. *)
+
+val convert_config : Ir.program -> Config.t -> Ir.program
+(** Rewrite only the candidates whose effective flag is [Single] — the
+    source-level transformation suggested by a mixed-precision search
+    result. Instructions left in double precision are unchanged; note that
+    a mixed native build is only numerically meaningful when the
+    configuration partitions cleanly (no replaced encodings exist in a
+    native build). *)

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Format Ir List Printf Seq String

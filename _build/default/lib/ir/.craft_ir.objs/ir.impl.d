@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Format Hashtbl List Printf String

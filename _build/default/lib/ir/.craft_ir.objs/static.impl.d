@@ -1,0 +1,1 @@
+lib/ir/static.ml: Array Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/static.mli: Ir

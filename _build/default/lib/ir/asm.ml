@@ -1,0 +1,506 @@
+exception Parse of int * string
+
+let fail lineno fmt = Format.kasprintf (fun s -> raise (Parse (lineno, s))) fmt
+
+let starts_with pfx s =
+  String.length s >= String.length pfx && String.sub s 0 (String.length pfx) = pfx
+
+let strip = String.trim
+
+let split_arrow ln s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then fail ln "expected '->' in %S" s
+    else if s.[i] = '-' && s.[i + 1] = '>' then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (strip (String.sub s 0 i), strip (String.sub s (i + 2) (n - i - 2)))
+
+let split_commas s =
+  if strip s = "" then []
+  else String.split_on_char ',' s |> List.map strip |> List.filter (fun x -> x <> "")
+
+let parse_reg ln pfx s =
+  if String.length s >= 2 && s.[0] = pfx then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r -> r
+    | None -> fail ln "bad register %S" s
+  else fail ln "expected %c-register, got %S" pfx s
+
+let parse_any_reg ln s =
+  if String.length s >= 2 && (s.[0] = 'f' || s.[0] = 'i') then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r -> (s.[0], r)
+    | None -> fail ln "bad register %S" s
+  else fail ln "expected register, got %S" s
+
+(* [off], [off+iB], [off+iX*s], [off+iB+iX*s] *)
+let parse_mem ln s : Ir.mem =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then fail ln "expected memory operand, got %S" s;
+  let body = String.sub s 1 (n - 2) in
+  let parts = String.split_on_char '+' body in
+  match parts with
+  | [] -> fail ln "empty memory operand"
+  | off :: rest -> (
+      let offset =
+        match int_of_string_opt off with
+        | Some v -> v
+        | None -> fail ln "bad offset %S" off
+      in
+      let parse_part p =
+        match String.index_opt p '*' with
+        | Some star ->
+            let r = parse_reg ln 'i' (String.sub p 0 star) in
+            let scale =
+              match int_of_string_opt (String.sub p (star + 1) (String.length p - star - 1)) with
+              | Some v -> v
+              | None -> fail ln "bad scale in %S" p
+            in
+            `Index (r, scale)
+        | None -> `Base (parse_reg ln 'i' p)
+      in
+      match List.map parse_part rest with
+      | [] -> { base = None; index = None; scale = 1; offset }
+      | [ `Base b ] -> { base = Some b; index = None; scale = 1; offset }
+      | [ `Index (i, s) ] -> { base = None; index = Some i; scale = s; offset }
+      | [ `Base b; `Index (i, s) ] -> { base = Some b; index = Some i; scale = s; offset }
+      | _ -> fail ln "unsupported memory operand %S" s)
+
+let fbinop_of = function
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div
+  | "min" -> Some Ir.Min
+  | "max" -> Some Ir.Max
+  | _ -> None
+
+let funop_of = function
+  | "sqrt" -> Some Ir.Sqrt
+  | "neg" -> Some Ir.Neg
+  | "abs" -> Some Ir.Abs
+  | _ -> None
+
+let flibm_of = function
+  | "sin" -> Some Ir.Sin
+  | "cos" -> Some Ir.Cos
+  | "tan" -> Some Ir.Tan
+  | "exp" -> Some Ir.Exp
+  | "log" -> Some Ir.Log
+  | "atan" -> Some Ir.Atan
+  | _ -> None
+
+let cmpop_of ln = function
+  | "eq" -> Ir.Eq
+  | "ne" -> Ir.Ne
+  | "lt" -> Ir.Lt
+  | "le" -> Ir.Le
+  | "gt" -> Ir.Gt
+  | "ge" -> Ir.Ge
+  | c -> fail ln "unknown comparison %S" c
+
+let ibinop_of = function
+  | "add" -> Some Ir.Iadd
+  | "sub" -> Some Ir.Isub
+  | "imul" -> Some Ir.Imul
+  | "idiv" -> Some Ir.Idiv
+  | "irem" -> Some Ir.Irem
+  | "and" -> Some Ir.Iand
+  | "or" -> Some Ir.Ior
+  | "xor" -> Some Ir.Ixor
+  | "shl" -> Some Ir.Ishl
+  | "shr" -> Some Ir.Ishr
+  | "imax" -> Some Ir.Imax
+  | "imin" -> Some Ir.Imin
+  | _ -> None
+
+(* mnemonic with sd/ss suffix -> (base, prec) *)
+let split_suffix m =
+  let n = String.length m in
+  if n > 2 && String.sub m (n - 2) 2 = "sd" then Some (String.sub m 0 (n - 2), Ir.D)
+  else if n > 2 && String.sub m (n - 2) 2 = "ss" then Some (String.sub m 0 (n - 2), Ir.S)
+  else None
+
+(* packed mnemonics: addpd/addps etc. *)
+let split_psuffix m =
+  let n = String.length m in
+  if n > 2 && String.sub m (n - 2) 2 = "pd" then Some (String.sub m 0 (n - 2), Ir.D)
+  else if n > 2 && String.sub m (n - 2) 2 = "ps" then Some (String.sub m 0 (n - 2), Ir.S)
+  else None
+
+let parse_call ln rest =
+  (* @N (f1, f2, i0) -> (f3, i1) *)
+  let rest = strip rest in
+  if not (starts_with "@" rest) then fail ln "expected call target in %S" rest;
+  let lpar =
+    match String.index_opt rest '(' with Some i -> i | None -> fail ln "expected '(' in call"
+  in
+  let callee =
+    match int_of_string_opt (strip (String.sub rest 1 (lpar - 1))) with
+    | Some v -> v
+    | None -> fail ln "bad call target"
+  in
+  let rpar =
+    match String.index_opt rest ')' with Some i -> i | None -> fail ln "expected ')' in call"
+  in
+  let args_s = String.sub rest (lpar + 1) (rpar - lpar - 1) in
+  let after = String.sub rest (rpar + 1) (String.length rest - rpar - 1) in
+  let _, rets_group = split_arrow ln after in
+  let rets_s =
+    let s = strip rets_group in
+    if String.length s >= 2 && s.[0] = '(' && s.[String.length s - 1] = ')' then
+      String.sub s 1 (String.length s - 2)
+    else fail ln "expected '(...)' return group in call"
+  in
+  let classify l =
+    let fs = ref [] and is = ref [] in
+    List.iter
+      (fun tok ->
+        match parse_any_reg ln tok with
+        | 'f', r -> fs := r :: !fs
+        | _, r -> is := r :: !is)
+      l;
+    (Array.of_list (List.rev !fs), Array.of_list (List.rev !is))
+  in
+  let fargs, iargs = classify (split_commas args_s) in
+  let frets, irets = classify (split_commas rets_s) in
+  Ir.Call { callee; fargs; iargs; frets; irets }
+
+let parse_op ln (text : string) : Ir.op =
+  let text = strip text in
+  let mnemonic, rest =
+    match String.index_opt text ' ' with
+    | Some i -> (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+    | None -> (text, "")
+  in
+  let freg = parse_reg ln 'f' and ireg = parse_reg ln 'i' in
+  let two_to_one rest =
+    let lhs, rhs = split_arrow ln rest in
+    match split_commas lhs with
+    | [ a; b ] -> (a, b, rhs)
+    | _ -> fail ln "expected two operands in %S" rest
+  in
+  let one_to_one rest =
+    let lhs, rhs = split_arrow ln rest in
+    (strip lhs, rhs)
+  in
+  match mnemonic with
+  | "movq" ->
+      let a, d = one_to_one rest in
+      Fmov (freg d, freg a)
+  | "mov" ->
+      let a, d = one_to_one rest in
+      Imov (ireg d, ireg a)
+  | "movsd.ld" ->
+      let a, d = one_to_one rest in
+      Fload (freg d, parse_mem ln a)
+  | "movsd.st" ->
+      let a, d = one_to_one rest in
+      Fstore (parse_mem ln d, freg a)
+  | "mov.ld" ->
+      let a, d = one_to_one rest in
+      Iload (ireg d, parse_mem ln a)
+  | "mov.st" ->
+      let a, d = one_to_one rest in
+      Istore (parse_mem ln d, ireg a)
+  | "mov.imm" ->
+      let a, d = one_to_one rest in
+      if not (starts_with "$" a) then fail ln "expected immediate in %S" a;
+      let v =
+        match int_of_string_opt (String.sub a 1 (String.length a - 1)) with
+        | Some v -> v
+        | None -> fail ln "bad integer immediate %S" a
+      in
+      Iconst (ireg d, v)
+  | "movsd.imm" | "movss.imm" ->
+      let a, d = one_to_one rest in
+      if not (starts_with "$" a) then fail ln "expected immediate in %S" a;
+      let v =
+        match float_of_string_opt (String.sub a 1 (String.length a - 1)) with
+        | Some v -> v
+        | None -> fail ln "bad float immediate %S" a
+      in
+      Fconst ((if mnemonic = "movsd.imm" then D else S), freg d, v)
+  | "cvtsi2sd" ->
+      let a, d = one_to_one rest in
+      Fcvt_i2f (D, freg d, ireg a)
+  | "cvtsi2ss" ->
+      let a, d = one_to_one rest in
+      Fcvt_i2f (S, freg d, ireg a)
+  | "cvttsd2si" ->
+      let a, d = one_to_one rest in
+      Fcvt_f2i (D, ireg d, freg a)
+  | "cvttss2si" ->
+      let a, d = one_to_one rest in
+      Fcvt_f2i (S, ireg d, freg a)
+  | "testflag" ->
+      let a, d = one_to_one rest in
+      Ftestflag (ireg d, freg a)
+  | "expfield" ->
+      let a, d = one_to_one rest in
+      Fexpo (ireg d, freg a)
+  | "cvtsd2ss.flag" ->
+      let a, d = one_to_one rest in
+      Fdowncast (freg d, freg a)
+  | "cvtss2sd.flag" ->
+      let a, d = one_to_one rest in
+      Fupcast (freg d, freg a)
+  | "call" -> parse_call ln rest
+  | _ -> (
+      (* comparisons: cmpsd.lt / cmpss.lt / cmp.lt *)
+      if starts_with "cmpsd." mnemonic || starts_with "cmpss." mnemonic then begin
+        let prec = if starts_with "cmpsd." mnemonic then Ir.D else Ir.S in
+        let c = cmpop_of ln (String.sub mnemonic 6 (String.length mnemonic - 6)) in
+        let a, b, d = two_to_one rest in
+        Fcmp (prec, c, ireg d, freg a, freg b)
+      end
+      else if starts_with "cmp." mnemonic then begin
+        let c = cmpop_of ln (String.sub mnemonic 4 (String.length mnemonic - 4)) in
+        let a, b, d = two_to_one rest in
+        Icmp (c, ireg d, ireg a, ireg b)
+      end
+      else
+        match split_psuffix mnemonic with
+        | Some (base, prec) when fbinop_of base <> None -> (
+            match fbinop_of base with
+            | Some o ->
+                let a, b, d = two_to_one rest in
+                Fbinp (prec, o, freg d, freg a, freg b)
+            | None -> assert false)
+        | _ ->
+        match split_suffix mnemonic with
+        | Some (base, prec) -> (
+            match fbinop_of base with
+            | Some o ->
+                let a, b, d = two_to_one rest in
+                Fbin (prec, o, freg d, freg a, freg b)
+            | None -> (
+                match funop_of base with
+                | Some o ->
+                    let a, d = one_to_one rest in
+                    Funop (prec, o, freg d, freg a)
+                | None -> (
+                    match flibm_of base with
+                    | Some o ->
+                        let a, d = one_to_one rest in
+                        Flibm (prec, o, freg d, freg a)
+                    | None -> fail ln "unknown mnemonic %S" mnemonic)))
+        | None -> (
+            match ibinop_of mnemonic with
+            | Some o ->
+                let a, b, d = two_to_one rest in
+                Ibin (o, ireg d, ireg a, ireg b)
+            | None -> fail ln "unknown mnemonic %S" mnemonic))
+
+(* key=value field extraction from function headers *)
+let field ln header key =
+  let pat = key ^ "=" in
+  let rec find i =
+    if i + String.length pat > String.length header then fail ln "missing %s in header" key
+    else if String.sub header i (String.length pat) = pat then i + String.length pat
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop =
+    match String.index_from_opt header start ' ' with
+    | Some j -> j
+    | None -> String.length header
+  in
+  String.sub header start (stop - start)
+
+let parse_reg_list ln s pfx =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    fail ln "expected register list, got %S" s;
+  split_commas (String.sub s 1 (String.length s - 2))
+  |> List.map (parse_reg ln pfx)
+  |> Array.of_list
+
+type pfunc = {
+  p_name : string;
+  p_module : string;
+  p_fargs : int;
+  p_iargs : int;
+  p_frets : int array;
+  p_irets : int array;
+  p_fregs : int;
+  p_iregs : int;
+  mutable p_blocks : (int * Ir.instr list * Ir.terminator) list;  (** reverse order *)
+  mutable p_entry : int;
+}
+
+let parse text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let main_name = ref "" in
+    let fheap = ref 1 and iheap = ref 1 in
+    let funcs = ref [] in
+    let cur_func : pfunc option ref = ref None in
+    let cur_block : (int * Ir.instr list) option ref = ref None in
+    let close_block term =
+      match (!cur_func, !cur_block) with
+      | Some f, Some (label, instrs) ->
+          f.p_blocks <- (label, List.rev instrs, term) :: f.p_blocks;
+          cur_block := None
+      | _, None -> ()
+      | None, _ -> ()
+    in
+    List.iteri
+      (fun idx raw ->
+        let ln = idx + 1 in
+        let line = strip raw in
+        if line = "" then ()
+        else if starts_with "; program" line then begin
+          main_name := field ln line "main";
+          fheap := int_of_string (field ln line "fheap");
+          iheap := int_of_string (field ln line "iheap")
+        end
+        else if starts_with ".B" line then begin
+          (* .B3 (label 7) <entry>: *)
+          (match !cur_block with
+          | Some _ -> fail ln "block %S starts before previous terminator" line
+          | None -> ());
+          let label =
+            match String.index_opt line '(' with
+            | Some i -> (
+                let rest = String.sub line (i + 1) (String.length line - i - 1) in
+                match String.index_opt rest ')' with
+                | Some j -> (
+                    let inner = String.sub rest 0 j in
+                    match String.split_on_char ' ' (strip inner) with
+                    | [ "label"; v ] -> int_of_string v
+                    | _ -> fail ln "bad block header %S" line)
+                | None -> fail ln "bad block header %S" line)
+            | None -> fail ln "bad block header %S" line
+          in
+          (match !cur_func with
+          | Some f ->
+              let rec contains i =
+                i + 7 <= String.length line
+                && (String.sub line i 7 = "<entry>" || contains (i + 1))
+              in
+              if contains 0 then f.p_entry <- List.length f.p_blocks
+          | None -> fail ln "block outside a function");
+          cur_block := Some (label, [])
+        end
+        else if starts_with "0x" line then begin
+          let sp =
+            match String.index_opt line ' ' with
+            | Some i -> i
+            | None -> fail ln "bad instruction line %S" line
+          in
+          let addr =
+            match int_of_string_opt (String.sub line 0 sp) with
+            | Some a -> a
+            | None -> fail ln "bad address in %S" line
+          in
+          let op = parse_op ln (String.sub line sp (String.length line - sp)) in
+          match !cur_block with
+          | Some (label, instrs) -> cur_block := Some (label, { Ir.addr; op } :: instrs)
+          | None -> fail ln "instruction outside a block"
+        end
+        else if line = "ret" then close_block Ir.Ret
+        else if starts_with "jmp " line then begin
+          let tgt = strip (String.sub line 4 (String.length line - 4)) in
+          if not (starts_with ".B" tgt) then fail ln "bad jump target %S" tgt;
+          close_block (Ir.Jmp (int_of_string (String.sub tgt 2 (String.length tgt - 2))))
+        end
+        else if starts_with "br " line then begin
+          (* br i1 ? .B2 : .B3 *)
+          match String.split_on_char ' ' line with
+          | [ "br"; r; "?"; t; ":"; e ] when starts_with ".B" t && starts_with ".B" e ->
+              close_block
+                (Ir.Br
+                   ( parse_reg ln 'i' r,
+                     int_of_string (String.sub t 2 (String.length t - 2)),
+                     int_of_string (String.sub e 2 (String.length e - 2)) ))
+          | _ -> fail ln "bad branch %S" line
+        end
+        else if String.contains line ':' && String.length line > 0 then begin
+          (* function header: mod:name()  ; fid=... *)
+          (match !cur_block with
+          | Some _ -> fail ln "function header before block terminator"
+          | None -> ());
+          let colon = String.index line ':' in
+          let module_name = String.sub line 0 colon in
+          let after = String.sub line (colon + 1) (String.length line - colon - 1) in
+          let name =
+            match String.index_opt after '(' with
+            | Some i -> String.sub after 0 i
+            | None -> fail ln "bad function header %S" line
+          in
+          let f =
+            {
+              p_name = name;
+              p_module = module_name;
+              p_fargs = int_of_string (field ln line "fargs");
+              p_iargs = int_of_string (field ln line "iargs");
+              p_frets = parse_reg_list ln (field ln line "frets") 'f';
+              p_irets = parse_reg_list ln (field ln line "irets") 'i';
+              p_fregs = int_of_string (field ln line "fregs");
+              p_iregs = int_of_string (field ln line "iregs");
+              p_blocks = [];
+              p_entry = 0;
+            }
+          in
+          funcs := f :: !funcs;
+          cur_func := Some f
+        end
+        else fail ln "unrecognized line %S" line)
+      lines;
+    (match !cur_block with
+    | Some _ -> raise (Parse (0, "unterminated final block"))
+    | None -> ());
+    let funcs = List.rev !funcs in
+    let modules =
+      List.fold_left
+        (fun acc f -> if List.mem f.p_module acc then acc else f.p_module :: acc)
+        [] funcs
+      |> List.rev |> Array.of_list
+    in
+    let ir_funcs =
+      List.mapi
+        (fun fid f ->
+          {
+            Ir.fid;
+            fname = f.p_name;
+            module_name = f.p_module;
+            n_fargs = f.p_fargs;
+            n_iargs = f.p_iargs;
+            ret_fregs = f.p_frets;
+            ret_iregs = f.p_irets;
+            n_fregs = f.p_fregs;
+            n_iregs = f.p_iregs;
+            entry = f.p_entry;
+            blocks =
+              List.rev f.p_blocks
+              |> List.map (fun (label, instrs, term) ->
+                     { Ir.label; instrs = Array.of_list instrs; term })
+              |> Array.of_list;
+          })
+        funcs
+      |> Array.of_list
+    in
+    let main =
+      match
+        Array.to_seq ir_funcs
+        |> Seq.zip (Seq.ints 0)
+        |> Seq.find (fun (_, (f : Ir.func)) -> f.Ir.fname = !main_name)
+      with
+      | Some (i, _) -> i
+      | None -> raise (Parse (0, Printf.sprintf "main function %S not found" !main_name))
+    in
+    let prog =
+      { Ir.funcs = ir_funcs; main; fheap_size = !fheap; iheap_size = !iheap; modules }
+    in
+    match Ir.validate prog with
+    | Ok () -> Ok prog
+    | Error es -> Error ("validation: " ^ String.concat "; " es)
+  with
+  | Parse (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+  | Failure msg -> Error msg
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error e -> invalid_arg ("Asm.parse: " ^ e)

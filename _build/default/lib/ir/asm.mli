@@ -1,0 +1,26 @@
+(** The assembler: parses the disassembly listing format produced by
+    {!Ir.pp_program} back into a program.
+
+    This closes the binary toolchain round trip — a listing can be dumped,
+    edited by hand (the workflow the paper's GUI supports at the source
+    level), and re-assembled:
+
+    {[
+      let text = Format.asprintf "%a" Ir.pp_program prog in
+      let prog' = Asm.parse_exn text in
+      (* prog' is structurally identical to prog *)
+    ]}
+
+    The grammar is exactly the printer's output: a program prologue line
+    [; program main=NAME fheap=N iheap=N], per-function headers
+    [mod:name()  ; fid=... fargs=... iargs=... frets=[...] irets=[...]
+    fregs=... iregs=...], block headers [.Bk (label L) <entry>:],
+    instruction lines [0xADDR  mnemonic operands], and terminator lines.
+    Blank lines are ignored. Addresses and labels are preserved. *)
+
+val parse : string -> (Ir.program, string) result
+(** Errors carry a line number and description. The resulting program is
+    validated with {!Ir.validate}. *)
+
+val parse_exn : string -> Ir.program
+(** Raises [Invalid_argument] on parse or validation errors. *)

@@ -1,0 +1,381 @@
+type prec = D | S
+
+type fbinop = Add | Sub | Mul | Div | Min | Max
+type funop = Sqrt | Neg | Abs
+type flibm = Sin | Cos | Tan | Exp | Log | Atan
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+type ibinop =
+  | Iadd
+  | Isub
+  | Imul
+  | Idiv
+  | Irem
+  | Iand
+  | Ior
+  | Ixor
+  | Ishl
+  | Ishr
+  | Imax
+  | Imin
+
+type mem = { base : int option; index : int option; scale : int; offset : int }
+
+type call = {
+  callee : int;
+  fargs : int array;
+  iargs : int array;
+  frets : int array;
+  irets : int array;
+}
+
+type op =
+  | Fbin of prec * fbinop * int * int * int
+  | Fbinp of prec * fbinop * int * int * int
+  | Funop of prec * funop * int * int
+  | Flibm of prec * flibm * int * int
+  | Fcmp of prec * cmpop * int * int * int
+  | Fconst of prec * int * float
+  | Fmov of int * int
+  | Fload of int * mem
+  | Fstore of mem * int
+  | Fcvt_i2f of prec * int * int
+  | Fcvt_f2i of prec * int * int
+  | Ibin of ibinop * int * int * int
+  | Icmp of cmpop * int * int * int
+  | Iconst of int * int
+  | Imov of int * int
+  | Iload of int * mem
+  | Istore of mem * int
+  | Call of call
+  | Ftestflag of int * int
+  | Fdowncast of int * int
+  | Fupcast of int * int
+  | Fexpo of int * int
+
+type terminator = Jmp of int | Br of int * int * int | Ret
+
+type instr = { addr : int; op : op }
+type block = { label : int; instrs : instr array; term : terminator }
+
+type func = {
+  fid : int;
+  fname : string;
+  module_name : string;
+  n_fargs : int;
+  n_iargs : int;
+  ret_fregs : int array;
+  ret_iregs : int array;
+  n_fregs : int;
+  n_iregs : int;
+  entry : int;
+  blocks : block array;
+}
+
+type program = {
+  funcs : func array;
+  main : int;
+  fheap_size : int;
+  iheap_size : int;
+  modules : string array;
+}
+
+let is_candidate = function
+  | Fbin _ | Fbinp _ | Funop _ | Flibm _ | Fcmp _ | Fconst _ | Fcvt_i2f _ | Fcvt_f2i _ ->
+      true
+  | Fmov _ | Fload _ | Fstore _ | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _
+  | Istore _ | Call _ | Ftestflag _ | Fdowncast _ | Fupcast _ | Fexpo _ ->
+      false
+
+let is_snippet_op = function
+  | Ftestflag _ | Fdowncast _ | Fupcast _ | Fexpo _ -> true
+  | Fbin _ | Fbinp _ | Funop _ | Flibm _ | Fcmp _ | Fconst _ | Fcvt_i2f _ | Fcvt_f2i _ | Fmov _
+  | Fload _ | Fstore _ | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _ | Istore _
+  | Call _ ->
+      false
+
+let defined_fregs = function
+  | Fbinp (_, _, d, _, _) -> [ d; d + 1 ]
+  | Fbin (_, _, d, _, _)
+  | Funop (_, _, d, _)
+  | Flibm (_, _, d, _)
+  | Fconst (_, d, _)
+  | Fmov (d, _)
+  | Fload (d, _)
+  | Fcvt_i2f (_, d, _)
+  | Fdowncast (d, _)
+  | Fupcast (d, _) ->
+      [ d ]
+  | Call { frets; _ } -> Array.to_list frets
+  | Fcmp _ | Fstore _ | Fcvt_f2i _ | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _
+  | Istore _ | Ftestflag _ | Fexpo _ ->
+      []
+
+let used_fregs = function
+  | Fbinp (_, _, _, a, b) -> [ a; a + 1; b; b + 1 ]
+  | Fbin (_, _, _, a, b) | Fcmp (_, _, _, a, b) -> [ a; b ]
+  | Funop (_, _, _, a)
+  | Flibm (_, _, _, a)
+  | Fmov (_, a)
+  | Fstore (_, a)
+  | Fcvt_f2i (_, _, a)
+  | Ftestflag (_, a)
+  | Fdowncast (_, a)
+  | Fupcast (_, a)
+  | Fexpo (_, a) ->
+      [ a ]
+  | Call { fargs; _ } -> Array.to_list fargs
+  | Fconst _ | Fload _ | Fcvt_i2f _ | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _
+  | Istore _ ->
+      []
+
+let defined_iregs = function
+  | Fbinp _ -> []
+  | Fcmp (_, _, d, _, _)
+  | Fcvt_f2i (_, d, _)
+  | Ibin (_, d, _, _)
+  | Icmp (_, d, _, _)
+  | Iconst (d, _)
+  | Imov (d, _)
+  | Iload (d, _)
+  | Ftestflag (d, _)
+  | Fexpo (d, _) ->
+      [ d ]
+  | Call { irets; _ } -> Array.to_list irets
+  | Fbin _ | Funop _ | Flibm _ | Fconst _ | Fmov _ | Fload _ | Fstore _ | Fcvt_i2f _
+  | Istore _ | Fdowncast _ | Fupcast _ ->
+      []
+
+let mem_iregs { base; index; _ } =
+  (match base with Some r -> [ r ] | None -> [])
+  @ (match index with Some r -> [ r ] | None -> [])
+
+let used_iregs = function
+  | Fbinp _ -> []
+  | Ibin (_, _, a, b) | Icmp (_, _, a, b) -> [ a; b ]
+  | Imov (_, a) | Fcvt_i2f (_, _, a) -> [ a ]
+  | Istore (m, a) -> a :: mem_iregs m
+  | Iload (_, m) | Fload (_, m) | Fstore (m, _) -> mem_iregs m
+  | Call { iargs; _ } -> Array.to_list iargs
+  | Fbin _ | Funop _ | Flibm _ | Fcmp _ | Fconst _ | Fmov _ | Fcvt_f2i _ | Iconst _
+  | Ftestflag _ | Fdowncast _ | Fupcast _ | Fexpo _ ->
+      []
+
+let fbinop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Min -> "min"
+  | Max -> "max"
+
+let funop_name = function Sqrt -> "sqrt" | Neg -> "neg" | Abs -> "abs"
+
+let flibm_name = function
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Tan -> "tan"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Atan -> "atan"
+
+let cmpop_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let ibinop_name = function
+  | Iadd -> "add"
+  | Isub -> "sub"
+  | Imul -> "imul"
+  | Idiv -> "idiv"
+  | Irem -> "irem"
+  | Iand -> "and"
+  | Ior -> "or"
+  | Ixor -> "xor"
+  | Ishl -> "shl"
+  | Ishr -> "shr"
+  | Imax -> "imax"
+  | Imin -> "imin"
+
+let suffix = function D -> "sd" | S -> "ss"
+let psuffix = function D -> "pd" | S -> "ps"
+
+let mnemonic = function
+  | Fbin (p, o, _, _, _) -> fbinop_name o ^ suffix p
+  | Fbinp (p, o, _, _, _) -> fbinop_name o ^ psuffix p
+  | Funop (p, o, _, _) -> funop_name o ^ suffix p
+  | Flibm (p, o, _, _) -> flibm_name o ^ suffix p
+  | Fcmp (p, c, _, _, _) -> "cmp" ^ suffix p ^ "." ^ cmpop_name c
+  | Fconst (p, _, _) -> "mov" ^ suffix p ^ ".imm"
+  | Fmov _ -> "movq"
+  | Fload _ -> "movsd.ld"
+  | Fstore _ -> "movsd.st"
+  | Fcvt_i2f (D, _, _) -> "cvtsi2sd"
+  | Fcvt_i2f (S, _, _) -> "cvtsi2ss"
+  | Fcvt_f2i (D, _, _) -> "cvttsd2si"
+  | Fcvt_f2i (S, _, _) -> "cvttss2si"
+  | Ibin (o, _, _, _) -> ibinop_name o
+  | Icmp (c, _, _, _) -> "cmp." ^ cmpop_name c
+  | Iconst _ -> "mov.imm"
+  | Imov _ -> "mov"
+  | Iload _ -> "mov.ld"
+  | Istore _ -> "mov.st"
+  | Call _ -> "call"
+  | Ftestflag _ -> "testflag"
+  | Fdowncast _ -> "cvtsd2ss.flag"
+  | Fupcast _ -> "cvtss2sd.flag"
+  | Fexpo _ -> "expfield"
+
+let pp_mem ppf { base; index; scale; offset } =
+  let pp_opt ppf = function Some r -> Format.fprintf ppf "i%d" r | None -> () in
+  Format.fprintf ppf "[%d%t%t]" offset
+    (fun ppf -> match base with Some _ -> Format.fprintf ppf "+%a" pp_opt base | None -> ())
+    (fun ppf ->
+      match index with
+      | Some _ -> Format.fprintf ppf "+%a*%d" pp_opt index scale
+      | None -> ())
+
+let pp_op ppf op =
+  let m = mnemonic op in
+  match op with
+  | Fbin (_, _, d, a, b) | Fbinp (_, _, d, a, b) ->
+      Format.fprintf ppf "%s f%d, f%d -> f%d" m a b d
+  | Funop (_, _, d, a) | Flibm (_, _, d, a) -> Format.fprintf ppf "%s f%d -> f%d" m a d
+  | Fcmp (_, _, d, a, b) -> Format.fprintf ppf "%s f%d, f%d -> i%d" m a b d
+  | Fconst (_, d, x) -> Format.fprintf ppf "%s $%h -> f%d" m x d
+  | Fmov (d, a) -> Format.fprintf ppf "%s f%d -> f%d" m a d
+  | Fload (d, mem) -> Format.fprintf ppf "%s %a -> f%d" m pp_mem mem d
+  | Fstore (mem, a) -> Format.fprintf ppf "%s f%d -> %a" m a pp_mem mem
+  | Fcvt_i2f (_, d, a) -> Format.fprintf ppf "%s i%d -> f%d" m a d
+  | Fcvt_f2i (_, d, a) -> Format.fprintf ppf "%s f%d -> i%d" m a d
+  | Ibin (_, d, a, b) | Icmp (_, d, a, b) -> Format.fprintf ppf "%s i%d, i%d -> i%d" m a b d
+  | Iconst (d, x) -> Format.fprintf ppf "%s $%d -> i%d" m x d
+  | Imov (d, a) -> Format.fprintf ppf "%s i%d -> i%d" m a d
+  | Iload (d, mem) -> Format.fprintf ppf "%s %a -> i%d" m pp_mem mem d
+  | Istore (mem, a) -> Format.fprintf ppf "%s i%d -> %a" m a pp_mem mem
+  | Call { callee; fargs; iargs; frets; irets } ->
+      let pp_regs pfx ppf rs =
+        Array.iteri
+          (fun i r -> Format.fprintf ppf "%s%s%d" (if i > 0 then ", " else "") pfx r)
+          rs
+      in
+      Format.fprintf ppf "call @%d (%a%s%a) -> (%a%s%a)" callee (pp_regs "f") fargs
+        (if Array.length fargs > 0 && Array.length iargs > 0 then ", " else "")
+        (pp_regs "i") iargs (pp_regs "f") frets
+        (if Array.length frets > 0 && Array.length irets > 0 then ", " else "")
+        (pp_regs "i") irets
+  | Ftestflag (d, a) | Fexpo (d, a) -> Format.fprintf ppf "%s f%d -> i%d" m a d
+  | Fdowncast (d, a) | Fupcast (d, a) -> Format.fprintf ppf "%s f%d -> f%d" m a d
+
+let disasm op = Format.asprintf "%a" pp_op op
+
+let pp_term ppf = function
+  | Jmp t -> Format.fprintf ppf "jmp .B%d" t
+  | Br (r, t, e) -> Format.fprintf ppf "br i%d ? .B%d : .B%d" r t e
+  | Ret -> Format.pp_print_string ppf "ret"
+
+let pp_program ppf (p : program) =
+  Format.fprintf ppf "; program main=%s fheap=%d iheap=%d@."
+    p.funcs.(p.main).fname p.fheap_size p.iheap_size;
+  Array.iter
+    (fun f ->
+      let regs pfx rs =
+        "["
+        ^ String.concat "," (Array.to_list (Array.map (Printf.sprintf "%s%d" pfx) rs))
+        ^ "]"
+      in
+      Format.fprintf ppf
+        "@[<v>%s:%s()  ; fid=%d fargs=%d iargs=%d frets=%s irets=%s fregs=%d iregs=%d@,"
+        f.module_name f.fname f.fid f.n_fargs f.n_iargs (regs "f" f.ret_fregs)
+        (regs "i" f.ret_iregs) f.n_fregs f.n_iregs;
+      Array.iteri
+        (fun i b ->
+          Format.fprintf ppf ".B%d (label %d)%s:@," i b.label
+            (if i = f.entry then " <entry>" else "");
+          Array.iter
+            (fun { addr; op } -> Format.fprintf ppf "  0x%06x  %a@," addr pp_op op)
+            b.instrs;
+          Format.fprintf ppf "          %a@," pp_term b.term)
+        f.blocks;
+      Format.fprintf ppf "@,@]")
+    p.funcs
+
+let validate (p : program) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let labels = Hashtbl.create 64 in
+  let addrs = Hashtbl.create 256 in
+  if p.main < 0 || p.main >= Array.length p.funcs then err "main fid %d out of range" p.main;
+  Array.iteri
+    (fun fid f ->
+      if f.fid <> fid then err "%s: fid %d at index %d" f.fname f.fid fid;
+      if not (Array.exists (String.equal f.module_name) p.modules) then
+        err "%s: module %S not listed in program modules" f.fname f.module_name;
+      if f.entry < 0 || f.entry >= Array.length f.blocks then
+        err "%s: entry %d out of range" f.fname f.entry;
+      if f.n_fargs > f.n_fregs then err "%s: n_fargs > n_fregs" f.fname;
+      if f.n_iargs > f.n_iregs then err "%s: n_iargs > n_iregs" f.fname;
+      let chk_f r = if r < 0 || r >= f.n_fregs then err "%s: freg f%d out of range" f.fname r in
+      let chk_i r = if r < 0 || r >= f.n_iregs then err "%s: ireg i%d out of range" f.fname r in
+      Array.iter chk_f f.ret_fregs;
+      Array.iter chk_i f.ret_iregs;
+      Array.iter
+        (fun b ->
+          if Hashtbl.mem labels b.label then err "%s: duplicate block label %d" f.fname b.label
+          else Hashtbl.add labels b.label ();
+          Array.iter
+            (fun { addr; op } ->
+              if Hashtbl.mem addrs addr then err "%s: duplicate address 0x%x" f.fname addr
+              else Hashtbl.add addrs addr ();
+              List.iter chk_f (defined_fregs op);
+              List.iter chk_f (used_fregs op);
+              List.iter chk_i (defined_iregs op);
+              List.iter chk_i (used_iregs op);
+              match op with
+              | Call c ->
+                  if c.callee < 0 || c.callee >= Array.length p.funcs then
+                    err "%s: call to unknown fid %d" f.fname c.callee
+                  else begin
+                    let g = p.funcs.(c.callee) in
+                    if Array.length c.fargs <> g.n_fargs then
+                      err "%s: call @%s with %d fargs, expected %d" f.fname g.fname
+                        (Array.length c.fargs) g.n_fargs;
+                    if Array.length c.iargs <> g.n_iargs then
+                      err "%s: call @%s with %d iargs, expected %d" f.fname g.fname
+                        (Array.length c.iargs) g.n_iargs;
+                    if Array.length c.frets <> Array.length g.ret_fregs then
+                      err "%s: call @%s receives %d frets, callee returns %d" f.fname g.fname
+                        (Array.length c.frets) (Array.length g.ret_fregs);
+                    if Array.length c.irets <> Array.length g.ret_iregs then
+                      err "%s: call @%s receives %d irets, callee returns %d" f.fname g.fname
+                        (Array.length c.irets) (Array.length g.ret_iregs)
+                  end
+              | _ -> ())
+            b.instrs;
+          let chk_target t =
+            if t < 0 || t >= Array.length f.blocks then
+              err "%s: branch target %d out of range" f.fname t
+          in
+          match b.term with
+          | Jmp t -> chk_target t
+          | Br (r, t, e) ->
+              chk_i r;
+              chk_target t;
+              chk_target e
+          | Ret -> ())
+        f.blocks)
+    p.funcs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let validate_exn p =
+  match validate p with
+  | Ok () -> p
+  | Error es -> invalid_arg ("Ir.validate: " ^ String.concat "; " es)
+
+let find_func p name =
+  match Array.find_opt (fun f -> String.equal f.fname name) p.funcs with
+  | Some f -> f
+  | None -> raise Not_found

@@ -1,0 +1,98 @@
+type insn_info = {
+  addr : int;
+  fid : int;
+  fname : string;
+  module_name : string;
+  block_label : int;
+  disasm : string;
+}
+
+type node =
+  | Module of string * node list
+  | Func of int * string * node list
+  | Block of int * node list
+  | Insn of insn_info
+
+let candidates (p : Ir.program) =
+  let acc = ref [] in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun ({ addr; op } : Ir.instr) ->
+              if Ir.is_candidate op then
+                acc :=
+                  {
+                    addr;
+                    fid = f.fid;
+                    fname = f.fname;
+                    module_name = f.module_name;
+                    block_label = b.label;
+                    disasm = Ir.disasm op;
+                  }
+                  :: !acc)
+            b.instrs)
+        f.blocks)
+    p.funcs;
+  Array.of_list (List.rev !acc)
+
+let tree (p : Ir.program) =
+  let func_node (f : Ir.func) =
+    let blocks =
+      Array.to_list f.blocks
+      |> List.filter_map (fun (b : Ir.block) ->
+             let insns =
+               Array.to_list b.instrs
+               |> List.filter_map (fun ({ addr; op } : Ir.instr) ->
+                      if Ir.is_candidate op then
+                        Some
+                          (Insn
+                             {
+                               addr;
+                               fid = f.fid;
+                               fname = f.fname;
+                               module_name = f.module_name;
+                               block_label = b.label;
+                               disasm = Ir.disasm op;
+                             })
+                      else None)
+             in
+             if insns = [] then None else Some (Block (b.label, insns)))
+    in
+    if blocks = [] then None else Some (Func (f.fid, f.fname, blocks))
+  in
+  Array.to_list p.modules
+  |> List.filter_map (fun m ->
+         let funcs =
+           Array.to_list p.funcs
+           |> List.filter (fun (f : Ir.func) -> String.equal f.module_name m)
+           |> List.filter_map func_node
+         in
+         if funcs = [] then None else Some (Module (m, funcs)))
+
+let max_addr (p : Ir.program) =
+  Array.fold_left
+    (fun acc (f : Ir.func) ->
+      Array.fold_left
+        (fun acc (b : Ir.block) ->
+          Array.fold_left (fun acc (i : Ir.instr) -> max acc i.addr) acc b.instrs)
+        acc f.blocks)
+    0 p.funcs
+
+let insn_count (p : Ir.program) =
+  Array.fold_left
+    (fun acc (f : Ir.func) ->
+      Array.fold_left (fun acc (b : Ir.block) -> acc + Array.length b.instrs) acc f.blocks)
+    0 p.funcs
+
+let rec node_insns = function
+  | Insn i -> [ i ]
+  | Block (_, children) | Func (_, _, children) | Module (_, children) ->
+      List.concat_map node_insns children
+
+let node_name = function
+  | Module (m, _) -> Printf.sprintf "MODULE %s" m
+  | Func (fid, name, _) -> Printf.sprintf "FUNC%02d %s" (fid + 1) name
+  | Block (label, _) -> Printf.sprintf "BBLK%02d" label
+  | Insn { addr; _ } -> Printf.sprintf "INSN 0x%06x" addr

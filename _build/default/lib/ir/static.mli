@@ -1,0 +1,39 @@
+(** Static analysis over the IR: enumeration of replacement candidates and
+    the module/function/block/instruction structure tree that configurations
+    and the search descend through (paper §2.1–2.2). *)
+
+type insn_info = {
+  addr : int;
+  fid : int;
+  fname : string;
+  module_name : string;
+  block_label : int;
+  disasm : string;
+}
+
+type node =
+  | Module of string * node list
+  | Func of int * string * node list  (** fid, name *)
+  | Block of int * node list  (** label *)
+  | Insn of insn_info
+
+val candidates : Ir.program -> insn_info array
+(** All double-precision candidate instructions (the paper's set [Pd]), in
+    program order. *)
+
+val tree : Ir.program -> node list
+(** The structure tree, one [Module] per program module. Only candidate
+    instructions appear as leaves; blocks and functions without any
+    candidate are omitted (they offer nothing to configure). *)
+
+val max_addr : Ir.program -> int
+(** Largest instruction address in the program (for counter arrays). *)
+
+val insn_count : Ir.program -> int
+
+val node_insns : node -> insn_info list
+(** All candidate instructions contained in a structure node. *)
+
+val node_name : node -> string
+(** Display name, e.g. ["MODULE cg"], ["FUNC02 spmv"], ["BBLK07"],
+    ["INSN 0x0001f2"]. *)

@@ -1,0 +1,1 @@
+lib/kernels/amg_kernel.ml: Array Builder Config Kernel Mpi_model Rng Vm

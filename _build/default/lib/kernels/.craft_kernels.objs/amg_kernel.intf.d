@@ -1,0 +1,1 @@
+lib/kernels/amg_kernel.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Array Bfs Config Int64 Ir Mpi_model Patcher To_single Vm

@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Bfs Config Ir Mpi_model Vm

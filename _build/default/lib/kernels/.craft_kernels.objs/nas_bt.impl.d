@@ -1,0 +1,1 @@
+lib/kernels/nas_bt.ml: Array Builder Config Kernel Mpi_model Rng Stats Vm

@@ -1,0 +1,1 @@
+lib/kernels/nas_cg.ml: Array Builder Config Float Kernel Mpi_model Sparse_gen Vm

@@ -1,0 +1,1 @@
+lib/kernels/nas_ep.ml: Array Builder Config Float Kernel Mpi_model Vm

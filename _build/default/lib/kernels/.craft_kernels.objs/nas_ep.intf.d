@@ -1,0 +1,1 @@
+lib/kernels/nas_ep.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/nas_ft.ml: Array Builder Config Float Kernel List Mpi_model Rng Vm

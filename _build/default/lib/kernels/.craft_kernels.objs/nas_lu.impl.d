@@ -1,0 +1,1 @@
+lib/kernels/nas_lu.ml: Array Builder Config Kernel Mpi_model Rng Stats Vm

@@ -1,0 +1,1 @@
+lib/kernels/nas_mg.ml: Array Builder Config Float Kernel Mpi_model Rng Vm

@@ -1,0 +1,1 @@
+lib/kernels/nas_sp.ml: Array Builder Config Kernel Mpi_model Rng Stats Vm

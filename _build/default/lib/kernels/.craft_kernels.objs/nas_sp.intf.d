@@ -1,0 +1,1 @@
+lib/kernels/nas_sp.mli: Kernel

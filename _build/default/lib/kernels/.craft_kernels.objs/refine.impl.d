@@ -1,0 +1,1 @@
+lib/kernels/refine.ml: Array Builder Config Cost Float Ir List Patcher Rng Stats To_single Vm

@@ -1,0 +1,1 @@
+lib/kernels/refine.mli: Config Cost Ir Vm

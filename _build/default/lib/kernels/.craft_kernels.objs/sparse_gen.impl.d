@@ -1,0 +1,1 @@
+lib/kernels/sparse_gen.ml: Array Float Hashtbl List Rng

@@ -1,0 +1,142 @@
+type sizes = { n : int; maxiter : int; omega : float; target : float }
+
+let default_sizes = { n = 48; maxiter = 600; omega = 1.85; target = 1e-4 }
+
+let input_f ~seed n =
+  let rng = Rng.create seed in
+  Array.init (n * n) (fun k ->
+      let i = k / n and j = k mod n in
+      if i = 0 || j = 0 || i = n - 1 || j = n - 1 then 0.0
+      else (2.0 *. Rng.uniform rng) -. 1.0)
+
+(* ---------- host reference ---------- *)
+
+let host_reference ~seed sz =
+  let n = sz.n in
+  let u = Array.make (n * n) 0.0 in
+  let f = input_f ~seed n in
+  let quarter_omega = sz.omega /. 4.0 in
+  let relax_sweep () =
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        let c = (i * n) + j in
+        let au = (4.0 *. u.(c)) -. u.(c - n) -. u.(c + n) -. u.(c - 1) -. u.(c + 1) in
+        u.(c) <- u.(c) +. (quarter_omega *. (f.(c) -. au))
+      done
+    done
+  in
+  let res2 () =
+    let acc = ref 0.0 in
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        let c = (i * n) + j in
+        let au = (4.0 *. u.(c)) -. u.(c - n) -. u.(c + n) -. u.(c - 1) -. u.(c + 1) in
+        let r = f.(c) -. au in
+        acc := !acc +. (r *. r)
+      done
+    done;
+    !acc
+  in
+  let r0 = res2 () in
+  let bound = sz.target *. sz.target *. r0 in
+  let iters = ref 0 in
+  let rn = ref r0 in
+  while !iters < sz.maxiter && !rn > bound do
+    relax_sweep ();
+    rn := res2 ();
+    incr iters
+  done;
+  [| sqrt (!rn /. r0); float_of_int !iters |]
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let n = sz.n in
+  let t = Builder.create () in
+  let ub = Builder.alloc_f t (n * n) in
+  let fb = Builder.alloc_f t (n * n) in
+  let out = Builder.alloc_f t 2 in
+  let open Builder in
+  let stencil b c =
+    let four = fconst b 4.0 in
+    let u0 = loadf b (dyn_idx (iconst b ub) c) in
+    let un = loadf b (dyn_idx (iconst b ub) (isub b c (iconst b n))) in
+    let us = loadf b (dyn_idx (iconst b ub) (iadd b c (iconst b n))) in
+    let uw = loadf b (dyn_idx (iconst b ub) (isub b c (iconst b 1))) in
+    let ue = loadf b (dyn_idx (iconst b ub) (iadd b c (iconst b 1))) in
+    fsub b (fsub b (fsub b (fsub b (fmul b four u0) un) us) uw) ue
+  in
+  let relax =
+    func t ~module_:"amg" "relax" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let w4 = fconst b (sz.omega /. 4.0) in
+        for_range b 1 (n - 1) (fun i ->
+            for_range b 1 (n - 1) (fun j ->
+                let c = iadd b (imulc b i n) j in
+                let au = stencil b c in
+                let fv = loadf b (dyn_idx (iconst b fb) c) in
+                let u0 = loadf b (dyn_idx (iconst b ub) c) in
+                storef b (dyn_idx (iconst b ub) c) (fadd b u0 (fmul b w4 (fsub b fv au))))))
+  in
+  let res2 =
+    func t ~module_:"amg" "res2" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let acc = freshf b in
+        setf b acc (fconst b 0.0);
+        for_range b 1 (n - 1) (fun i ->
+            for_range b 1 (n - 1) (fun j ->
+                let c = iadd b (imulc b i n) j in
+                let au = stencil b c in
+                let fv = loadf b (dyn_idx (iconst b fb) c) in
+                let r = fsub b fv au in
+                setf b acc (fadd b acc (fmul b r r))));
+        ret b ~f:[ acc ] ())
+  in
+  let main =
+    func t ~module_:"amg" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let r0v, _ = call b res2 ~fargs:[] ~iargs:[] in
+        let r0 = r0v.(0) in
+        let tgt = fconst b (sz.target *. sz.target) in
+        let bound = fmul b tgt r0 in
+        let rn = freshf b in
+        setf b rn r0;
+        let iters = freshi b in
+        seti b iters (iconst b 0);
+        let maxiter = iconst b sz.maxiter in
+        while_ b
+          (fun () ->
+            let more = ilt b iters maxiter in
+            let unconverged = fgt b rn bound in
+            iand b more unconverged)
+          (fun () ->
+            let _ = call b relax ~fargs:[] ~iargs:[] in
+            let rv, _ = call b res2 ~fargs:[] ~iargs:[] in
+            setf b rn rv.(0);
+            seti b iters (iaddc b iters 1));
+        storef b (at out) (fsqrt b (fdiv b rn r0));
+        storef b (at (out + 1)) (i2f b iters))
+  in
+  let prog = Builder.program t ~main in
+  (prog, fb, out)
+
+let make ?(sizes = default_sizes) () =
+  let sz = sizes in
+  let seed = 2100 + sz.n in
+  let program, fb, out = build sz in
+  let fin = input_f ~seed sz.n in
+  let reference = host_reference ~seed sz in
+  let verify res =
+    (* adaptive acceptance: converged within the iteration budget *)
+    res.(0) <= sz.target && res.(1) < float_of_int sz.maxiter
+  in
+  {
+    Kernel.name = "amg";
+    program;
+    setup = (fun vm -> Vm.write_f vm fb fin);
+    output = (fun vm -> Vm.read_f vm out 2);
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net -> Mpi_model.halo net ~ranks ~bytes_boundary:(8.0 *. float_of_int sz.n));
+  }
+
+let iterations out = int_of_float out.(1)

@@ -1,0 +1,289 @@
+type sizes = { lines : int; len : int; tol : float }
+
+let sizes = function
+  | Kernel.W -> { lines = 8; len = 16; tol = 2e-7 }
+  | Kernel.A -> { lines = 16; len = 32; tol = 4e-7 }
+  | Kernel.C -> { lines = 24; len = 48; tol = 4e-7 }
+
+(* ---------- shared data generation ---------- *)
+
+type data = {
+  ablk : float array;  (** M*L*9 sub-diagonal blocks (block 0 unused) *)
+  bblk : float array;  (** M*L*9 diagonal blocks *)
+  cblk : float array;  (** M*L*9 super-diagonal blocks (last unused) *)
+  rhs : float array;  (** M*L*3 *)
+  xtrue : float array;  (** M*L*3 *)
+}
+
+let gen ~seed sz =
+  let m = sz.lines and l = sz.len in
+  let rng = Rng.create seed in
+  let rnd () = Rng.uniform rng -. 0.5 in
+  let ablk = Array.init (m * l * 9) (fun _ -> rnd ()) in
+  let cblk = Array.init (m * l * 9) (fun _ -> rnd ()) in
+  let bblk = Array.init (m * l * 9) (fun _ -> rnd ()) in
+  (* diagonal dominance *)
+  for k = 0 to (m * l) - 1 do
+    for i = 0 to 2 do
+      bblk.((k * 9) + (i * 3) + i) <- bblk.((k * 9) + (i * 3) + i) +. 6.0
+    done
+  done;
+  let xtrue = Array.init (m * l * 3) (fun _ -> rnd ()) in
+  let rhs = Array.make (m * l * 3) 0.0 in
+  (* rhs = A x_{k-1} + B x_k + C x_{k+1}, double precision, host side *)
+  for line = 0 to m - 1 do
+    for k = 0 to l - 1 do
+      let blk = (line * l) + k in
+      for i = 0 to 2 do
+        let acc = ref 0.0 in
+        for j = 0 to 2 do
+          acc := !acc +. (bblk.((blk * 9) + (i * 3) + j) *. xtrue.((blk * 3) + j))
+        done;
+        if k > 0 then
+          for j = 0 to 2 do
+            acc := !acc +. (ablk.((blk * 9) + (i * 3) + j) *. xtrue.(((blk - 1) * 3) + j))
+          done;
+        if k < l - 1 then
+          for j = 0 to 2 do
+            acc := !acc +. (cblk.((blk * 9) + (i * 3) + j) *. xtrue.(((blk + 1) * 3) + j))
+          done;
+        rhs.((blk * 3) + i) <- !acc
+      done
+    done
+  done;
+  { ablk; bblk; cblk; rhs; xtrue }
+
+(* ---------- host reference (op-for-op identical to the IR) ---------- *)
+
+let h_inv3 (m : float array) mo (inv : float array) io =
+  let g k = m.(mo + k) in
+  let c0 = (g 4 *. g 8) -. (g 5 *. g 7) in
+  let c1 = (g 5 *. g 6) -. (g 3 *. g 8) in
+  let c2 = (g 3 *. g 7) -. (g 4 *. g 6) in
+  let det = ((g 0 *. c0) +. (g 1 *. c1)) +. (g 2 *. c2) in
+  let invdet = 1.0 /. det in
+  inv.(io + 0) <- c0 *. invdet;
+  inv.(io + 1) <- ((g 2 *. g 7) -. (g 1 *. g 8)) *. invdet;
+  inv.(io + 2) <- ((g 1 *. g 5) -. (g 2 *. g 4)) *. invdet;
+  inv.(io + 3) <- c1 *. invdet;
+  inv.(io + 4) <- ((g 0 *. g 8) -. (g 2 *. g 6)) *. invdet;
+  inv.(io + 5) <- ((g 2 *. g 3) -. (g 0 *. g 5)) *. invdet;
+  inv.(io + 6) <- c2 *. invdet;
+  inv.(io + 7) <- ((g 1 *. g 6) -. (g 0 *. g 7)) *. invdet;
+  inv.(io + 8) <- ((g 0 *. g 4) -. (g 1 *. g 3)) *. invdet
+
+let h_matmul3 (d : float array) dofs (a : float array) ao (b : float array) bo =
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let t1 = a.(ao + (i * 3)) *. b.(bo + j) in
+      let t2 = a.(ao + (i * 3) + 1) *. b.(bo + 3 + j) in
+      let t3 = a.(ao + (i * 3) + 2) *. b.(bo + 6 + j) in
+      d.(dofs + (i * 3) + j) <- (t1 +. t2) +. t3
+    done
+  done
+
+let h_matvec3 (d : float array) dofs (a : float array) ao (v : float array) vo =
+  for i = 0 to 2 do
+    let t1 = a.(ao + (i * 3)) *. v.(vo) in
+    let t2 = a.(ao + (i * 3) + 1) *. v.(vo + 1) in
+    let t3 = a.(ao + (i * 3) + 2) *. v.(vo + 2) in
+    d.(dofs + i) <- (t1 +. t2) +. t3
+  done
+
+let host_solve sz (data : data) =
+  let m = sz.lines and l = sz.len in
+  let x = Array.make (m * l * 3) 0.0 in
+  let w = Array.make (l * 9) 0.0 in
+  let g = Array.make (l * 3) 0.0 in
+  let bp = Array.make 9 0.0 in
+  let binv = Array.make 9 0.0 in
+  let t9 = Array.make 9 0.0 in
+  let t3 = Array.make 3 0.0 in
+  let tv = Array.make 3 0.0 in
+  for line = 0 to m - 1 do
+    for k = 0 to l - 1 do
+      let blk = (line * l) + k in
+      Array.blit data.bblk (blk * 9) bp 0 9;
+      Array.blit data.rhs (blk * 3) t3 0 3;
+      if k > 0 then begin
+        h_matmul3 t9 0 data.ablk (blk * 9) w ((k - 1) * 9);
+        for e = 0 to 8 do
+          bp.(e) <- bp.(e) -. t9.(e)
+        done;
+        h_matvec3 tv 0 data.ablk (blk * 9) g ((k - 1) * 3);
+        for e = 0 to 2 do
+          t3.(e) <- t3.(e) -. tv.(e)
+        done
+      end;
+      h_inv3 bp 0 binv 0;
+      if k < l - 1 then h_matmul3 w (k * 9) binv 0 data.cblk (blk * 9);
+      h_matvec3 g (k * 3) binv 0 t3 0
+    done;
+    (* back substitution *)
+    let last = (line * l) + (l - 1) in
+    Array.blit g ((l - 1) * 3) x (last * 3) 3;
+    for k = l - 2 downto 0 do
+      let blk = (line * l) + k in
+      h_matvec3 tv 0 w (k * 9) x ((blk + 1) * 3);
+      for e = 0 to 2 do
+        x.((blk * 3) + e) <- g.((k * 3) + e) -. tv.(e)
+      done
+    done
+  done;
+  x
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let m = sz.lines and l = sz.len in
+  let t = Builder.create () in
+  let ab = Builder.alloc_f t (m * l * 9) in
+  let bb = Builder.alloc_f t (m * l * 9) in
+  let cb = Builder.alloc_f t (m * l * 9) in
+  let db = Builder.alloc_f t (m * l * 3) in
+  let xb = Builder.alloc_f t (m * l * 3) in
+  let wb = Builder.alloc_f t (l * 9) in
+  let gb = Builder.alloc_f t (l * 3) in
+  let bpb = Builder.alloc_f t 9 in
+  let bib = Builder.alloc_f t 9 in
+  let t9b = Builder.alloc_f t 9 in
+  let t3b = Builder.alloc_f t 3 in
+  let tvb = Builder.alloc_f t 3 in
+  let open Builder in
+  let inv3 =
+    func t ~module_:"bt" "inv3" ~nf_args:0 ~ni_args:2 (fun b _ ia ->
+        let src = ia.(0) and dst = ia.(1) in
+        let g k = loadf b (dyn_off src k) in
+        let m0 = g 0 and m1 = g 1 and m2 = g 2 in
+        let m3 = g 3 and m4 = g 4 and m5 = g 5 in
+        let m6 = g 6 and m7 = g 7 and m8 = g 8 in
+        let c0 = fsub b (fmul b m4 m8) (fmul b m5 m7) in
+        let c1 = fsub b (fmul b m5 m6) (fmul b m3 m8) in
+        let c2 = fsub b (fmul b m3 m7) (fmul b m4 m6) in
+        let det = fadd b (fadd b (fmul b m0 c0) (fmul b m1 c1)) (fmul b m2 c2) in
+        let invdet = fdiv b (fconst b 1.0) det in
+        let put k v = storef b (dyn_off dst k) (fmul b v invdet) in
+        put 0 c0;
+        put 1 (fsub b (fmul b m2 m7) (fmul b m1 m8));
+        put 2 (fsub b (fmul b m1 m5) (fmul b m2 m4));
+        put 3 c1;
+        put 4 (fsub b (fmul b m0 m8) (fmul b m2 m6));
+        put 5 (fsub b (fmul b m2 m3) (fmul b m0 m5));
+        put 6 c2;
+        put 7 (fsub b (fmul b m1 m6) (fmul b m0 m7));
+        put 8 (fsub b (fmul b m0 m4) (fmul b m1 m3)))
+  in
+  let matmul3 =
+    func t ~module_:"bt" "matmul3" ~nf_args:0 ~ni_args:3 (fun b _ ia ->
+        let dst = ia.(0) and a = ia.(1) and bm = ia.(2) in
+        for i = 0 to 2 do
+          for j = 0 to 2 do
+            let t1 = fmul b (loadf b (dyn_off a (i * 3))) (loadf b (dyn_off bm j)) in
+            let t2 =
+              fmul b (loadf b (dyn_off a ((i * 3) + 1))) (loadf b (dyn_off bm (3 + j)))
+            in
+            let t3 =
+              fmul b (loadf b (dyn_off a ((i * 3) + 2))) (loadf b (dyn_off bm (6 + j)))
+            in
+            storef b (dyn_off dst ((i * 3) + j)) (fadd b (fadd b t1 t2) t3)
+          done
+        done)
+  in
+  let matvec3 =
+    func t ~module_:"bt" "matvec3" ~nf_args:0 ~ni_args:3 (fun b _ ia ->
+        let dst = ia.(0) and a = ia.(1) and v = ia.(2) in
+        for i = 0 to 2 do
+          let t1 = fmul b (loadf b (dyn_off a (i * 3))) (loadf b (dyn_off v 0)) in
+          let t2 = fmul b (loadf b (dyn_off a ((i * 3) + 1))) (loadf b (dyn_off v 1)) in
+          let t3 = fmul b (loadf b (dyn_off a ((i * 3) + 2))) (loadf b (dyn_off v 2)) in
+          storef b (dyn_off dst i) (fadd b (fadd b t1 t2) t3)
+        done)
+  in
+  let solve_line =
+    func t ~module_:"bt" "solve_line" ~nf_args:0 ~ni_args:1 (fun b _ ia ->
+        let line = ia.(0) in
+        let line_l = imulc b line l in
+        let bp = iconst b bpb and bi = iconst b bib in
+        let t9r = iconst b t9b and t3r = iconst b t3b and tvr = iconst b tvb in
+        for_range b 0 l (fun k ->
+            let blk = iadd b line_l k in
+            let blk9 = imulc b blk 9 in
+            let blk3 = imulc b blk 3 in
+            (* bp <- B_blk ; t3 <- d_blk *)
+            for_range b 0 9 (fun e ->
+                storef b (dyn_idx bp e) (loadf b (dyn_idx (iaddc b blk9 bb) e)));
+            for_range b 0 3 (fun e ->
+                storef b (dyn_idx t3r e) (loadf b (dyn_idx (iaddc b blk3 db) e)));
+            when_ b (igt b k (iconst b 0)) (fun () ->
+                let abase = iaddc b blk9 ab in
+                let k1 = isub b k (iconst b 1) in
+                let wprev = iaddc b (imulc b k1 9) wb in
+                let _ = call b matmul3 ~fargs:[] ~iargs:[ t9r; abase; wprev ] in
+                for_range b 0 9 (fun e ->
+                    let v = fsub b (loadf b (dyn_idx bp e)) (loadf b (dyn_idx t9r e)) in
+                    storef b (dyn_idx bp e) v);
+                let gprev = iaddc b (imulc b k1 3) gb in
+                let _ = call b matvec3 ~fargs:[] ~iargs:[ tvr; abase; gprev ] in
+                for_range b 0 3 (fun e ->
+                    let v = fsub b (loadf b (dyn_idx t3r e)) (loadf b (dyn_idx tvr e)) in
+                    storef b (dyn_idx t3r e) v));
+            let _ = call b inv3 ~fargs:[] ~iargs:[ bp; bi ] in
+            when_ b (ilt b k (iconst b (l - 1))) (fun () ->
+                let wk = iaddc b (imulc b k 9) wb in
+                let cbase = iaddc b blk9 cb in
+                let _ = call b matmul3 ~fargs:[] ~iargs:[ wk; bi; cbase ] in
+                ());
+            let gk = iaddc b (imulc b k 3) gb in
+            let _ = call b matvec3 ~fargs:[] ~iargs:[ gk; bi; t3r ] in
+            ());
+        (* back substitution *)
+        let lastblk = iadd b line_l (iconst b (l - 1)) in
+        let xlast = iaddc b (imulc b lastblk 3) xb in
+        let glast = iconst b (gb + ((l - 1) * 3)) in
+        for_range b 0 3 (fun e ->
+            storef b (dyn_idx xlast e) (loadf b (dyn_idx glast e)));
+        for_down b (iconst b (l - 1)) (iconst b 0) (fun k ->
+            let blk = iadd b line_l k in
+            let wk = iaddc b (imulc b k 9) wb in
+            let xnext = iaddc b (imulc b (iadd b blk (iconst b 1)) 3) xb in
+            let _ = call b matvec3 ~fargs:[] ~iargs:[ tvr; wk; xnext ] in
+            let gk = iaddc b (imulc b k 3) gb in
+            let xk = iaddc b (imulc b blk 3) xb in
+            for_range b 0 3 (fun e ->
+                let v = fsub b (loadf b (dyn_idx gk e)) (loadf b (dyn_idx tvr e)) in
+                storef b (dyn_idx xk e) v)))
+  in
+  let main =
+    func t ~module_:"bt" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 m (fun line ->
+            let _ = call b solve_line ~fargs:[] ~iargs:[ line ] in
+            ()))
+  in
+  let prog = Builder.program t ~main in
+  (prog, ab, bb, cb, db, xb)
+
+let make cls =
+  let sz = sizes cls in
+  let data = gen ~seed:(500 + sz.lines) sz in
+  let program, ab, bb, cb, db, xb = build sz in
+  let reference = host_solve sz data in
+  let nx = Array.length reference in
+  let verify res = Stats.rel_err_inf res data.xtrue <= sz.tol in
+  {
+    Kernel.name = "bt." ^ Kernel.class_name cls;
+    program;
+    setup =
+      (fun vm ->
+        Vm.write_f vm ab data.ablk;
+        Vm.write_f vm bb data.bblk;
+        Vm.write_f vm cb data.cblk;
+        Vm.write_f vm db data.rhs);
+    output = (fun vm -> Vm.read_f vm xb nx);
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        (* line-sweep face exchanges, once per solve *)
+        2.0 *. Mpi_model.halo net ~ranks ~bytes_boundary:(24.0 *. float_of_int sz.lines));
+  }

@@ -1,0 +1,240 @@
+type sizes = { n : int; extras : int; outer : int; inner : int; shift : float }
+
+let sizes = function
+  | Kernel.W -> { n = 128; extras = 2; outer = 3; inner = 8; shift = 10.0 }
+  | Kernel.A -> { n = 384; extras = 3; outer = 4; inner = 10; shift = 12.0 }
+  | Kernel.C -> { n = 1280; extras = 4; outer = 6; inner = 14; shift = 20.0 }
+
+(* Host reference, op-for-op identical to the IR program. *)
+let host_reference (a : Sparse_gen.csr) sz =
+  let n = sz.n in
+  let x = Array.make n 1.0 in
+  let z = Array.make n 0.0 in
+  let r = Array.make n 0.0 in
+  let p = Array.make n 0.0 in
+  let q = Array.make n 0.0 in
+  let dot u v =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (u.(i) *. v.(i))
+    done;
+    !acc
+  in
+  let cgsolve () =
+    for i = 0 to n - 1 do
+      z.(i) <- 0.0;
+      r.(i) <- x.(i);
+      p.(i) <- x.(i)
+    done;
+    let rho = ref (dot r r) in
+    for _ = 1 to sz.inner do
+      Sparse_gen.spmv a p q;
+      let d = dot p q in
+      let alpha = !rho /. d in
+      for i = 0 to n - 1 do
+        z.(i) <- z.(i) +. (alpha *. p.(i))
+      done;
+      for i = 0 to n - 1 do
+        r.(i) <- r.(i) -. (alpha *. q.(i))
+      done;
+      let rho0 = !rho in
+      rho := dot r r;
+      let beta = !rho /. rho0 in
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. p.(i))
+      done
+    done;
+    Sparse_gen.spmv a z q;
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let t = x.(i) -. q.(i) in
+      acc := !acc +. (t *. t)
+    done;
+    sqrt !acc
+  in
+  let zeta = ref 0.0 and rnorm = ref 0.0 in
+  for _ = 1 to sz.outer do
+    rnorm := cgsolve ();
+    let d = dot x z in
+    zeta := sz.shift +. (1.0 /. d);
+    let znorm = sqrt (dot z z) in
+    let inv = 1.0 /. znorm in
+    for i = 0 to n - 1 do
+      x.(i) <- z.(i) *. inv
+    done
+  done;
+  (* cold diagnostics pass (trace, Frobenius norm, extremal diagonal) *)
+  let tr = ref 0.0 and fro = ref 0.0 and dmin = ref infinity and dmax = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for k = a.rowptr.(i) to a.rowptr.(i + 1) - 1 do
+      let v = a.value.(k) in
+      fro := !fro +. (v *. v);
+      if a.col.(k) = i then begin
+        tr := !tr +. v;
+        dmin := Float.min !dmin v;
+        dmax := Float.max !dmax v
+      end
+    done
+  done;
+  [| !zeta; !rnorm; !tr; sqrt !fro; !dmin; !dmax |]
+
+let build (a : Sparse_gen.csr) sz =
+  let n = sz.n in
+  let nnz = Array.length a.value in
+  let t = Builder.create () in
+  let ip = Builder.alloc_i t (n + 1) in
+  let ic = Builder.alloc_i t nnz in
+  let av = Builder.alloc_f t nnz in
+  let xb = Builder.alloc_f t n in
+  let zb = Builder.alloc_f t n in
+  let rb = Builder.alloc_f t n in
+  let pb = Builder.alloc_f t n in
+  let qb = Builder.alloc_f t n in
+  let out = Builder.alloc_f t 6 in
+  let open Builder in
+  (* y[dst..] <- A * x[src..] *)
+  let spmv =
+    func t ~module_:"cglib" "spmv" ~nf_args:0 ~ni_args:2 (fun b _ iargs ->
+        let dst = iargs.(0) and src = iargs.(1) in
+        let zero = fconst b 0.0 in
+        for_range b 0 n (fun i ->
+            let acc = freshf b in
+            setf b acc zero;
+            let k0 = loadi b (idx ip i) in
+            let k1 = loadi b (idx (ip + 1) i) in
+            for_ b k0 k1 (fun k ->
+                let j = loadi b (idx ic k) in
+                let v = loadf b (idx av k) in
+                let xj = loadf b (dyn_idx src j) in
+                setf b acc (fadd b acc (fmul b v xj)));
+            storef b (dyn_idx dst i) acc))
+  in
+  let dot =
+    func t ~module_:"cglib" "dot" ~nf_args:0 ~ni_args:2 (fun b _ iargs ->
+        let ub = iargs.(0) and vb = iargs.(1) in
+        let zero = fconst b 0.0 in
+        let acc = freshf b in
+        setf b acc zero;
+        for_range b 0 n (fun i ->
+            let u = loadf b (dyn_idx ub i) in
+            let v = loadf b (dyn_idx vb i) in
+            setf b acc (fadd b acc (fmul b u v)));
+        ret b ~f:[ acc ] ())
+  in
+  let cgsolve =
+    func t ~module_:"cg" "cgsolve" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let zero = fconst b 0.0 in
+        for_range b 0 n (fun i ->
+            storef b (idx zb i) zero;
+            let xi = loadf b (idx xb i) in
+            storef b (idx rb i) xi;
+            storef b (idx pb i) xi);
+        let rho = freshf b in
+        let rr, _ = call b dot ~fargs:[] ~iargs:[ iconst b rb; iconst b rb ] in
+        setf b rho rr.(0);
+        for_range b 0 sz.inner (fun _ ->
+            let _, _ = ((), call b spmv ~fargs:[] ~iargs:[ iconst b qb; iconst b pb ]) in
+            let dv, _ = call b dot ~fargs:[] ~iargs:[ iconst b pb; iconst b qb ] in
+            let alpha = fdiv b rho dv.(0) in
+            for_range b 0 n (fun i ->
+                let zi = loadf b (idx zb i) in
+                let pi = loadf b (idx pb i) in
+                storef b (idx zb i) (fadd b zi (fmul b alpha pi)));
+            for_range b 0 n (fun i ->
+                let ri = loadf b (idx rb i) in
+                let qi = loadf b (idx qb i) in
+                storef b (idx rb i) (fsub b ri (fmul b alpha qi)));
+            let rho0 = freshf b in
+            setf b rho0 rho;
+            let rr2, _ = call b dot ~fargs:[] ~iargs:[ iconst b rb; iconst b rb ] in
+            setf b rho rr2.(0);
+            let beta = fdiv b rho rho0 in
+            for_range b 0 n (fun i ->
+                let ri = loadf b (idx rb i) in
+                let pi = loadf b (idx pb i) in
+                storef b (idx pb i) (fadd b ri (fmul b beta pi))));
+        let _ = call b spmv ~fargs:[] ~iargs:[ iconst b qb; iconst b zb ] in
+        let acc = freshf b in
+        setf b acc zero;
+        for_range b 0 n (fun i ->
+            let xi = loadf b (idx xb i) in
+            let qi = loadf b (idx qb i) in
+            let d = fsub b xi qi in
+            setf b acc (fadd b acc (fmul b d d)));
+        ret b ~f:[ fsqrt b acc ] ())
+  in
+  let diagnostics =
+    func t ~module_:"cg" "diagnostics" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let zero = fconst b 0.0 in
+        let tr = freshf b and fro = freshf b in
+        let dmin = freshf b and dmax = freshf b in
+        setf b tr zero;
+        setf b fro zero;
+        setf b dmin (fconst b infinity);
+        setf b dmax (fconst b neg_infinity);
+        for_range b 0 n (fun i ->
+            let k0 = loadi b (idx ip i) in
+            let k1 = loadi b (idx (ip + 1) i) in
+            for_ b k0 k1 (fun k ->
+                let v = loadf b (idx av k) in
+                setf b fro (fadd b fro (fmul b v v));
+                let j = loadi b (idx ic k) in
+                when_ b (ieq b j i) (fun () ->
+                    setf b tr (fadd b tr v);
+                    setf b dmin (fmin b dmin v);
+                    setf b dmax (fmax b dmax v))));
+        storef b (at (out + 2)) tr;
+        storef b (at (out + 3)) (fsqrt b fro);
+        storef b (at (out + 4)) dmin;
+        storef b (at (out + 5)) dmax)
+  in
+  let main =
+    func t ~module_:"cg" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let _ = call b diagnostics ~fargs:[] ~iargs:[] in
+        let one = fconst b 1.0 in
+        for_range b 0 n (fun i -> storef b (idx xb i) one);
+        let zeta = freshf b in
+        let rnorm = freshf b in
+        let shift = fconst b sz.shift in
+        for_range b 0 sz.outer (fun _ ->
+            let rn, _ = call b cgsolve ~fargs:[] ~iargs:[] in
+            setf b rnorm rn.(0);
+            let dv, _ = call b dot ~fargs:[] ~iargs:[ iconst b xb; iconst b zb ] in
+            setf b zeta (fadd b shift (fdiv b one dv.(0)));
+            let zz, _ = call b dot ~fargs:[] ~iargs:[ iconst b zb; iconst b zb ] in
+            let znorm = fsqrt b zz.(0) in
+            let inv = fdiv b one znorm in
+            for_range b 0 n (fun i ->
+                let zi = loadf b (idx zb i) in
+                storef b (idx xb i) (fmul b zi inv)));
+        storef b (at out) zeta;
+        storef b (at (out + 1)) rnorm)
+  in
+  let prog = Builder.program t ~main in
+  (prog, ip, ic, av, out)
+
+let make cls =
+  let sz = sizes cls in
+  let a = Sparse_gen.random_spd ~seed:(42 + sz.n) ~n:sz.n ~extras_per_row:sz.extras in
+  let program, ip, ic, av, out = build a sz in
+  let reference = host_reference a sz in
+  {
+    Kernel.name = "cg." ^ Kernel.class_name cls;
+    program;
+    setup =
+      (fun vm ->
+        Vm.write_i vm ip a.rowptr;
+        Vm.write_i vm ic a.col;
+        Vm.write_f vm av a.value);
+    output = (fun vm -> Vm.read_f vm out 6);
+    verify = (fun res -> Float.abs (res.(0) -. reference.(0)) <= 1e-12);
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        let per_iter =
+          (2.0 *. Mpi_model.allreduce net ~ranks ~bytes:8.0)
+          +. Mpi_model.alltoall net ~ranks ~bytes_total:(8.0 *. float_of_int sz.n)
+        in
+        float_of_int (sz.outer * sz.inner) *. per_iter);
+  }

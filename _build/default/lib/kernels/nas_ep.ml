@@ -1,0 +1,152 @@
+let r23 = 0x1.0p-23
+let r46 = 0x1.0p-46
+let t23 = 0x1.0p23
+let t46 = 0x1.0p46
+let lcg_a = 1220703125.0 (* 5^13 *)
+let seed0 = 271828183.0
+let nq = 16
+
+let pairs = function Kernel.W -> 1 lsl 11 | Kernel.A -> 1 lsl 13 | Kernel.C -> 1 lsl 15
+
+(* Truncation helper matching the IR's cvttsd2si/cvtsi2sd pair. *)
+let aint x = float_of_int (int_of_float x)
+
+(* Host reference randlc, bit-identical to the IR version. *)
+let randlc x a =
+  let t1 = r23 *. a in
+  let a1 = aint t1 in
+  let a2 = a -. (t23 *. a1) in
+  let t1 = r23 *. x in
+  let x1 = aint t1 in
+  let x2 = x -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = aint (r23 *. t1) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = aint (r46 *. t3) in
+  let x' = t3 -. (t46 *. t4) in
+  (x', r46 *. x')
+
+let host_reference n =
+  let sx = ref 0.0 and sy = ref 0.0 in
+  let q = Array.make nq 0 in
+  let x = ref seed0 in
+  for _ = 1 to n do
+    let x1, u1 = randlc !x lcg_a in
+    let x2, u2 = randlc x1 lcg_a in
+    x := x2;
+    let a = (2.0 *. u1) -. 1.0 in
+    let b = (2.0 *. u2) -. 1.0 in
+    let t = (a *. a) +. (b *. b) in
+    if t <= 1.0 then begin
+      let f = sqrt (-2.0 *. log t /. t) in
+      let gx = a *. f in
+      let gy = b *. f in
+      sx := !sx +. gx;
+      sy := !sy +. gy;
+      let l = int_of_float (Float.max (Float.abs gx) (Float.abs gy)) in
+      q.(l) <- q.(l) + 1
+    end
+  done;
+  Array.append [| !sx; !sy |] (Array.map float_of_int q)
+
+let build n =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t (2 + nq) in
+  let qbase = Builder.alloc_i t nq in
+  let randlc_fn =
+    Builder.func t ~module_:"ep" "randlc" ~nf_args:1 ~ni_args:0 (fun b args _ ->
+        let x = args.(0) in
+        let c_r23 = Builder.fconst b r23 in
+        let c_r46 = Builder.fconst b r46 in
+        let c_t23 = Builder.fconst b t23 in
+        let c_t46 = Builder.fconst b t46 in
+        let c_a = Builder.fconst b lcg_a in
+        let aint v = Builder.i2f b (Builder.f2i b v) in
+        let t1 = Builder.fmul b c_r23 c_a in
+        let a1 = aint t1 in
+        let a2 = Builder.fsub b c_a (Builder.fmul b c_t23 a1) in
+        let t1 = Builder.fmul b c_r23 x in
+        let x1 = aint t1 in
+        let x2 = Builder.fsub b x (Builder.fmul b c_t23 x1) in
+        let t1 = Builder.fadd b (Builder.fmul b a1 x2) (Builder.fmul b a2 x1) in
+        let t2 = aint (Builder.fmul b c_r23 t1) in
+        let z = Builder.fsub b t1 (Builder.fmul b c_t23 t2) in
+        let t3 = Builder.fadd b (Builder.fmul b c_t23 z) (Builder.fmul b a2 x2) in
+        let t4 = aint (Builder.fmul b c_r46 t3) in
+        let x' = Builder.fsub b t3 (Builder.fmul b c_t46 t4) in
+        let u = Builder.fmul b c_r46 x' in
+        Builder.ret b ~f:[ x'; u ] ())
+  in
+  let main =
+    Builder.func t ~module_:"ep" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let one = Builder.fconst b 1.0 in
+        let two = Builder.fconst b 2.0 in
+        let neg2 = Builder.fconst b (-2.0) in
+        let sx = Builder.freshf b in
+        let sy = Builder.freshf b in
+        let zero = Builder.fconst b 0.0 in
+        Builder.setf b sx zero;
+        Builder.setf b sy zero;
+        let izero = Builder.iconst b 0 in
+        Builder.for_range b 0 nq (fun k -> Builder.storei b (Builder.idx qbase k) izero);
+        let x = Builder.freshf b in
+        Builder.setf b x (Builder.fconst b seed0);
+        Builder.for_range b 0 n (fun _ ->
+            let r1, _ = Builder.call b randlc_fn ~fargs:[ x ] ~iargs:[] in
+            let x1 = r1.(0) and u1 = r1.(1) in
+            let r2, _ = Builder.call b randlc_fn ~fargs:[ x1 ] ~iargs:[] in
+            Builder.setf b x r2.(0);
+            let u2 = r2.(1) in
+            let a = Builder.fsub b (Builder.fmul b two u1) one in
+            let bb = Builder.fsub b (Builder.fmul b two u2) one in
+            let tt = Builder.fadd b (Builder.fmul b a a) (Builder.fmul b bb bb) in
+            Builder.when_ b
+              (Builder.fle b tt one)
+              (fun () ->
+                let f =
+                  Builder.fsqrt b (Builder.fdiv b (Builder.fmul b neg2 (Builder.flog b tt)) tt)
+                in
+                let gx = Builder.fmul b a f in
+                let gy = Builder.fmul b bb f in
+                Builder.setf b sx (Builder.fadd b sx gx);
+                Builder.setf b sy (Builder.fadd b sy gy);
+                let m = Builder.fmax b (Builder.fabs b gx) (Builder.fabs b gy) in
+                let l = Builder.f2i b m in
+                let addr = Builder.idx qbase l in
+                let c = Builder.loadi b addr in
+                Builder.storei b addr (Builder.iaddc b c 1)));
+        Builder.storef b (Builder.at out) sx;
+        Builder.storef b (Builder.at (out + 1)) sy;
+        Builder.for_range b 0 nq (fun k ->
+            let c = Builder.loadi b (Builder.idx qbase k) in
+            Builder.storef b (Builder.idx (out + 2) k) (Builder.i2f b c)))
+  in
+  (Builder.program t ~main, out)
+
+let make cls =
+  let n = pairs cls in
+  let program, out = build n in
+  let reference = host_reference n in
+  let verify result =
+    Array.length result = Array.length reference
+    && Float.abs (result.(0) -. reference.(0)) /. Float.abs reference.(0) <= 1e-6
+    && Float.abs (result.(1) -. reference.(1)) /. Float.abs reference.(1) <= 1e-6
+    &&
+    let ok = ref true in
+    for k = 2 to Array.length reference - 1 do
+      if result.(k) <> reference.(k) then ok := false
+    done;
+    !ok
+  in
+  {
+    Kernel.name = "ep." ^ Kernel.class_name cls;
+    program;
+    setup = (fun _ -> ());
+    output = (fun vm -> Vm.read_f vm out (2 + nq));
+    verify;
+    reference;
+    hints = Config.set_func Config.empty "randlc" Config.Ignore;
+    comm_bytes =
+      (fun ~ranks net -> Mpi_model.allreduce net ~ranks ~bytes:(8.0 *. float_of_int (2 + nq)));
+  }

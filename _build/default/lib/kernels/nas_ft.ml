@@ -1,0 +1,265 @@
+type sizes = { m : int; steps : int }
+
+let sizes = function
+  | Kernel.W -> { m = 1 lsl 8; steps = 2 }
+  | Kernel.A -> { m = 1 lsl 10; steps = 2 }
+  | Kernel.C -> { m = 1 lsl 12; steps = 3 }
+
+let alpha = 1e-4
+let checksum_samples m = min 1024 (m / 4)
+
+(* ---------- host reference, op-for-op identical to the IR ---------- *)
+
+let host_bitrev re im m =
+  let j = ref 0 in
+  for i = 0 to m - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let k = ref (m / 2) in
+    while !k <= !j do
+      j := !j - !k;
+      k := !k / 2
+    done;
+    j := !j + !k
+  done
+
+let host_fft wre wim re im m sgn =
+  host_bitrev re im m;
+  let len = ref 2 in
+  while !len <= m do
+    let half = !len / 2 in
+    let step = m / !len in
+    for b = 0 to (m / !len) - 1 do
+      let base = b * !len in
+      for j = 0 to half - 1 do
+        let widx = j * step in
+        let wr = wre.(widx) in
+        let wi = sgn *. wim.(widx) in
+        let ur = re.(base + j) and ui = im.(base + j) in
+        let vr = re.(base + j + half) and vi = im.(base + j + half) in
+        let tr = (vr *. wr) -. (vi *. wi) in
+        let ti = (vr *. wi) +. (vi *. wr) in
+        re.(base + j) <- ur +. tr;
+        im.(base + j) <- ui +. ti;
+        re.(base + j + half) <- ur -. tr;
+        im.(base + j + half) <- ui -. ti
+      done
+    done;
+    len := !len * 2
+  done
+
+let input_data ~seed m =
+  let rng = Rng.create seed in
+  let re = Array.init m (fun _ -> Rng.uniform rng -. 0.5) in
+  let im = Array.init m (fun _ -> Rng.uniform rng -. 0.5) in
+  (re, im)
+
+let host_reference ~seed sz =
+  let m = sz.m in
+  let re, im = input_data ~seed m in
+  let re = Array.copy re and im = Array.copy im in
+  let wre = Array.make (m / 2) 0.0 and wim = Array.make (m / 2) 0.0 in
+  let ang = -2.0 *. Float.pi /. float_of_int m in
+  for j = 0 to (m / 2) - 1 do
+    let a = ang *. float_of_int j in
+    wre.(j) <- cos a;
+    wim.(j) <- sin a
+  done;
+  host_fft wre wim re im m 1.0;
+  let inv_m = 1.0 /. float_of_int m in
+  let sre = Array.make m 0.0 and sim = Array.make m 0.0 in
+  let out = ref [] in
+  for t = 1 to sz.steps do
+    (* evolve: real exponential damping by wavenumber *)
+    let coef = -.alpha *. float_of_int t in
+    for j = 0 to m - 1 do
+      let kbar = float_of_int (min j (m - j)) in
+      let f = exp (coef *. (kbar *. kbar)) in
+      re.(j) <- re.(j) *. f;
+      im.(j) <- im.(j) *. f
+    done;
+    Array.blit re 0 sre 0 m;
+    Array.blit im 0 sim 0 m;
+    host_fft wre wim sre sim m (-1.0);
+    for j = 0 to m - 1 do
+      sre.(j) <- sre.(j) *. inv_m;
+      sim.(j) <- sim.(j) *. inv_m
+    done;
+    let csr = ref 0.0 and csi = ref 0.0 in
+    let q = checksum_samples m in
+    for k = 1 to q do
+      let j = 5 * k mod m in
+      csr := !csr +. sre.(j);
+      csi := !csi +. sim.(j)
+    done;
+    out := !csi :: !csr :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let m = sz.m in
+  let t = Builder.create () in
+  let reb = Builder.alloc_f t m in
+  let imb = Builder.alloc_f t m in
+  let sre = Builder.alloc_f t m in
+  let sim = Builder.alloc_f t m in
+  let wre = Builder.alloc_f t (m / 2) in
+  let wim = Builder.alloc_f t (m / 2) in
+  let out = Builder.alloc_f t (2 * sz.steps) in
+  let open Builder in
+  let twiddles =
+    func t ~module_:"ft" "twiddles" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let ang = fconst b (-2.0 *. Float.pi /. float_of_int m) in
+        for_range b 0 (m / 2) (fun j ->
+            let a = fmul b ang (i2f b j) in
+            storef b (idx wre j) (fcos b a);
+            storef b (idx wim j) (fsin b a)))
+  in
+  (* in-place bit-reversal permutation of the array at int-arg bases *)
+  let bitrev =
+    func t ~module_:"fftlib" "bitrev" ~nf_args:0 ~ni_args:2 (fun b _ iargs ->
+        let rbase = iargs.(0) and ibase = iargs.(1) in
+        let j = freshi b in
+        seti b j (iconst b 0);
+        for_range b 0 (m - 1) (fun i ->
+            when_ b (ilt b i j) (fun () ->
+                let t1 = loadf b (dyn_idx rbase i) in
+                let t2 = loadf b (dyn_idx rbase j) in
+                storef b (dyn_idx rbase i) t2;
+                storef b (dyn_idx rbase j) t1;
+                let t1 = loadf b (dyn_idx ibase i) in
+                let t2 = loadf b (dyn_idx ibase j) in
+                storef b (dyn_idx ibase i) t2;
+                storef b (dyn_idx ibase j) t1);
+            let k = freshi b in
+            seti b k (iconst b (m / 2));
+            while_ b
+              (fun () -> ile b k j)
+              (fun () ->
+                seti b j (isub b j k);
+                seti b k (idiv b k (iconst b 2)));
+            seti b j (iadd b j k)))
+  in
+  (* radix-2 DIT fft on the arrays at int-arg bases; float arg = sign *)
+  let fft =
+    func t ~module_:"fftlib" "fft" ~nf_args:1 ~ni_args:2 (fun b fargs iargs ->
+        let sgn = fargs.(0) in
+        let rbase = iargs.(0) and ibase = iargs.(1) in
+        let _ = call b bitrev ~fargs:[] ~iargs:[ rbase; ibase ] in
+        let len = freshi b in
+        seti b len (iconst b 2);
+        let mm = iconst b m in
+        while_ b
+          (fun () -> ile b len mm)
+          (fun () ->
+            let half = idiv b len (iconst b 2) in
+            let step = idiv b mm len in
+            let nblocks = idiv b mm len in
+            for_ b (iconst b 0) nblocks (fun blk ->
+                let base = imul b blk len in
+                for_ b (iconst b 0) half (fun j ->
+                    let widx = imul b j step in
+                    let wr = loadf b (idx wre widx) in
+                    let wi = fmul b sgn (loadf b (idx wim widx)) in
+                    let lo = iadd b base j in
+                    let hi = iadd b lo half in
+                    let ur = loadf b (dyn_idx rbase lo) in
+                    let ui = loadf b (dyn_idx ibase lo) in
+                    let vr = loadf b (dyn_idx rbase hi) in
+                    let vi = loadf b (dyn_idx ibase hi) in
+                    let tr = fsub b (fmul b vr wr) (fmul b vi wi) in
+                    let ti = fadd b (fmul b vr wi) (fmul b vi wr) in
+                    storef b (dyn_idx rbase lo) (fadd b ur tr);
+                    storef b (dyn_idx ibase lo) (fadd b ui ti);
+                    storef b (dyn_idx rbase hi) (fsub b ur tr);
+                    storef b (dyn_idx ibase hi) (fsub b ui ti)));
+            seti b len (imul b len (iconst b 2))))
+  in
+  let evolve =
+    func t ~module_:"ft" "evolve" ~nf_args:1 ~ni_args:0 (fun b fargs _ ->
+        let tstep = fargs.(0) in
+        let malpha = fconst b (-.alpha) in
+        let coef = fmul b malpha tstep in
+        for_range b 0 m (fun j ->
+            let jm = isub b (iconst b m) j in
+            let kbar = freshi b in
+            if_ b (ilt b j jm) (fun () -> seti b kbar j) (fun () -> seti b kbar jm);
+            let kf = i2f b kbar in
+            let f = fexp b (fmul b coef (fmul b kf kf)) in
+            storef b (idx reb j) (fmul b (loadf b (idx reb j)) f);
+            storef b (idx imb j) (fmul b (loadf b (idx imb j)) f)))
+  in
+  let checksum =
+    func t ~module_:"ft" "checksum" ~nf_args:0 ~ni_args:1 (fun b _ iargs ->
+        let slot = iargs.(0) in
+        let zero = fconst b 0.0 in
+        let csr = freshf b and csi = freshf b in
+        setf b csr zero;
+        setf b csi zero;
+        let q = checksum_samples m in
+        for_range b 1 (q + 1) (fun k ->
+            let j = irem b (imulc b k 5) (iconst b m) in
+            setf b csr (fadd b csr (loadf b (idx sre j)));
+            setf b csi (fadd b csi (loadf b (idx sim j))));
+        storef b (dyn slot) csr;
+        storef b (dyn_off slot 1) csi)
+  in
+  let main =
+    func t ~module_:"ft" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let _ = call b twiddles ~fargs:[] ~iargs:[] in
+        let one = fconst b 1.0 in
+        let mone = fconst b (-1.0) in
+        let _ = call b fft ~fargs:[ one ] ~iargs:[ iconst b reb; iconst b imb ] in
+        let inv_m = fconst b (1.0 /. float_of_int m) in
+        for_range b 1 (sz.steps + 1) (fun tstep ->
+            let _ = call b evolve ~fargs:[ i2f b tstep ] ~iargs:[] in
+            for_range b 0 m (fun j ->
+                storef b (idx sre j) (loadf b (idx reb j));
+                storef b (idx sim j) (loadf b (idx imb j)));
+            let _ = call b fft ~fargs:[ mone ] ~iargs:[ iconst b sre; iconst b sim ] in
+            for_range b 0 m (fun j ->
+                storef b (idx sre j) (fmul b (loadf b (idx sre j)) inv_m);
+                storef b (idx sim j) (fmul b (loadf b (idx sim j)) inv_m));
+            let slot = iadd b (iconst b out) (imulc b (isub b tstep (iconst b 1)) 2) in
+            let _ = call b checksum ~fargs:[] ~iargs:[ slot ] in
+            ()))
+  in
+  (Builder.program t ~main, reb, imb, out)
+
+let make cls =
+  let sz = sizes cls in
+  let seed = 1234 + sz.m in
+  let program, reb, imb, out = build sz in
+  let re, im = input_data ~seed sz.m in
+  let reference = host_reference ~seed sz in
+  let verify res =
+    Array.length res = Array.length reference
+    && Array.for_all2
+         (fun v r -> Float.abs (v -. r) <= 1e-11 *. Float.max 1.0 (Float.abs r))
+         res reference
+  in
+  {
+    Kernel.name = "ft." ^ Kernel.class_name cls;
+    program;
+    setup =
+      (fun vm ->
+        Vm.write_f vm reb re;
+        Vm.write_f vm imb im);
+    output = (fun vm -> Vm.read_f vm out (2 * sz.steps));
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        (* each FFT performs a full transpose-style exchange *)
+        let per_fft = Mpi_model.alltoall net ~ranks ~bytes_total:(16.0 *. float_of_int sz.m) in
+        float_of_int (1 + sz.steps) *. per_fft);
+  }

@@ -1,0 +1,22 @@
+(** FT-like benchmark: radix-2 complex FFT with spectral evolution (the
+    numerical character of NAS FT).
+
+    The binary computes its own twiddle tables with libm sin/cos, forward
+    FFTs a pseudo-random complex signal, then for each evolution step
+    applies a real exponential damping in frequency space, inverse FFTs
+    into a scratch array, and accumulates a checksum over strided samples.
+
+    Verification compares the checksums at 1e-9 relative — like the paper's
+    FT, almost nothing hot survives single precision (only exact
+    power-of-two scalings and cold code pass). *)
+
+type sizes = { m : int;  (** transform size, power of two *) steps : int }
+
+val sizes : Kernel.class_ -> sizes
+
+val checksum_samples : int -> int
+(** Number of strided samples in the checksum for a transform of size [m];
+    strictly less than [m] so the checksum is not the (insensitive) DC
+    coefficient. *)
+
+val make : Kernel.class_ -> Kernel.t

@@ -1,0 +1,161 @@
+type sizes = { n : int; sweeps : int; tol : float }
+
+let sizes = function
+  | Kernel.W -> { n = 24; sweeps = 12; tol = 1e-7 }
+  | Kernel.A -> { n = 40; sweeps = 16; tol = 5e-7 }
+  | Kernel.C -> { n = 64; sweeps = 20; tol = 5e-7 }
+
+(* nonsymmetric convection-diffusion 5-point stencil *)
+let cc = 4.2
+let cw = -1.1
+let ce = -0.9
+let cn = -1.05
+let cs = -0.95
+let omega = 1.2
+
+let input_f ~seed n =
+  let rng = Rng.create seed in
+  Array.init (n * n) (fun k ->
+      let i = k / n and j = k mod n in
+      if i = 0 || j = 0 || i = n - 1 || j = n - 1 then 0.0
+      else (2.0 *. Rng.uniform rng) -. 1.0)
+
+(* ---------- host reference ---------- *)
+
+let host_reference ~seed sz =
+  let n = sz.n in
+  let u = Array.make (n * n) 0.0 in
+  let f = input_f ~seed n in
+  let w_over_cc = omega /. cc in
+  let relax c =
+    let au =
+      (((cc *. u.(c)) +. (cw *. u.(c - 1))) +. (ce *. u.(c + 1)))
+      +. (cn *. u.(c - n))
+      +. (cs *. u.(c + n))
+    in
+    u.(c) <- u.(c) +. (w_over_cc *. (f.(c) -. au))
+  in
+  for _ = 1 to sz.sweeps do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        relax ((i * n) + j)
+      done
+    done;
+    for i = n - 2 downto 1 do
+      for j = n - 2 downto 1 do
+        relax ((i * n) + j)
+      done
+    done
+  done;
+  let rnorm = ref 0.0 in
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      let c = (i * n) + j in
+      let au =
+        (((cc *. u.(c)) +. (cw *. u.(c - 1))) +. (ce *. u.(c + 1)))
+        +. (cn *. u.(c - n))
+        +. (cs *. u.(c + n))
+      in
+      let r = f.(c) -. au in
+      rnorm := !rnorm +. (r *. r)
+    done
+  done;
+  Array.append u [| sqrt !rnorm |]
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let n = sz.n in
+  let t = Builder.create () in
+  let ub = Builder.alloc_f t (n * n) in
+  let fb = Builder.alloc_f t (n * n) in
+  let out = Builder.alloc_f t 1 in
+  let open Builder in
+  (* residual of one interior cell into a register, shared op order *)
+  let stencil b c =
+    let l_cc = fconst b cc and l_cw = fconst b cw and l_ce = fconst b ce in
+    let l_cn = fconst b cn and l_cs = fconst b cs in
+    let u0 = loadf b (dyn_idx (iconst b ub) c) in
+    let uw = loadf b (dyn_idx (iconst b ub) (isub b c (iconst b 1))) in
+    let ue = loadf b (dyn_idx (iconst b ub) (iadd b c (iconst b 1))) in
+    let un = loadf b (dyn_idx (iconst b ub) (isub b c (iconst b n))) in
+    let us = loadf b (dyn_idx (iconst b ub) (iadd b c (iconst b n))) in
+    fadd b
+      (fadd b
+         (fadd b (fadd b (fmul b l_cc u0) (fmul b l_cw uw)) (fmul b l_ce ue))
+         (fmul b l_cn un))
+      (fmul b l_cs us)
+  in
+  let relax b c woc =
+    let au = stencil b c in
+    let fv = loadf b (dyn_idx (iconst b fb) c) in
+    let u0 = loadf b (dyn_idx (iconst b ub) c) in
+    storef b (dyn_idx (iconst b ub) c) (fadd b u0 (fmul b woc (fsub b fv au)))
+  in
+  let sweep_fwd =
+    func t ~module_:"lu" "sweep_fwd" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let woc = fconst b (omega /. cc) in
+        for_range b 1 (n - 1) (fun i ->
+            for_range b 1 (n - 1) (fun j -> relax b (iadd b (imulc b i n) j) woc)))
+  in
+  let sweep_bwd =
+    func t ~module_:"lu" "sweep_bwd" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let woc = fconst b (omega /. cc) in
+        for_down b (iconst b (n - 1)) (iconst b 0) (fun i ->
+            when_ b (ige b i (iconst b 1)) (fun () ->
+                for_down b (iconst b (n - 1)) (iconst b 0) (fun j ->
+                    when_ b (ige b j (iconst b 1)) (fun () ->
+                        relax b (iadd b (imulc b i n) j) woc)))))
+  in
+  let resid_norm =
+    func t ~module_:"lu" "resid_norm" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let acc = freshf b in
+        setf b acc (fconst b 0.0);
+        for_range b 1 (n - 1) (fun i ->
+            for_range b 1 (n - 1) (fun j ->
+                let c = iadd b (imulc b i n) j in
+                let au = stencil b c in
+                let fv = loadf b (dyn_idx (iconst b fb) c) in
+                let r = fsub b fv au in
+                setf b acc (fadd b acc (fmul b r r))));
+        ret b ~f:[ fsqrt b acc ] ())
+  in
+  let main =
+    func t ~module_:"lu" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 sz.sweeps (fun _ ->
+            let _ = call b sweep_fwd ~fargs:[] ~iargs:[] in
+            let _ = call b sweep_bwd ~fargs:[] ~iargs:[] in
+            ());
+        let rn, _ = call b resid_norm ~fargs:[] ~iargs:[] in
+        storef b (at out) rn.(0))
+  in
+  let prog = Builder.program t ~main in
+  (prog, ub, fb, out)
+
+let make cls =
+  let sz = sizes cls in
+  let seed = 900 + sz.n in
+  let program, ub, fb, out = build sz in
+  let fin = input_f ~seed sz.n in
+  let reference = host_reference ~seed sz in
+  let n2 = sz.n * sz.n in
+  let u_ref = Array.sub reference 0 n2 in
+  let verify res =
+    let u = Array.sub res 0 n2 in
+    Stats.rel_err_inf u u_ref <= sz.tol
+  in
+  {
+    Kernel.name = "lu." ^ Kernel.class_name cls;
+    program;
+    setup = (fun vm -> Vm.write_f vm fb fin);
+    output =
+      (fun vm -> Array.append (Vm.read_f vm ub n2) (Vm.read_f vm out 1));
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        (* wavefront pipeline: two boundary exchanges per sweep *)
+        float_of_int (2 * sz.sweeps)
+        *. Mpi_model.halo net ~ranks ~bytes_boundary:(8.0 *. float_of_int sz.n));
+  }

@@ -1,0 +1,324 @@
+type sizes = { n : int; cycles : int }
+
+let sizes = function
+  | Kernel.W -> { n = 33; cycles = 3 }
+  | Kernel.A -> { n = 65; cycles = 4 }
+  | Kernel.C -> { n = 129; cycles = 4 }
+
+let omega4 = 0.2 (* Jacobi weight 0.8 divided by the diagonal 4 *)
+let bottom_smooths = 4
+
+let level_sizes n =
+  let rec go acc s = if s <= 3 then s :: acc else go (s :: acc) (((s - 1) / 2) + 1) in
+  Array.of_list (go [] n) (* coarsest-first: [|3; 5; ...; n|] *)
+
+let input_f ~seed n =
+  let rng = Rng.create seed in
+  Array.init (n * n) (fun k ->
+      let i = k / n and j = k mod n in
+      if i = 0 || j = 0 || i = n - 1 || j = n - 1 then 0.0
+      else (2.0 *. Rng.uniform rng) -. 1.0)
+
+(* ---------- host reference ---------- *)
+
+let host_reference ~seed sz =
+  let ls = level_sizes sz.n in
+  let nl = Array.length ls in
+  let u = Array.map (fun s -> Array.make (s * s) 0.0) ls in
+  let f = Array.map (fun s -> Array.make (s * s) 0.0) ls in
+  let r = Array.map (fun s -> Array.make (s * s) 0.0) ls in
+  f.(nl - 1) <- input_f ~seed sz.n;
+  let residual l =
+    let n = ls.(l) and u = u.(l) and f = f.(l) and r = r.(l) in
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        let c = (i * n) + j in
+        let au = (4.0 *. u.(c)) -. u.(c - n) -. u.(c + n) -. u.(c - 1) -. u.(c + 1) in
+        r.(c) <- f.(c) -. au
+      done
+    done
+  in
+  let apply_corr l =
+    let n = ls.(l) and u = u.(l) and r = r.(l) in
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        let c = (i * n) + j in
+        u.(c) <- u.(c) +. (omega4 *. r.(c))
+      done
+    done
+  in
+  let restrict l =
+    (* r at level l -> f at level l-1 *)
+    let nc = ls.(l - 1) and nf = ls.(l) in
+    let rf = r.(l) and fc = f.(l - 1) in
+    for i = 1 to nc - 2 do
+      for j = 1 to nc - 2 do
+        let fi = 2 * i and fj = 2 * j in
+        let c = (fi * nf) + fj in
+        let s1 = 4.0 *. rf.(c) in
+        let s2 = (((rf.(c - nf) +. rf.(c + nf)) +. rf.(c - 1)) +. rf.(c + 1)) *. 2.0 in
+        let s3 = ((rf.(c - nf - 1) +. rf.(c - nf + 1)) +. rf.(c + nf - 1)) +. rf.(c + nf + 1) in
+        fc.((i * nc) + j) <- ((s1 +. s2) +. s3) *. 0.0625
+      done
+    done
+  in
+  let prolong l =
+    (* u at level l += interpolation of u at level l-1 *)
+    let nc = ls.(l - 1) and nf = ls.(l) in
+    let uf = u.(l) and uc = u.(l - 1) in
+    for fi = 1 to nf - 2 do
+      for fj = 1 to nf - 2 do
+        let i = fi / 2 and j = fj / 2 in
+        let c = (i * nc) + j in
+        let add =
+          match (fi land 1, fj land 1) with
+          | 0, 0 -> uc.(c)
+          | 1, 0 -> 0.5 *. (uc.(c) +. uc.(c + nc))
+          | 0, 1 -> 0.5 *. (uc.(c) +. uc.(c + 1))
+          | _ -> 0.25 *. (((uc.(c) +. uc.(c + nc)) +. uc.(c + 1)) +. uc.(c + nc + 1))
+        in
+        uf.((fi * nf) + fj) <- uf.((fi * nf) + fj) +. add
+      done
+    done
+  in
+  let zero a = Array.fill a 0 (Array.length a) 0.0 in
+  for _ = 1 to sz.cycles do
+    for l = nl - 1 downto 1 do
+      residual l;
+      apply_corr l;
+      residual l;
+      restrict l;
+      zero u.(l - 1)
+    done;
+    for _ = 1 to bottom_smooths do
+      residual 0;
+      apply_corr 0
+    done;
+    for l = 1 to nl - 1 do
+      prolong l;
+      residual l;
+      apply_corr l
+    done
+  done;
+  residual (nl - 1);
+  let acc = ref 0.0 in
+  let rf = r.(nl - 1) in
+  for k = 0 to Array.length rf - 1 do
+    acc := !acc +. (rf.(k) *. rf.(k))
+  done;
+  [| sqrt !acc |]
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let ls = level_sizes sz.n in
+  let nl = Array.length ls in
+  let t = Builder.create () in
+  let uoff = Array.map (fun s -> Builder.alloc_f t (s * s)) ls in
+  let foff = Array.map (fun s -> Builder.alloc_f t (s * s)) ls in
+  let roff = Array.map (fun s -> Builder.alloc_f t (s * s)) ls in
+  let out = Builder.alloc_f t 1 in
+  let tsz = Builder.alloc_i t nl in
+  let tu = Builder.alloc_i t nl in
+  let tf = Builder.alloc_i t nl in
+  let tr = Builder.alloc_i t nl in
+  let open Builder in
+  let at2 b base i j n = dyn_idx base (iadd b (imul b i n) j) in
+  (* r <- f - A u on the interior of an n x n grid *)
+  let residual =
+    func t ~module_:"mg" "residual" ~nf_args:0 ~ni_args:4 (fun b _ ia ->
+        let n = ia.(0) and ub = ia.(1) and fb = ia.(2) and rb = ia.(3) in
+        let four = fconst b 4.0 in
+        let n1 = isub b n (iconst b 1) in
+        for_ b (iconst b 1) n1 (fun i ->
+            for_ b (iconst b 1) n1 (fun j ->
+                let c = iadd b (imul b i n) j in
+                let u0 = loadf b (dyn_idx ub c) in
+                let un = loadf b (dyn_idx ub (isub b c n)) in
+                let us = loadf b (dyn_idx ub (iadd b c n)) in
+                let uw = loadf b (dyn_idx ub (isub b c (iconst b 1))) in
+                let ue = loadf b (dyn_idx ub (iadd b c (iconst b 1))) in
+                let au =
+                  fsub b (fsub b (fsub b (fsub b (fmul b four u0) un) us) uw) ue
+                in
+                let fv = loadf b (dyn_idx fb c) in
+                storef b (dyn_idx rb c) (fsub b fv au))))
+  in
+  (* u += omega4 * r on the interior *)
+  let apply_corr =
+    func t ~module_:"mg" "apply_corr" ~nf_args:0 ~ni_args:3 (fun b _ ia ->
+        let n = ia.(0) and ub = ia.(1) and rb = ia.(2) in
+        let w = fconst b omega4 in
+        let n1 = isub b n (iconst b 1) in
+        for_ b (iconst b 1) n1 (fun i ->
+            for_ b (iconst b 1) n1 (fun j ->
+                let c = iadd b (imul b i n) j in
+                let uv = loadf b (dyn_idx ub c) in
+                let rv = loadf b (dyn_idx rb c) in
+                storef b (dyn_idx ub c) (fadd b uv (fmul b w rv)))))
+  in
+  (* full-weighting restriction: fine r -> coarse f *)
+  let restrict =
+    func t ~module_:"mg" "restrict" ~nf_args:0 ~ni_args:4 (fun b _ ia ->
+        let nc = ia.(0) and nf = ia.(1) and rfb = ia.(2) and fcb = ia.(3) in
+        let four = fconst b 4.0 in
+        let two = fconst b 2.0 in
+        let sixteenth = fconst b 0.0625 in
+        let one = iconst b 1 in
+        let nc1 = isub b nc one in
+        for_ b (iconst b 1) nc1 (fun i ->
+            for_ b (iconst b 1) nc1 (fun j ->
+                let fi = imulc b i 2 and fj = imulc b j 2 in
+                let c = iadd b (imul b fi nf) fj in
+                let rc = loadf b (dyn_idx rfb c) in
+                let rn = loadf b (dyn_idx rfb (isub b c nf)) in
+                let rs = loadf b (dyn_idx rfb (iadd b c nf)) in
+                let rw = loadf b (dyn_idx rfb (isub b c one)) in
+                let re = loadf b (dyn_idx rfb (iadd b c one)) in
+                let rnw = loadf b (dyn_idx rfb (isub b (isub b c nf) one)) in
+                let rne = loadf b (dyn_idx rfb (iadd b (isub b c nf) one)) in
+                let rsw = loadf b (dyn_idx rfb (isub b (iadd b c nf) one)) in
+                let rse = loadf b (dyn_idx rfb (iadd b (iadd b c nf) one)) in
+                let s1 = fmul b four rc in
+                let s2 = fmul b (fadd b (fadd b (fadd b rn rs) rw) re) two in
+                let s3 = fadd b (fadd b (fadd b rnw rne) rsw) rse in
+                let v = fmul b (fadd b (fadd b s1 s2) s3) sixteenth in
+                storef b (at2 b fcb i j nc) v)))
+  in
+  (* bilinear prolongation: coarse u added into fine u *)
+  let prolong =
+    func t ~module_:"mg" "prolong" ~nf_args:0 ~ni_args:4 (fun b _ ia ->
+        let nc = ia.(0) and nf = ia.(1) and ufb = ia.(2) and ucb = ia.(3) in
+        let half = fconst b 0.5 in
+        let quarter = fconst b 0.25 in
+        let one = iconst b 1 in
+        let nf1 = isub b nf one in
+        for_ b (iconst b 1) nf1 (fun fi ->
+            for_ b (iconst b 1) nf1 (fun fj ->
+                let i = idiv b fi (iconst b 2) and j = idiv b fj (iconst b 2) in
+                let c = iadd b (imul b i nc) j in
+                let pi = iand b fi one and pj = iand b fj one in
+                let add = freshf b in
+                if_ b (ieq b pi (iconst b 0))
+                  (fun () ->
+                    if_ b (ieq b pj (iconst b 0))
+                      (fun () -> setf b add (loadf b (dyn_idx ucb c)))
+                      (fun () ->
+                        let a = loadf b (dyn_idx ucb c) in
+                        let bb = loadf b (dyn_idx ucb (iadd b c one)) in
+                        setf b add (fmul b half (fadd b a bb))))
+                  (fun () ->
+                    if_ b (ieq b pj (iconst b 0))
+                      (fun () ->
+                        let a = loadf b (dyn_idx ucb c) in
+                        let bb = loadf b (dyn_idx ucb (iadd b c nc)) in
+                        setf b add (fmul b half (fadd b a bb)))
+                      (fun () ->
+                        let a = loadf b (dyn_idx ucb c) in
+                        let bb = loadf b (dyn_idx ucb (iadd b c nc)) in
+                        let cc = loadf b (dyn_idx ucb (iadd b c one)) in
+                        let dd = loadf b (dyn_idx ucb (iadd b (iadd b c nc) one)) in
+                        setf b add (fmul b quarter (fadd b (fadd b (fadd b a bb) cc) dd))));
+                let cfine = iadd b (imul b fi nf) fj in
+                let uv = loadf b (dyn_idx ufb cfine) in
+                storef b (dyn_idx ufb cfine) (fadd b uv add))))
+  in
+  let zero_fn =
+    func t ~module_:"mg" "zero" ~nf_args:0 ~ni_args:2 (fun b _ ia ->
+        let count = ia.(0) and base = ia.(1) in
+        let z = fconst b 0.0 in
+        for_ b (iconst b 0) count (fun k -> storef b (dyn_idx base k) z))
+  in
+  let norm =
+    func t ~module_:"mg" "norm" ~nf_args:0 ~ni_args:2 (fun b _ ia ->
+        let count = ia.(0) and base = ia.(1) in
+        let acc = freshf b in
+        setf b acc (fconst b 0.0);
+        for_ b (iconst b 0) count (fun k ->
+            let v = loadf b (dyn_idx base k) in
+            setf b acc (fadd b acc (fmul b v v)));
+        ret b ~f:[ fsqrt b acc ] ())
+  in
+  let main =
+    func t ~module_:"mg" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let ld tbl l = loadi b (idx tbl l) in
+        let level_call_smooth l =
+          let n = ld tsz l and ub = ld tu l and fb = ld tf l and rb = ld tr l in
+          let _ = call b residual ~fargs:[] ~iargs:[ n; ub; fb; rb ] in
+          let _ = call b apply_corr ~fargs:[] ~iargs:[ n; ub; rb ] in
+          ()
+        in
+        for_range b 0 sz.cycles (fun _ ->
+            (* down sweep *)
+            let l = freshi b in
+            seti b l (iconst b (nl - 1));
+            while_ b
+              (fun () -> ige b l (iconst b 1))
+              (fun () ->
+                level_call_smooth l;
+                let n = ld tsz l and ub = ld tu l and fb = ld tf l and rb = ld tr l in
+                let _ = call b residual ~fargs:[] ~iargs:[ n; ub; fb; rb ] in
+                let lc = isub b l (iconst b 1) in
+                let nc = ld tsz lc in
+                let _ = call b restrict ~fargs:[] ~iargs:[ nc; n; rb; ld tf lc ] in
+                let _ =
+                  call b zero_fn ~fargs:[] ~iargs:[ imul b nc nc; ld tu lc ]
+                in
+                seti b l lc);
+            (* bottom solve *)
+            for_range b 0 bottom_smooths (fun _ -> level_call_smooth (iconst b 0));
+            (* up sweep *)
+            let l2 = freshi b in
+            seti b l2 (iconst b 1);
+            while_ b
+              (fun () -> ilt b l2 (iconst b nl))
+              (fun () ->
+                let n = ld tsz l2 in
+                let lc = isub b l2 (iconst b 1) in
+                let _ =
+                  call b prolong ~fargs:[] ~iargs:[ ld tsz lc; n; ld tu l2; ld tu lc ]
+                in
+                level_call_smooth l2;
+                seti b l2 (iadd b l2 (iconst b 1))));
+        (* final residual norm on the finest level *)
+        let lf = iconst b (nl - 1) in
+        let n = ld tsz lf and ub = ld tu lf and fb = ld tf lf and rb = ld tr lf in
+        let _ = call b residual ~fargs:[] ~iargs:[ n; ub; fb; rb ] in
+        let nv, _ = call b norm ~fargs:[] ~iargs:[ imul b n n; rb ] in
+        storef b (at out) nv.(0))
+  in
+  let prog = Builder.program t ~main in
+  (prog, ls, uoff, foff, roff, out, tsz, tu, tf, tr)
+
+let make cls =
+  let sz = sizes cls in
+  let seed = 77 + sz.n in
+  let program, ls, uoff, foff, roff, out, tsz, tu, tf, tr = build sz in
+  let nl = Array.length ls in
+  let fin = input_f ~seed sz.n in
+  let reference = host_reference ~seed sz in
+  let verify res = Float.abs (res.(0) -. reference.(0)) <= 1.5e-9 *. Float.abs reference.(0) in
+  {
+    Kernel.name = "mg." ^ Kernel.class_name cls;
+    program;
+    setup =
+      (fun vm ->
+        Vm.write_i vm tsz ls;
+        Vm.write_i vm tu uoff;
+        Vm.write_i vm tf foff;
+        Vm.write_i vm tr roff;
+        Vm.write_f vm foff.(nl - 1) fin);
+    output = (fun vm -> Vm.read_f vm out 1);
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        (* halo exchanges at every level, every smoothing pass *)
+        let per_cycle =
+          Array.fold_left
+            (fun acc s -> acc +. (6.0 *. Mpi_model.halo net ~ranks ~bytes_boundary:(8.0 *. float_of_int s)))
+            0.0 ls
+        in
+        float_of_int sz.cycles *. per_cycle);
+  }

@@ -1,0 +1,161 @@
+type sizes = { lines : int; len : int; tol : float }
+
+let sizes = function
+  | Kernel.W -> { lines = 8; len = 32; tol = 1e-7 }
+  | Kernel.A -> { lines = 16; len = 48; tol = 1e-7 }
+  | Kernel.C -> { lines = 32; len = 64; tol = 1e-7 }
+
+type data = {
+  a2 : float array;  (** second sub-diagonal, M*L *)
+  a1 : float array;
+  b : float array;
+  c1 : float array;
+  c2 : float array;
+  d : float array;
+  xtrue : float array;
+}
+
+let gen ~seed sz =
+  let m = sz.lines and l = sz.len in
+  let rng = Rng.create seed in
+  let rnd () = Rng.uniform rng -. 0.5 in
+  let a2 = Array.init (m * l) (fun _ -> rnd ()) in
+  let a1 = Array.init (m * l) (fun _ -> rnd ()) in
+  let b = Array.init (m * l) (fun _ -> 5.0 +. rnd ()) in
+  let c1 = Array.init (m * l) (fun _ -> rnd ()) in
+  let c2 = Array.init (m * l) (fun _ -> rnd ()) in
+  let xtrue = Array.init (m * l) (fun _ -> rnd ()) in
+  let d = Array.make (m * l) 0.0 in
+  for line = 0 to m - 1 do
+    for k = 0 to l - 1 do
+      let g = (line * l) + k in
+      let acc = ref (b.(g) *. xtrue.(g)) in
+      if k >= 1 then acc := !acc +. (a1.(g) *. xtrue.(g - 1));
+      if k >= 2 then acc := !acc +. (a2.(g) *. xtrue.(g - 2));
+      if k <= l - 2 then acc := !acc +. (c1.(g) *. xtrue.(g + 1));
+      if k <= l - 3 then acc := !acc +. (c2.(g) *. xtrue.(g + 2));
+      d.(g) <- !acc
+    done
+  done;
+  { a2; a1; b; c1; c2; d; xtrue }
+
+(* ---------- host reference (destructive on copies) ---------- *)
+
+let host_solve sz (data : data) =
+  let m = sz.lines and l = sz.len in
+  let a2 = Array.copy data.a2 and a1 = Array.copy data.a1 in
+  let b = Array.copy data.b and c1 = Array.copy data.c1 in
+  let c2 = Array.copy data.c2 and d = Array.copy data.d in
+  let x = Array.make (m * l) 0.0 in
+  for line = 0 to m - 1 do
+    let o = line * l in
+    for k = 0 to l - 1 do
+      if k >= 2 then begin
+        let m2 = a2.(o + k) /. b.(o + k - 2) in
+        a1.(o + k) <- a1.(o + k) -. (m2 *. c1.(o + k - 2));
+        b.(o + k) <- b.(o + k) -. (m2 *. c2.(o + k - 2));
+        d.(o + k) <- d.(o + k) -. (m2 *. d.(o + k - 2))
+      end;
+      if k >= 1 then begin
+        let m1 = a1.(o + k) /. b.(o + k - 1) in
+        b.(o + k) <- b.(o + k) -. (m1 *. c1.(o + k - 1));
+        c1.(o + k) <- c1.(o + k) -. (m1 *. c2.(o + k - 1));
+        d.(o + k) <- d.(o + k) -. (m1 *. d.(o + k - 1))
+      end
+    done;
+    x.(o + l - 1) <- d.(o + l - 1) /. b.(o + l - 1);
+    x.(o + l - 2) <- (d.(o + l - 2) -. (c1.(o + l - 2) *. x.(o + l - 1))) /. b.(o + l - 2);
+    for k = l - 3 downto 0 do
+      x.(o + k) <-
+        ((d.(o + k) -. (c1.(o + k) *. x.(o + k + 1))) -. (c2.(o + k) *. x.(o + k + 2)))
+        /. b.(o + k)
+    done
+  done;
+  x
+
+(* ---------- the IR binary ---------- *)
+
+let build sz =
+  let m = sz.lines and l = sz.len in
+  let t = Builder.create () in
+  let a2b = Builder.alloc_f t (m * l) in
+  let a1b = Builder.alloc_f t (m * l) in
+  let bb = Builder.alloc_f t (m * l) in
+  let c1b = Builder.alloc_f t (m * l) in
+  let c2b = Builder.alloc_f t (m * l) in
+  let db = Builder.alloc_f t (m * l) in
+  let xb = Builder.alloc_f t (m * l) in
+  let open Builder in
+  let eliminate =
+    func t ~module_:"sp" "eliminate" ~nf_args:0 ~ni_args:1 (fun b _ ia ->
+        let o = imulc b ia.(0) l in
+        let ld base g k = loadf b (dyn_idx (iconst b base) (iaddc b g k)) in
+        let st base g k v = storef b (dyn_idx (iconst b base) (iaddc b g k)) v in
+        for_range b 0 l (fun k ->
+            let g = iadd b o k in
+            when_ b (ige b k (iconst b 2)) (fun () ->
+                let m2 = fdiv b (ld a2b g 0) (ld bb g (-2)) in
+                st a1b g 0 (fsub b (ld a1b g 0) (fmul b m2 (ld c1b g (-2))));
+                st bb g 0 (fsub b (ld bb g 0) (fmul b m2 (ld c2b g (-2))));
+                st db g 0 (fsub b (ld db g 0) (fmul b m2 (ld db g (-2)))));
+            when_ b (ige b k (iconst b 1)) (fun () ->
+                let m1 = fdiv b (ld a1b g 0) (ld bb g (-1)) in
+                st bb g 0 (fsub b (ld bb g 0) (fmul b m1 (ld c1b g (-1))));
+                st c1b g 0 (fsub b (ld c1b g 0) (fmul b m1 (ld c2b g (-1))));
+                st db g 0 (fsub b (ld db g 0) (fmul b m1 (ld db g (-1)))))))
+  in
+  let backsolve =
+    func t ~module_:"sp" "backsolve" ~nf_args:0 ~ni_args:1 (fun b _ ia ->
+        let o = imulc b ia.(0) l in
+        let ld base g k = loadf b (dyn_idx (iconst b base) (iaddc b g k)) in
+        let st base g k v = storef b (dyn_idx (iconst b base) (iaddc b g k)) v in
+        let glast = iaddc b o (l - 1) in
+        st xb glast 0 (fdiv b (ld db glast 0) (ld bb glast 0));
+        let g2 = iaddc b o (l - 2) in
+        st xb g2 0
+          (fdiv b (fsub b (ld db g2 0) (fmul b (ld c1b g2 0) (ld xb g2 1))) (ld bb g2 0));
+        for_down b (iconst b (l - 2)) (iconst b 0) (fun k ->
+            let g = iadd b o k in
+            let num =
+              fsub b
+                (fsub b (ld db g 0) (fmul b (ld c1b g 0) (ld xb g 1)))
+                (fmul b (ld c2b g 0) (ld xb g 2))
+            in
+            st xb g 0 (fdiv b num (ld bb g 0))))
+  in
+  let main =
+    func t ~module_:"sp" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 m (fun line ->
+            let _ = call b eliminate ~fargs:[] ~iargs:[ line ] in
+            let _ = call b backsolve ~fargs:[] ~iargs:[ line ] in
+            ()))
+  in
+  let prog = Builder.program t ~main in
+  (prog, a2b, a1b, bb, c1b, c2b, db, xb)
+
+let make cls =
+  let sz = sizes cls in
+  let data = gen ~seed:(1300 + sz.lines) sz in
+  let program, a2b, a1b, bb, c1b, c2b, db, xb = build sz in
+  let reference = host_solve sz data in
+  let nx = Array.length reference in
+  let verify res = Stats.rel_err_inf res data.xtrue <= sz.tol in
+  {
+    Kernel.name = "sp." ^ Kernel.class_name cls;
+    program;
+    setup =
+      (fun vm ->
+        Vm.write_f vm a2b data.a2;
+        Vm.write_f vm a1b data.a1;
+        Vm.write_f vm bb data.b;
+        Vm.write_f vm c1b data.c1;
+        Vm.write_f vm c2b data.c2;
+        Vm.write_f vm db data.d);
+    output = (fun vm -> Vm.read_f vm xb nx);
+    verify;
+    reference;
+    hints = Config.empty;
+    comm_bytes =
+      (fun ~ranks net ->
+        2.0 *. Mpi_model.halo net ~ranks ~bytes_boundary:(16.0 *. float_of_int sz.lines));
+  }

@@ -1,0 +1,14 @@
+(** SP-like benchmark: independent scalar-pentadiagonal line solves (the
+    numerical character of NAS SP's ADI solver).
+
+    Banded Gaussian elimination without pivoting on diagonally-dominant
+    pentadiagonal systems assembled host-side from a known solution, then
+    back substitution. The verification tolerance sits just below what a
+    fully single-precision solve achieves, so individually-passing parts
+    do not compose — the paper's SP fails the final composed verification
+    in both classes. *)
+
+type sizes = { lines : int; len : int; tol : float }
+
+val sizes : Kernel.class_ -> sizes
+val make : Kernel.class_ -> Kernel.t

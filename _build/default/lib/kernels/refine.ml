@@ -1,0 +1,174 @@
+type t = {
+  program : Ir.program;
+  n : int;
+  refine_steps : int;
+  setup : Vm.t -> unit;
+  solution : Vm.t -> float array;
+  residual_history : Vm.t -> float array;
+  xtrue : float array;
+}
+
+let build n refine_steps =
+  let t = Builder.create () in
+  let ab = Builder.alloc_f t (n * n) in
+  let lub = Builder.alloc_f t (n * n) in
+  let bb = Builder.alloc_f t n in
+  let xb = Builder.alloc_f t n in
+  let rb = Builder.alloc_f t n in
+  let zb = Builder.alloc_f t n in
+  let yb = Builder.alloc_f t n in
+  let hist = Builder.alloc_f t (refine_steps + 1) in
+  let open Builder in
+  let copy_a =
+    func t ~module_:"refine" "copy_a" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 (n * n) (fun k -> storef b (idx lub k) (loadf b (idx ab k))))
+  in
+  let factor =
+    func t ~module_:"refine" "factor" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let one = fconst b 1.0 in
+        for_range b 0 n (fun k ->
+            let kk = iadd b (imulc b k n) k in
+            let inv = fdiv b one (loadf b (dyn_idx (iconst b lub) kk)) in
+            for_ b (iaddc b k 1) (iconst b n) (fun i ->
+                let ik = iadd b (imulc b i n) k in
+                let lik = fmul b (loadf b (dyn_idx (iconst b lub) ik)) inv in
+                storef b (dyn_idx (iconst b lub) ik) lik;
+                for_ b (iaddc b k 1) (iconst b n) (fun j ->
+                    let ij = iadd b (imulc b i n) j in
+                    let kj = iadd b (imulc b k n) j in
+                    let v =
+                      fsub b
+                        (loadf b (dyn_idx (iconst b lub) ij))
+                        (fmul b lik (loadf b (dyn_idx (iconst b lub) kj)))
+                    in
+                    storef b (dyn_idx (iconst b lub) ij) v))))
+  in
+  let solve =
+    func t ~module_:"refine" "solve" ~nf_args:0 ~ni_args:2 (fun b _ ia ->
+        let rhs = ia.(0) and dst = ia.(1) in
+        for_range b 0 n (fun i ->
+            let acc = freshf b in
+            setf b acc (loadf b (dyn_idx rhs i));
+            for_ b (iconst b 0) i (fun j ->
+                let ij = iadd b (imulc b i n) j in
+                let lij = loadf b (dyn_idx (iconst b lub) ij) in
+                let yj = loadf b (dyn_idx (iconst b yb) j) in
+                setf b acc (fsub b acc (fmul b lij yj)));
+            storef b (dyn_idx (iconst b yb) i) acc);
+        for_down b (iconst b n) (iconst b 0) (fun i ->
+            let acc = freshf b in
+            setf b acc (loadf b (dyn_idx (iconst b yb) i));
+            for_ b (iaddc b i 1) (iconst b n) (fun j ->
+                let ij = iadd b (imulc b i n) j in
+                let uij = loadf b (dyn_idx (iconst b lub) ij) in
+                let xj = loadf b (dyn_idx dst j) in
+                setf b acc (fsub b acc (fmul b uij xj)));
+            let ii = iadd b (imulc b i n) i in
+            storef b (dyn_idx dst i) (fdiv b acc (loadf b (dyn_idx (iconst b lub) ii)))))
+  in
+  let residual =
+    func t ~module_:"refine" "residual" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 n (fun i ->
+            let acc = freshf b in
+            setf b acc (loadf b (idx bb i));
+            for_range b 0 n (fun j ->
+                let ij = iadd b (imulc b i n) j in
+                let aij = loadf b (dyn_idx (iconst b ab) ij) in
+                let xj = loadf b (dyn_idx (iconst b xb) j) in
+                setf b acc (fsub b acc (fmul b aij xj)));
+            storef b (dyn_idx (iconst b rb) i) acc))
+  in
+  let update =
+    func t ~module_:"refine" "update" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 n (fun i ->
+            storef b (idx xb i) (fadd b (loadf b (idx xb i)) (loadf b (idx zb i)))))
+  in
+  let rnorm =
+    func t ~module_:"refine" "rnorm" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let acc = freshf b in
+        setf b acc (fconst b 0.0);
+        for_range b 0 n (fun i ->
+            let v = loadf b (idx rb i) in
+            setf b acc (fadd b acc (fmul b v v)));
+        ret b ~f:[ fsqrt b acc ] ())
+  in
+  let main =
+    func t ~module_:"refine" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let _ = call b copy_a ~fargs:[] ~iargs:[] in
+        let _ = call b factor ~fargs:[] ~iargs:[] in
+        let _ = call b solve ~fargs:[] ~iargs:[ iconst b bb; iconst b xb ] in
+        for_range b 0 refine_steps (fun it ->
+            let _ = call b residual ~fargs:[] ~iargs:[] in
+            let rn, _ = call b rnorm ~fargs:[] ~iargs:[] in
+            storef b (dyn_idx (iconst b hist) it) rn.(0);
+            let _ = call b solve ~fargs:[] ~iargs:[ iconst b rb; iconst b zb ] in
+            let _ = call b update ~fargs:[] ~iargs:[] in
+            ());
+        let _ = call b residual ~fargs:[] ~iargs:[] in
+        let rn, _ = call b rnorm ~fargs:[] ~iargs:[] in
+        storef b (at (hist + refine_steps)) rn.(0))
+  in
+  (Builder.program t ~main, ab, bb, xb, hist)
+
+let create ?(seed = 31415) ?(n = 48) ?(refine_steps = 4) () =
+  let program, ab, bb, xb, hist = build n refine_steps in
+  let rng = Rng.create seed in
+  let a = Array.init (n * n) (fun _ -> Rng.uniform rng -. 0.5) in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then s := !s +. Float.abs a.((i * n) + j)
+    done;
+    a.((i * n) + i) <- 1.0 +. !s
+  done;
+  let xtrue = Array.init n (fun _ -> Rng.uniform rng -. 0.5) in
+  let b = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (a.((i * n) + j) *. xtrue.(j))
+    done;
+    b.(i) <- !acc
+  done;
+  {
+    program;
+    n;
+    refine_steps;
+    setup =
+      (fun vm ->
+        Vm.write_f vm ab a;
+        Vm.write_f vm bb b);
+    solution = (fun vm -> Vm.read_f vm xb n);
+    residual_history = (fun vm -> Vm.read_f vm hist (refine_steps + 1));
+    xtrue;
+  }
+
+let mixed_config =
+  List.fold_left
+    (fun acc f -> Config.set_func acc f Config.Single)
+    Config.empty [ "factor"; "solve" ]
+
+let all_single_config = Config.set_module Config.empty "refine" Config.Single
+
+type outcome = {
+  error : float;
+  history : float array;
+  instrumented : Cost.run_cost;
+  converted : Cost.run_cost;
+}
+
+let run t config =
+  let patched = Patcher.patch t.program config in
+  let vm = Vm.create ~checked:true patched in
+  t.setup vm;
+  Vm.run vm;
+  let conv = To_single.convert_config t.program config in
+  let cvm = Vm.create ~smode:Vm.Plain conv in
+  t.setup cvm;
+  Vm.run cvm;
+  {
+    error = Stats.rel_err_inf (t.solution vm) t.xtrue;
+    history = t.residual_history vm;
+    instrumented = Cost.of_run vm;
+    converted = Cost.of_run cvm;
+  }

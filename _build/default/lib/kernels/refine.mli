@@ -1,0 +1,33 @@
+(** Dense LU with mixed-precision iterative refinement (paper Fig. 12).
+
+    The binary factors a dense dominant matrix, solves, and then runs
+    refinement steps: residual in full (double) precision, correction solve
+    through the factored matrix, solution update in double. The
+    configurations of interest mark [factor] and [solve] single — the
+    O(n^3)/O(n^2) split of the paper's Fig. 12. *)
+
+type t = {
+  program : Ir.program;
+  n : int;
+  refine_steps : int;
+  setup : Vm.t -> unit;
+  solution : Vm.t -> float array;
+  residual_history : Vm.t -> float array;  (** residual norm before each step + final *)
+  xtrue : float array;
+}
+
+val create : ?seed:int -> ?n:int -> ?refine_steps:int -> unit -> t
+
+val mixed_config : Config.t
+(** [factor] and [solve] single; residual/update double (the Fig. 12 split). *)
+
+val all_single_config : Config.t
+
+type outcome = {
+  error : float;  (** relative infinity-norm error vs the known solution *)
+  history : float array;
+  instrumented : Cost.run_cost;
+  converted : Cost.run_cost;  (** cost of the suggested source-level build *)
+}
+
+val run : t -> Config.t -> outcome

@@ -1,0 +1,57 @@
+type csr = { n : int; rowptr : int array; col : int array; value : float array }
+
+let random_spd ~seed ~n ~extras_per_row =
+  let rng = Rng.create seed in
+  let rows = Array.make n [] in
+  (* strictly-lower random entries, mirrored for symmetry *)
+  for i = 1 to n - 1 do
+    for _ = 1 to extras_per_row do
+      let j = Rng.int rng i in
+      let v = (2.0 *. Rng.uniform rng) -. 1.0 in
+      rows.(i) <- (j, v) :: rows.(i);
+      rows.(j) <- (i, v) :: rows.(j)
+    done
+  done;
+  (* combine duplicates, add dominant diagonal *)
+  let rowptr = Array.make (n + 1) 0 in
+  let cols = ref [] and vals = ref [] and nnz = ref 0 in
+  for i = 0 to n - 1 do
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (j, v) ->
+        let cur = match Hashtbl.find_opt tbl j with Some x -> x | None -> 0.0 in
+        Hashtbl.replace tbl j (cur +. v))
+      rows.(i);
+    let entries = Hashtbl.fold (fun j v acc -> (j, v) :: acc) tbl [] in
+    let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+    let absum = List.fold_left (fun acc (_, v) -> acc +. Float.abs v) 0.0 entries in
+    let diag = 1.0 +. absum in
+    let with_diag =
+      List.merge
+        (fun (a, _) (b, _) -> compare a b)
+        entries
+        [ (i, diag) ]
+    in
+    List.iter
+      (fun (j, v) ->
+        cols := j :: !cols;
+        vals := v :: !vals;
+        incr nnz)
+      with_diag;
+    rowptr.(i + 1) <- !nnz
+  done;
+  {
+    n;
+    rowptr;
+    col = Array.of_list (List.rev !cols);
+    value = Array.of_list (List.rev !vals);
+  }
+
+let spmv a x y =
+  for i = 0 to a.n - 1 do
+    let acc = ref 0.0 in
+    for k = a.rowptr.(i) to a.rowptr.(i + 1) - 1 do
+      acc := !acc +. (a.value.(k) *. x.(a.col.(k)))
+    done;
+    y.(i) <- !acc
+  done

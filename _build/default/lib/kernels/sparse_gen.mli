@@ -1,0 +1,20 @@
+(** Host-side generation of sparse symmetric positive-definite matrices in
+    CSR form, used as the CG benchmark's data set (the analogue of NAS CG's
+    [makea] generator). Diagonal dominance guarantees positive
+    definiteness. *)
+
+type csr = {
+  n : int;
+  rowptr : int array;  (** length n+1 *)
+  col : int array;
+  value : float array;
+}
+
+val random_spd : seed:int -> n:int -> extras_per_row:int -> csr
+(** Symmetric pattern with [extras_per_row] random strictly-lower entries
+    per row (mirrored), values in [(-1, 1)], diagonal set to
+    [1 + sum |offdiag|]. *)
+
+val spmv : csr -> float array -> float array -> unit
+(** [spmv a x y] computes [y <- A x] with ascending-column accumulation
+    order (bit-for-bit identical to the IR kernel's loop). *)

@@ -1,0 +1,1 @@
+lib/search/bfs.ml: Array Config Domain Format Ir List Patcher Static Stats String Vm

@@ -1,0 +1,1 @@
+lib/search/bfs.mli: Config Ir Static Vm

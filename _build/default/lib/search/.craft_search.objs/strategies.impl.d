@@ -1,0 +1,1 @@
+lib/search/strategies.ml: Array Bfs Config List Static

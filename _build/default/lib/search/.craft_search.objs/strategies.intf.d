@@ -1,0 +1,1 @@
+lib/search/strategies.mli: Bfs Config

@@ -1,0 +1,268 @@
+module Target = struct
+  type t = {
+    program : Ir.program;
+    eval : Config.t -> bool;
+    profile : unit -> int array;
+  }
+
+  let make program ~setup ~output ~verify =
+    let eval cfg =
+      let patched = Patcher.patch program cfg in
+      let vm = Vm.create ~checked:true patched in
+      setup vm;
+      match Vm.run vm with
+      | () -> verify (output vm)
+      | exception Vm.Trap _ -> false
+      | exception Vm.Limit _ -> false
+    in
+    let profile () =
+      let vm = Vm.create program in
+      setup vm;
+      Vm.run vm;
+      vm.counts
+    in
+    { program; eval; profile }
+end
+
+type granularity = Module_level | Func_level | Block_level | Insn_level
+
+type options = {
+  stop_at : granularity;
+  binary_split : bool;
+  prioritize : bool;
+  split_threshold : int;
+  workers : int;
+  second_phase : bool;
+  base : Config.t;
+}
+
+let default_options =
+  {
+    stop_at = Insn_level;
+    binary_split = true;
+    prioritize = true;
+    split_threshold = 4;
+    workers = 1;
+    second_phase = false;
+    base = Config.empty;
+  }
+
+type result = {
+  final : Config.t;
+  final_pass : bool;
+  candidates : int;
+  tested : int;
+  static_replaced : int;
+  static_pct : float;
+  dynamic_pct : float;
+  passing_nodes : Static.node list;
+  log : string list;
+}
+
+let rank = function Module_level -> 0 | Func_level -> 1 | Block_level -> 2 | Insn_level -> 3
+
+let node_rank = function
+  | Static.Module _ -> 0
+  | Static.Func _ -> 1
+  | Static.Block _ -> 2
+  | Static.Insn _ -> 3
+
+let children_of = function
+  | Static.Module (_, cs) | Static.Func (_, _, cs) | Static.Block (_, cs) -> cs
+  | Static.Insn _ -> []
+
+let force_single ~base cfg node =
+  let has_ignored =
+    List.exists
+      (fun info -> Config.effective base info = Config.Ignore)
+      (Static.node_insns node)
+  in
+  if not has_ignored then Config.set_node cfg node Config.Single
+  else
+    (* Aggregate flags override children, so setting the aggregate single
+       would clobber the user's ignore hints; expand to instruction level
+       instead. *)
+    List.fold_left
+      (fun acc info ->
+        if Config.effective base info = Config.Ignore then acc
+        else Config.set_insn acc info.Static.addr Config.Single)
+      cfg (Static.node_insns node)
+
+type item = { nodes : Static.node list; weight : int; seq : int }
+
+let search ?(options = default_options) (target : Target.t) =
+  let counts = target.profile () in
+  let base = options.base in
+  let log = ref [] in
+  let say fmt = Format.kasprintf (fun s -> log := s :: !log) fmt in
+  let live_insns node =
+    List.filter
+      (fun info -> Config.effective base info <> Config.Ignore)
+      (Static.node_insns node)
+  in
+  let weight_of nodes =
+    List.fold_left
+      (fun acc n ->
+        List.fold_left (fun acc (i : Static.insn_info) -> acc + counts.(i.addr)) acc
+          (live_insns n))
+      0 nodes
+  in
+  let universe =
+    Array.to_list (Static.candidates target.program)
+    |> List.filter (fun info -> Config.effective base info <> Config.Ignore)
+  in
+  let n_candidates = List.length universe in
+  let seq = ref 0 in
+  let mk nodes =
+    incr seq;
+    { nodes; weight = weight_of nodes; seq = !seq }
+  in
+  let queue = ref [] in
+  let push it = if it.nodes <> [] then queue := it :: !queue in
+  let pop_batch n =
+    let cmp a b =
+      if options.prioritize then
+        match compare b.weight a.weight with 0 -> compare a.seq b.seq | c -> c
+      else compare a.seq b.seq
+    in
+    let sorted = List.sort cmp !queue in
+    let rec take k = function
+      | [] -> ([], [])
+      | x :: rest when k > 0 ->
+          let batch, leftover = take (k - 1) rest in
+          (x :: batch, leftover)
+      | rest -> ([], rest)
+    in
+    let batch, rest = take n sorted in
+    queue := rest;
+    batch
+  in
+  let cfg_of_item it = List.fold_left (fun acc n -> force_single ~base acc n) base it.nodes in
+  let tested = ref 0 in
+  let eval_items items =
+    tested := !tested + List.length items;
+    match items with
+    | [ it ] -> [ (it, target.eval (cfg_of_item it)) ]
+    | _ when options.workers <= 1 ->
+        List.map (fun it -> (it, target.eval (cfg_of_item it))) items
+    | _ ->
+        let doms =
+          List.map
+            (fun it ->
+              let cfg = cfg_of_item it in
+              (it, Domain.spawn (fun () -> target.eval cfg)))
+            items
+        in
+        List.map (fun (it, d) -> (it, Domain.join d)) doms
+  in
+  let passing = ref [] in
+  (* Seed the queue with one configuration per module. *)
+  List.iter
+    (fun node -> if live_insns node <> [] then push (mk [ node ]))
+    (Static.tree target.program);
+  let halves xs =
+    let n = List.length xs in
+    let rec split k = function
+      | rest when k = 0 -> ([], rest)
+      | [] -> ([], [])
+      | x :: rest ->
+          let a, b = split (k - 1) rest in
+          (x :: a, b)
+    in
+    split ((n + 1) / 2) xs
+  in
+  let descend it =
+    match it.nodes with
+    | [] -> ()
+    | [ node ] ->
+        if node_rank node < rank options.stop_at then begin
+          let cs = List.filter (fun c -> live_insns c <> []) (children_of node) in
+          match cs with
+          | [] -> ()
+          | _ when options.binary_split && List.length cs > options.split_threshold ->
+              let a, b = halves cs in
+              push (mk a);
+              push (mk b)
+          | _ -> List.iter (fun c -> push (mk [ c ])) cs
+        end
+    | nodes ->
+        (* a failing partition splits in two again *)
+        let a, b = halves nodes in
+        if options.binary_split && List.length a > 1 then begin
+          push (mk a);
+          push (mk b)
+        end
+        else List.iter (fun n -> push (mk [ n ])) nodes
+  in
+  while !queue <> [] do
+    let batch = pop_batch (max 1 options.workers) in
+    let results = eval_items batch in
+    List.iter
+      (fun (it, pass) ->
+        let names = String.concat " + " (List.map Static.node_name it.nodes) in
+        if pass then begin
+          say "PASS %s (weight %d)" names it.weight;
+          passing := it.nodes @ !passing
+        end
+        else begin
+          say "FAIL %s (weight %d)" names it.weight;
+          descend it
+        end)
+      results
+  done;
+  let passing_nodes = List.rev !passing in
+  let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
+  incr tested;
+  let final_pass = target.eval final in
+  say "FINAL union of %d passing structures: %s" (List.length passing_nodes)
+    (if final_pass then "pass" else "fail");
+  let final, final_pass =
+    if final_pass || not options.second_phase then (final, final_pass)
+    else begin
+      (* Greedy composition: add individually-passing structures heaviest
+         first, keeping only those that compose into a passing whole. *)
+      let units =
+        List.sort
+          (fun a b -> compare (weight_of [ b ]) (weight_of [ a ]))
+          passing_nodes
+      in
+      let acc = ref base in
+      List.iter
+        (fun node ->
+          let trial = force_single ~base !acc node in
+          incr tested;
+          if target.eval trial then begin
+            acc := trial;
+            say "COMPOSE keep %s" (Static.node_name node)
+          end
+          else say "COMPOSE drop %s" (Static.node_name node))
+        units;
+      (!acc, true)
+    end
+  in
+  let static_replaced =
+    List.length (List.filter (fun info -> Config.effective final info = Config.Single) universe)
+  in
+  (* the dynamic denominator counts every FP candidate execution, including
+     Ignore-flagged instructions: ignored work is floating-point work that
+     was not replaced *)
+  let dyn_num, dyn_den =
+    Array.fold_left
+      (fun (num, den) (info : Static.insn_info) ->
+        let c = counts.(info.addr) in
+        ( (if Config.effective final info = Config.Single then num + c else num),
+          den + c ))
+      (0, 0)
+      (Static.candidates target.program)
+  in
+  {
+    final;
+    final_pass;
+    candidates = n_candidates;
+    tested = !tested;
+    static_replaced;
+    static_pct = Stats.percent (float_of_int static_replaced) (float_of_int n_candidates);
+    dynamic_pct = Stats.percent (float_of_int dyn_num) (float_of_int dyn_den);
+    passing_nodes;
+    log = List.rev !log;
+  }

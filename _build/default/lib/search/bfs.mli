@@ -1,0 +1,86 @@
+(** The automatic breadth-first configuration search (paper §2.2).
+
+    The search walks the program structure tree breadth-first, testing
+    whether whole modules can be replaced by single precision, descending
+    into functions, basic blocks and finally individual instructions when a
+    coarser replacement fails the user-provided verification routine.
+
+    Both of the paper's optimizations are implemented and can be toggled
+    for ablation:
+
+    - {e binary splitting}: when an aggregate with many children fails, the
+      children are first retried as two half-partitions instead of
+      individually;
+    - {e profiling prioritization}: a native profiling run weights every
+      work item by the dynamic execution count of the instructions it
+      covers, and the work queue is processed heaviest-first.
+
+    Configuration evaluations are independent full program runs; with
+    [workers > 1] they are dispatched to OCaml domains in deterministic
+    waves. *)
+
+module Target : sig
+  type t = {
+    program : Ir.program;  (** the original, all-double program *)
+    eval : Config.t -> bool;
+        (** patch + run + verify one configuration. Must be thread-safe
+            (evaluations run on domains) and must treat VM traps as
+            failure. Use {!make_eval} unless custom behaviour is needed. *)
+    profile : unit -> int array;
+        (** address-indexed dynamic execution counts from one native run *)
+  }
+
+  val make :
+    Ir.program ->
+    setup:(Vm.t -> unit) ->
+    output:(Vm.t -> float array) ->
+    verify:(float array -> bool) ->
+    t
+  (** Standard target: [eval cfg] patches the program with [cfg], runs it
+      checked with [setup] applied, reads [output] (coerced) and applies
+      [verify]; any VM trap or step-limit blowout counts as verification
+      failure. *)
+end
+
+type granularity = Module_level | Func_level | Block_level | Insn_level
+
+type options = {
+  stop_at : granularity;  (** coarsest terminal level of the descent *)
+  binary_split : bool;
+  prioritize : bool;
+  split_threshold : int;  (** partition instead of enumerating when an
+                              aggregate has more children than this *)
+  workers : int;  (** parallel evaluation domains (1 = sequential) *)
+  second_phase : bool;
+      (** greedy composition pass when the final union fails (paper §3.1's
+          suggested extension) *)
+  base : Config.t;
+      (** pre-seeded flags (e.g. [Ignore] hints on RNG routines); ignored
+          instructions are excluded from the candidate universe *)
+}
+
+val default_options : options
+(** Instruction-level descent, both optimizations on, threshold 4, 1
+    worker, no second phase, empty base. *)
+
+type result = {
+  final : Config.t;  (** union of every individually-passing replacement *)
+  final_pass : bool;
+  candidates : int;  (** size of the candidate universe *)
+  tested : int;  (** configurations evaluated, including the final one(s) *)
+  static_replaced : int;  (** candidates effectively single in [final] *)
+  static_pct : float;
+  dynamic_pct : float;
+      (** profile-weighted replaced fraction of {e all} candidate
+          executions, including [Ignore]-flagged instructions *)
+  passing_nodes : Static.node list;  (** structures that passed as a whole *)
+  log : string list;  (** chronological search narration *)
+}
+
+val search : ?options:options -> Target.t -> result
+
+val force_single : base:Config.t -> Config.t -> Static.node -> Config.t
+(** [force_single ~base cfg node] marks [node] single in [cfg] — at the
+    aggregate level when possible, expanded to instruction level when the
+    aggregate contains [Ignore]-flagged instructions (aggregate flags
+    override children, and user ignore-hints must survive). *)

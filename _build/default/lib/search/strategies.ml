@@ -1,0 +1,125 @@
+type result = {
+  final : Config.t;
+  final_pass : bool;
+  tested : int;
+  static_replaced : int;
+  candidates : int;
+}
+
+let universe base (target : Bfs.Target.t) =
+  Array.to_list (Static.candidates target.Bfs.Target.program)
+  |> List.filter (fun info -> Config.effective base info = Config.Double)
+
+let config_of base insns =
+  List.fold_left
+    (fun acc (info : Static.insn_info) -> Config.set_insn acc info.Static.addr Config.Single)
+    base insns
+
+let mk_result base ~tested ~pass active n_candidates =
+  {
+    final = config_of base active;
+    final_pass = pass;
+    tested;
+    static_replaced = List.length active;
+    candidates = n_candidates;
+  }
+
+let delta_debug ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.t) =
+  let all = universe base target in
+  let n_candidates = List.length all in
+  let tested = ref 0 in
+  let eval insns =
+    incr tested;
+    target.Bfs.Target.eval (config_of base insns)
+  in
+  let chunks g xs =
+    let n = List.length xs in
+    let size = max 1 ((n + g - 1) / g) in
+    let rec go acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+          if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (k + 1) rest
+    in
+    go [] [] 0 xs
+  in
+  let remove chunk xs =
+    List.filter (fun (i : Static.insn_info) -> not (List.memq i chunk)) xs
+  in
+  (* phase 1: shrink the active set until it passes *)
+  let rec shrink active g =
+    if !tested >= max_tests then (active, false)
+    else if eval active then (active, true)
+    else if List.length active <= 1 then ([], true) (* empty set passes trivially *)
+    else begin
+      let cs = chunks g active in
+      let rec try_chunks = function
+        | [] -> None
+        | c :: rest ->
+            if !tested >= max_tests then None
+            else begin
+              let candidate = remove c active in
+              if candidate <> [] && eval candidate then Some candidate
+              else if candidate = [] then None
+              else try_chunks rest
+            end
+      in
+      match try_chunks cs with
+      | Some smaller -> shrink_pass smaller
+      | None ->
+          if g >= List.length active then ([], true)
+          else shrink active (min (List.length active) (2 * g))
+    end
+  and shrink_pass active =
+    (* the active set passes; fall through to growth *)
+    (active, true)
+  in
+  let passing, ok = shrink all 2 in
+  if not ok then
+    (* budget exhausted without a passing set: fall back to empty *)
+    mk_result base ~tested:!tested ~pass:true [] n_candidates
+  else begin
+    (* phase 2: grow back the removed instructions greedily (cold first,
+       they are most likely to be tolerable) *)
+    let removed =
+      List.filter (fun (i : Static.insn_info) -> not (List.memq i passing)) all
+    in
+    let counts = target.Bfs.Target.profile () in
+    let removed =
+      List.sort
+        (fun (a : Static.insn_info) (b : Static.insn_info) ->
+          compare counts.(a.Static.addr) counts.(b.Static.addr))
+        removed
+    in
+    let active = ref passing in
+    List.iter
+      (fun info ->
+        if !tested < max_tests then begin
+          let trial = info :: !active in
+          if eval trial then active := trial
+        end)
+      removed;
+    mk_result base ~tested:!tested ~pass:true !active n_candidates
+  end
+
+let greedy_grow ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.t) =
+  let all = universe base target in
+  let n_candidates = List.length all in
+  let counts = target.Bfs.Target.profile () in
+  let ordered =
+    List.sort
+      (fun (a : Static.insn_info) (b : Static.insn_info) ->
+        compare counts.(b.Static.addr) counts.(a.Static.addr))
+      all
+  in
+  let tested = ref 0 in
+  let active = ref [] in
+  List.iter
+    (fun info ->
+      if !tested < max_tests then begin
+        incr tested;
+        let trial = info :: !active in
+        if target.Bfs.Target.eval (config_of base trial) then active := trial
+      end)
+    ordered;
+  mk_result base ~tested:!tested ~pass:true !active n_candidates

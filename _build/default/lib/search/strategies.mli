@@ -1,0 +1,29 @@
+(** Alternative search strategies (the paper's §2.5, last future item:
+    "streamline the search algorithm ... adapting more conventional search
+    heuristics rather than doing a simple breadth-first search").
+
+    [delta_debug] is a ddmax-style strategy: start from the everything-
+    single configuration and repeatedly try to {e keep out} chunks of
+    instructions (coarse chunks first, halving granularity on failure)
+    until a passing configuration emerges; then grow it greedily. Compared
+    to the structural BFS it ignores program structure entirely and works
+    on the flat instruction list — often fewer tests when most of the
+    program is replaceable, more when failures are scattered. *)
+
+type result = {
+  final : Config.t;
+  final_pass : bool;
+  tested : int;
+  static_replaced : int;
+  candidates : int;
+}
+
+val delta_debug : ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+(** [max_tests] (default 2000) bounds the budget; the best passing
+    configuration found so far is returned when it is exhausted. *)
+
+val greedy_grow : ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+(** A simple hill-climbing baseline: instructions are considered one at a
+    time in descending profile weight; each is kept single if the
+    configuration so far still passes. Always returns a passing
+    configuration; costs exactly one test per candidate. *)

@@ -1,0 +1,1 @@
+lib/superlu/memplus_like.ml: Array Float Hashtbl List Rng Sparse_csc

@@ -1,0 +1,1 @@
+lib/superlu/memplus_like.mli: Sparse_csc

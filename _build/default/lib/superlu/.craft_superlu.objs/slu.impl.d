@@ -1,0 +1,1 @@
+lib/superlu/slu.ml: Array Bfs Builder Float Ir List Memplus_like Rng Sparse_csc Stats To_single Vm

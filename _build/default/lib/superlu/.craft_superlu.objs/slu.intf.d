@@ -1,0 +1,1 @@
+lib/superlu/slu.mli: Bfs Ir Sparse_csc Vm

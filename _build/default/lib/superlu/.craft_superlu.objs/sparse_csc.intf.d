@@ -1,0 +1,1 @@
+lib/superlu/sparse_csc.mli:

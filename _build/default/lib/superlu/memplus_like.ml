@@ -1,0 +1,59 @@
+let generate ?(dominance = 1.02) ?(dominance_base = 0.001) ?(weak_fraction = 0.0)
+    ?(weak_margin = 1.0005) ?(planted_pairs = 0) ?(planted_eps = 3e-4) ~seed ~n () =
+  let rng = Rng.create seed in
+  let triples = ref [] in
+  let add i j v = if i <> j then triples := (i, j, v) :: !triples in
+  let magnitude () = 10.0 ** (-3.0 +. (3.0 *. Rng.uniform rng)) in
+  let signed_mag () = if Rng.int rng 2 = 0 then magnitude () else -.magnitude () in
+  (* local circuit couplings: banded neighbours *)
+  for j = 0 to n - 1 do
+    let k = 2 + Rng.int rng 4 in
+    for _ = 1 to k do
+      let off = 1 + Rng.int rng 8 in
+      let i = if Rng.int rng 2 = 0 then j - off else j + off in
+      if i >= 0 && i < n then add i j (signed_mag ())
+    done
+  done;
+  (* long-range bus couplings: a few hub rows touched from everywhere *)
+  let hubs = Array.init (max 1 (n / 100)) (fun _ -> Rng.int rng n) in
+  for j = 0 to n - 1 do
+    if Rng.int rng 10 = 0 then begin
+      let h = hubs.(Rng.int rng (Array.length hubs)) in
+      add h j (signed_mag ());
+      add j h (signed_mag ())
+    end
+  done;
+  (* row and column absolute sums for the dominance margin *)
+  let rowsum = Array.make n 0.0 and colsum = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, v) ->
+      rowsum.(i) <- rowsum.(i) +. Float.abs v;
+      colsum.(j) <- colsum.(j) +. Float.abs v)
+    !triples;
+  (* planted nearly-dependent node pairs: a strongly-coupled 2x2 block
+     [[10,10],[10,10(1+eps)]] contributes ~1/eps to the condition number,
+     the way memplus's weakly-grounded node clusters do *)
+  let planted = Hashtbl.create 8 in
+  for _ = 1 to planted_pairs do
+    let i = Rng.int rng (n - 1) in
+    let k = i + 1 in
+    if not (Hashtbl.mem planted i || Hashtbl.mem planted k) then begin
+      Hashtbl.replace planted i ();
+      Hashtbl.replace planted k ();
+      triples := (i, i, 10.0) :: (i, k, 10.0) :: (k, i, 10.0)
+                 :: (k, k, 10.0 *. (1.0 +. planted_eps)) :: !triples
+    end
+  done;
+  (* a small fraction of barely-dominant rows raises the condition number
+     toward memplus's (weak circuit nodes) without endangering stability *)
+  for j = 0 to n - 1 do
+   if not (Hashtbl.mem planted j) then begin
+    let weak = Rng.uniform rng < weak_fraction in
+    let d =
+      if weak then weak_margin *. Float.max rowsum.(j) colsum.(j)
+      else dominance_base +. (dominance *. Float.max rowsum.(j) colsum.(j))
+    in
+    triples := (j, j, d) :: !triples
+   end
+  done;
+  Sparse_csc.of_entries n !triples

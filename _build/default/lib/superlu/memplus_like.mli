@@ -1,0 +1,26 @@
+(** Synthetic stand-in for the Matrix Market "memplus" matrix (paper §3.3).
+
+    The real memplus is a 17758-row unsymmetric memory-circuit matrix with
+    a dominant diagonal, clustered off-diagonal couplings, and entry
+    magnitudes spanning several orders of magnitude. This generator
+    reproduces those structural statistics at a configurable (scaled-down)
+    size: per column a small random number of off-diagonal entries, values
+    [±10^U(-3,0)], plus long-range "bus" couplings, and a diagonal that
+    keeps the matrix comfortably row/column dominant so the solver's
+    no-pivot factorization is stable (see DESIGN.md substitutions). *)
+
+val generate :
+  ?dominance:float ->
+  ?dominance_base:float ->
+  ?weak_fraction:float ->
+  ?weak_margin:float ->
+  ?planted_pairs:int ->
+  ?planted_eps:float ->
+  seed:int ->
+  n:int ->
+  unit ->
+  Sparse_csc.t
+(** [dominance] (default 1.02) scales the max row/column off-diagonal sum
+    into the diagonal; values close to 1 weaken dominance and raise the
+    condition number (the knob used to match memplus's error profile).
+    [dominance_base] (default 0.001) is the additive floor. *)

@@ -1,0 +1,347 @@
+type symbolic = { up : int array; ui : int array; lp : int array; li : int array }
+
+let symbolic (a : Sparse_csc.t) =
+  let n = a.n in
+  (* L column structures built so far (row indices > column, ascending) *)
+  let lcols = Array.make n [||] in
+  let up = Array.make (n + 1) 0 and lp = Array.make (n + 1) 0 in
+  let ui = ref [] and li = ref [] in
+  let nu = ref 0 and nl = ref 0 in
+  let seen = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    (* reachability of A(:,j) through the columns of L *)
+    let reach = ref [] in
+    let rec visit i =
+      if seen.(i) <> j then begin
+        seen.(i) <- j;
+        reach := i :: !reach;
+        if i < j then Array.iter visit lcols.(i)
+      end
+    in
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      visit a.rowind.(k)
+    done;
+    visit j;
+    let rows = List.sort compare !reach in
+    let us = List.filter (fun i -> i < j) rows in
+    let ls = List.filter (fun i -> i > j) rows in
+    List.iter
+      (fun i ->
+        ui := i :: !ui;
+        incr nu)
+      us;
+    List.iter
+      (fun i ->
+        li := i :: !li;
+        incr nl)
+      ls;
+    up.(j + 1) <- !nu;
+    lp.(j + 1) <- !nl;
+    lcols.(j) <- Array.of_list ls
+  done;
+  {
+    up;
+    ui = Array.of_list (List.rev !ui);
+    lp;
+    li = Array.of_list (List.rev !li);
+  }
+
+(* ---------- host numeric reference (op-for-op identical to the IR) ---------- *)
+
+(* Row equilibration (as in SuperLU's driver): scale each row of A and b by
+   its largest absolute entry. Destructive on copies; returns (values, b). *)
+let host_equilibrate (a : Sparse_csc.t) b =
+  let n = a.n in
+  let ax = Array.copy a.values and b = Array.copy b in
+  let rmax = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      let v = Float.abs ax.(k) in
+      rmax.(a.rowind.(k)) <- Float.max rmax.(a.rowind.(k)) v
+    done
+  done;
+  for j = 0 to n - 1 do
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      ax.(k) <- ax.(k) /. rmax.(a.rowind.(k))
+    done
+  done;
+  for i = 0 to n - 1 do
+    b.(i) <- b.(i) /. rmax.(i)
+  done;
+  (ax, b)
+
+let host_factor ?values (a : Sparse_csc.t) (s : symbolic) =
+  let vals = match values with Some v -> v | None -> a.values in
+  let n = a.n in
+  let ux = Array.make (max 1 (Array.length s.ui)) 0.0 in
+  let lx = Array.make (max 1 (Array.length s.li)) 0.0 in
+  let d = Array.make n 0.0 in
+  let w = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      w.(a.rowind.(k)) <- vals.(k)
+    done;
+    for p = s.up.(j) to s.up.(j + 1) - 1 do
+      let k = s.ui.(p) in
+      let ukj = w.(k) in
+      ux.(p) <- ukj;
+      for q = s.lp.(k) to s.lp.(k + 1) - 1 do
+        let i = s.li.(q) in
+        w.(i) <- w.(i) -. (lx.(q) *. ukj)
+      done
+    done;
+    let dj = w.(j) in
+    d.(j) <- dj;
+    let inv = 1.0 /. dj in
+    for q = s.lp.(j) to s.lp.(j + 1) - 1 do
+      lx.(q) <- w.(s.li.(q)) *. inv
+    done;
+    (* clear the work vector *)
+    for p = s.up.(j) to s.up.(j + 1) - 1 do
+      w.(s.ui.(p)) <- 0.0
+    done;
+    for q = s.lp.(j) to s.lp.(j + 1) - 1 do
+      w.(s.li.(q)) <- 0.0
+    done;
+    w.(j) <- 0.0
+  done;
+  (ux, lx, d)
+
+let host_trisolve (s : symbolic) (ux, lx, d) b =
+  let n = Array.length d in
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    let yk = y.(k) in
+    for q = s.lp.(k) to s.lp.(k + 1) - 1 do
+      y.(s.li.(q)) <- y.(s.li.(q)) -. (lx.(q) *. yk)
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for j = n - 1 downto 0 do
+    let xj = y.(j) /. d.(j) in
+    x.(j) <- xj;
+    for p = s.up.(j) to s.up.(j + 1) - 1 do
+      y.(s.ui.(p)) <- y.(s.ui.(p)) -. (ux.(p) *. xj)
+    done
+  done;
+  x
+
+(* ---------- the IR binary ---------- *)
+
+let build (a : Sparse_csc.t) (s : symbolic) =
+  let n = a.n in
+  let nnz = Sparse_csc.nnz a in
+  let nu = Array.length s.ui and nl = Array.length s.li in
+  let t = Builder.create () in
+  (* int heap: CSC of A and the L/U patterns *)
+  let ap = Builder.alloc_i t (n + 1) in
+  let ai = Builder.alloc_i t (max 1 nnz) in
+  let upb = Builder.alloc_i t (n + 1) in
+  let uib = Builder.alloc_i t (max 1 nu) in
+  let lpb = Builder.alloc_i t (n + 1) in
+  let lib = Builder.alloc_i t (max 1 nl) in
+  (* float heap: A values, factors, vectors *)
+  let axb = Builder.alloc_f t (max 1 nnz) in
+  let uxb = Builder.alloc_f t (max 1 nu) in
+  let lxb = Builder.alloc_f t (max 1 nl) in
+  let dbv = Builder.alloc_f t n in
+  let wb = Builder.alloc_f t n in
+  let bb = Builder.alloc_f t n in
+  let yb = Builder.alloc_f t n in
+  let xb = Builder.alloc_f t n in
+  let rmaxb = Builder.alloc_f t n in
+  let diagb = Builder.alloc_f t 4 in
+  let open Builder in
+  (* SuperLU-style row equilibration: A and b scaled by per-row max *)
+  let equilibrate =
+    func t ~module_:"superlu" "equilibrate" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let zero = fconst b 0.0 in
+        for_range b 0 n (fun i -> storef b (idx rmaxb i) zero);
+        for_range b 0 n (fun j ->
+            let k0 = loadi b (idx ap j) in
+            let k1 = loadi b (idx (ap + 1) j) in
+            for_ b k0 k1 (fun k ->
+                let row = loadi b (idx ai k) in
+                let v = fabs b (loadf b (idx axb k)) in
+                let cur = loadf b (dyn_idx (iconst b rmaxb) row) in
+                storef b (dyn_idx (iconst b rmaxb) row) (fmax b cur v)));
+        for_range b 0 n (fun j ->
+            let k0 = loadi b (idx ap j) in
+            let k1 = loadi b (idx (ap + 1) j) in
+            for_ b k0 k1 (fun k ->
+                let row = loadi b (idx ai k) in
+                let v = loadf b (idx axb k) in
+                let rm = loadf b (dyn_idx (iconst b rmaxb) row) in
+                storef b (idx axb k) (fdiv b v rm)));
+        for_range b 0 n (fun i ->
+            let v = loadf b (idx bb i) in
+            let rm = loadf b (idx rmaxb i) in
+            storef b (idx bb i) (fdiv b v rm)))
+  in
+  (* post-solve diagnostics: scaled-b norm, pivot growth, extremal pivots *)
+  let diagnostics =
+    func t ~module_:"superlu" "diagnostics" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let bnorm = freshf b in
+        setf b bnorm (fconst b 0.0);
+        for_range b 0 n (fun i ->
+            setf b bnorm (fadd b bnorm (fabs b (loadf b (idx bb i)))));
+        let growth = freshf b in
+        setf b growth (fconst b 0.0);
+        for_range b 0 (max 1 nl) (fun q ->
+            setf b growth (fmax b growth (fabs b (loadf b (idx lxb q)))));
+        let dmin = freshf b and dmax = freshf b in
+        setf b dmin (fconst b infinity);
+        setf b dmax (fconst b 0.0);
+        for_range b 0 n (fun j ->
+            let v = fabs b (loadf b (idx dbv j)) in
+            setf b dmin (fmin b dmin v);
+            setf b dmax (fmax b dmax v));
+        storef b (at diagb) bnorm;
+        storef b (at (diagb + 1)) growth;
+        storef b (at (diagb + 2)) dmin;
+        storef b (at (diagb + 3)) dmax)
+  in
+  let factor =
+    func t ~module_:"superlu" "factor" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let zero = fconst b 0.0 in
+        let one = fconst b 1.0 in
+        for_range b 0 n (fun j ->
+            (* scatter A(:,j) *)
+            let k0 = loadi b (idx ap j) in
+            let k1 = loadi b (idx (ap + 1) j) in
+            for_ b k0 k1 (fun k ->
+                let row = loadi b (idx ai k) in
+                storef b (dyn_idx (iconst b wb) row) (loadf b (idx axb k)));
+            (* left-looking updates *)
+            let p0 = loadi b (idx upb j) in
+            let p1 = loadi b (idx (upb + 1) j) in
+            for_ b p0 p1 (fun p ->
+                let k = loadi b (idx uib p) in
+                let ukj = loadf b (dyn_idx (iconst b wb) k) in
+                storef b (idx uxb p) ukj;
+                let q0 = loadi b (dyn_idx (iconst b lpb) k) in
+                let q1 = loadi b (dyn_idx (iconst b (lpb + 1)) k) in
+                for_ b q0 q1 (fun q ->
+                    let i = loadi b (idx lib q) in
+                    let wi = loadf b (dyn_idx (iconst b wb) i) in
+                    let lq = loadf b (idx lxb q) in
+                    storef b (dyn_idx (iconst b wb) i) (fsub b wi (fmul b lq ukj))));
+            (* pivot and L column *)
+            let dj = loadf b (dyn_idx (iconst b wb) j) in
+            storef b (dyn_idx (iconst b dbv) j) dj;
+            let inv = fdiv b one dj in
+            let q0 = loadi b (idx lpb j) in
+            let q1 = loadi b (idx (lpb + 1) j) in
+            for_ b q0 q1 (fun q ->
+                let i = loadi b (idx lib q) in
+                let wi = loadf b (dyn_idx (iconst b wb) i) in
+                storef b (idx lxb q) (fmul b wi inv));
+            (* clear the work vector *)
+            for_ b p0 p1 (fun p ->
+                let k = loadi b (idx uib p) in
+                storef b (dyn_idx (iconst b wb) k) zero);
+            for_ b q0 q1 (fun q ->
+                let i = loadi b (idx lib q) in
+                storef b (dyn_idx (iconst b wb) i) zero);
+            storef b (dyn_idx (iconst b wb) j) zero))
+  in
+  let fsolve =
+    func t ~module_:"superlu" "fsolve" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_range b 0 n (fun k -> storef b (idx yb k) (loadf b (idx bb k)));
+        for_range b 0 n (fun k ->
+            let yk = loadf b (idx yb k) in
+            let q0 = loadi b (idx lpb k) in
+            let q1 = loadi b (idx (lpb + 1) k) in
+            for_ b q0 q1 (fun q ->
+                let i = loadi b (idx lib q) in
+                let yi = loadf b (dyn_idx (iconst b yb) i) in
+                let lq = loadf b (idx lxb q) in
+                storef b (dyn_idx (iconst b yb) i) (fsub b yi (fmul b lq yk)))))
+  in
+  let bsolve =
+    func t ~module_:"superlu" "bsolve" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for_down b (iconst b n) (iconst b 0) (fun j ->
+            let yj = loadf b (dyn_idx (iconst b yb) j) in
+            let dj = loadf b (dyn_idx (iconst b dbv) j) in
+            let xj = fdiv b yj dj in
+            storef b (dyn_idx (iconst b xb) j) xj;
+            let p0 = loadi b (dyn_idx (iconst b upb) j) in
+            let p1 = loadi b (dyn_idx (iconst b (upb + 1)) j) in
+            for_ b p0 p1 (fun p ->
+                let k = loadi b (idx uib p) in
+                let yk = loadf b (dyn_idx (iconst b yb) k) in
+                let up_ = loadf b (idx uxb p) in
+                storef b (dyn_idx (iconst b yb) k) (fsub b yk (fmul b up_ xj)))))
+  in
+  let main =
+    func t ~module_:"superlu" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let _ = call b equilibrate ~fargs:[] ~iargs:[] in
+        let _ = call b factor ~fargs:[] ~iargs:[] in
+        let _ = call b fsolve ~fargs:[] ~iargs:[] in
+        let _ = call b bsolve ~fargs:[] ~iargs:[] in
+        let _ = call b diagnostics ~fargs:[] ~iargs:[] in
+        ())
+  in
+  let prog = Builder.program t ~main in
+  (prog, (ap, ai, upb, uib, lpb, lib), (axb, bb, xb))
+
+type t = {
+  a : Sparse_csc.t;
+  sym : symbolic;
+  program : Ir.program;
+  setup : Vm.t -> unit;
+  output : Vm.t -> float array;
+  xtrue : float array;
+  b : float array;
+}
+
+let create ?dominance ?dominance_base ?weak_fraction ?weak_margin ?(planted_pairs = 6)
+    ?(planted_eps = 1e-3) ?(seed = 7777) ~n () =
+  let a =
+    Memplus_like.generate ?dominance ?dominance_base ?weak_fraction ?weak_margin ~planted_pairs
+      ~planted_eps ~seed ~n ()
+  in
+  let sym = symbolic a in
+  let program, (ap, ai, upb, uib, lpb, lib), (axb, bb, xb) = build a sym in
+  (* a non-trivial solution: exactly-representable-in-single values would
+     let the final rounding "repair" the answer (xtrue = all ones makes the
+     error metric collapse to zero under single rounding) *)
+  let xrng = Rng.create (seed + 1) in
+  let xtrue = Array.init n (fun _ -> 0.5 +. Rng.uniform xrng) in
+  let b = Sparse_csc.mul_vec a xtrue in
+  let setup vm =
+    Vm.write_i vm ap a.colptr;
+    Vm.write_i vm ai a.rowind;
+    Vm.write_i vm upb sym.up;
+    Vm.write_i vm uib sym.ui;
+    Vm.write_i vm lpb sym.lp;
+    Vm.write_i vm lib sym.li;
+    Vm.write_f vm axb a.values;
+    Vm.write_f vm bb b
+  in
+  let output vm = Vm.read_f vm xb n in
+  { a; sym; program; setup; output; xtrue; b }
+
+let error t x = Stats.rel_err_inf x t.xtrue
+
+let solve_native t =
+  let vm = Vm.create t.program in
+  t.setup vm;
+  Vm.run vm;
+  (t.output vm, vm)
+
+let solve_converted t =
+  let conv = To_single.convert t.program in
+  let vm = Vm.create ~checked:true ~smode:Vm.Plain conv in
+  t.setup vm;
+  Vm.run vm;
+  (t.output vm, vm)
+
+let host_solve t =
+  let ax, b = host_equilibrate t.a t.b in
+  let fac = host_factor ~values:ax t.a t.sym in
+  host_trisolve t.sym fac b
+
+let target t ~threshold =
+  Bfs.Target.make t.program ~setup:t.setup ~output:t.output ~verify:(fun x ->
+      error t x <= threshold)

@@ -1,0 +1,73 @@
+(** The sparse LU linear solver under analysis (the SuperLU stand-in of
+    paper §3.3).
+
+    The factorization is left-looking over a host-computed no-pivot fill
+    pattern (symbolic Gilbert–Peierls reachability); the matrices from
+    {!Memplus_like} are strongly diagonally dominant, which makes the
+    pivot-free factorization backward stable — the substitution for
+    SuperLU's partial pivoting is documented in DESIGN.md. The numeric
+    factorization and both triangular solves run {e inside the binary}
+    (the IR program), so the precision search can reconfigure every
+    floating-point instruction of the solver.
+
+    The solve target is [A x = b] with [b = A·1], and the reported error
+    metric is [‖x − 1‖∞] (relative), mirroring the error metric the paper
+    sweeps thresholds against. *)
+
+type symbolic = {
+  up : int array;  (** U column pointers, length n+1 *)
+  ui : int array;  (** U row indices (k < j), ascending per column *)
+  lp : int array;  (** L column pointers, length n+1 *)
+  li : int array;  (** L row indices (i > j), ascending per column *)
+}
+
+val symbolic : Sparse_csc.t -> symbolic
+(** No-pivot fill pattern via per-column reachability. *)
+
+type t = {
+  a : Sparse_csc.t;
+  sym : symbolic;
+  program : Ir.program;
+  setup : Vm.t -> unit;
+  output : Vm.t -> float array;
+  xtrue : float array;
+  b : float array;
+}
+
+val create :
+  ?dominance:float ->
+  ?dominance_base:float ->
+  ?weak_fraction:float ->
+  ?weak_margin:float ->
+  ?planted_pairs:int ->
+  ?planted_eps:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  t
+(** Generate a memplus-like system and build the solver binary for it. *)
+
+val error : t -> float array -> float
+(** Relative infinity-norm solution error (the solver's reported metric). *)
+
+val solve_native : t -> float array * Vm.t
+val solve_converted : t -> float array * Vm.t
+(** Manually-converted all-single build (plain single semantics). *)
+
+val host_solve : t -> float array
+(** Host-language double reference, op-for-op identical to the binary
+    (including the row equilibration pass). *)
+
+val host_equilibrate : Sparse_csc.t -> float array -> float array * float array
+(** [(scaled values, scaled rhs)] — the row-scaling pass on its own. *)
+
+val host_factor :
+  ?values:float array -> Sparse_csc.t -> symbolic -> float array * float array * float array
+(** [(ux, lx, d)] numeric factors over the symbolic pattern. *)
+
+val host_trisolve :
+  symbolic -> float array * float array * float array -> float array -> float array
+
+val target : t -> threshold:float -> Bfs.Target.t
+(** Search target accepting configurations whose reported error is within
+    [threshold] — the paper's driver-script verification. *)

@@ -1,0 +1,44 @@
+type t = { n : int; colptr : int array; rowind : int array; values : float array }
+
+let nnz a = a.colptr.(a.n)
+
+let mul_vec a x =
+  let y = Array.make a.n 0.0 in
+  for j = 0 to a.n - 1 do
+    let xj = x.(j) in
+    for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      y.(a.rowind.(k)) <- y.(a.rowind.(k)) +. (a.values.(k) *. xj)
+    done
+  done;
+  y
+
+let entry a i j =
+  let rec go k = if k >= a.colptr.(j + 1) then 0.0 else if a.rowind.(k) = i then a.values.(k) else go (k + 1) in
+  go a.colptr.(j)
+
+let of_entries n triples =
+  let cols = Array.make n [] in
+  List.iter (fun (i, j, v) -> cols.(j) <- (i, v) :: cols.(j)) triples;
+  let colptr = Array.make (n + 1) 0 in
+  let ri = ref [] and vs = ref [] and count = ref 0 in
+  for j = 0 to n - 1 do
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (i, v) ->
+        let cur = match Hashtbl.find_opt tbl i with Some x -> x | None -> 0.0 in
+        Hashtbl.replace tbl i (cur +. v))
+      cols.(j);
+    Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (i, v) ->
+           ri := i :: !ri;
+           vs := v :: !vs;
+           incr count);
+    colptr.(j + 1) <- !count
+  done;
+  {
+    n;
+    colptr;
+    rowind = Array.of_list (List.rev !ri);
+    values = Array.of_list (List.rev !vs);
+  }

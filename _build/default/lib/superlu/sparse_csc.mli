@@ -1,0 +1,20 @@
+(** Compressed-sparse-column matrices (the storage format of the sparse LU
+    solver, as in SuperLU). *)
+
+type t = {
+  n : int;
+  colptr : int array;  (** length n+1 *)
+  rowind : int array;  (** row indices, ascending within each column *)
+  values : float array;
+}
+
+val nnz : t -> int
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec a x] is [A x]. *)
+
+val entry : t -> int -> int -> float
+(** [entry a i j]; 0 when absent. *)
+
+val of_entries : int -> (int * int * float) list -> t
+(** [(row, col, value)] triples; duplicates are summed. *)

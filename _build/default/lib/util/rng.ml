@@ -1,0 +1,71 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the seed into the xoshiro state. *)
+let splitmix_next (state : int64 ref) : int64 =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl (x : int64) (k : int) : int64 =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let int t n =
+  assert (n > 0);
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod n
+
+let uniform t =
+  (* Use the top 53 bits for a uniform double in [0,1). *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. 0x1.0p-53
+
+let float t x = uniform t *. x
+
+let gaussian t =
+  let rec draw () =
+    let u = uniform t in
+    if u <= 0.0 then draw () else u
+  in
+  let u1 = draw () in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

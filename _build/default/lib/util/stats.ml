@@ -1,0 +1,49 @@
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.median: empty array";
+  let b = Array.copy a in
+  Array.sort compare b;
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let norm2 a = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a
+
+let rel_err_inf x x_ref =
+  if Array.length x <> Array.length x_ref then
+    invalid_arg "Stats.rel_err_inf: length mismatch";
+  let denom = norm_inf x_ref in
+  let num = ref 0.0 in
+  Array.iteri (fun i xi -> num := Float.max !num (Float.abs (xi -. x_ref.(i)))) x;
+  if denom = 0.0 then !num else !num /. denom
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.dot: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let percent part total = if total = 0.0 then 0.0 else 100.0 *. part /. total

@@ -1,0 +1,27 @@
+(** Small statistics helpers used by the benchmark harness and tests. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+val median : float array -> float
+(** Median of a copy of the array; raises [Invalid_argument] on empty input. *)
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on empty input. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val norm_inf : float array -> float
+(** Max-absolute-value norm. *)
+
+val rel_err_inf : float array -> float array -> float
+(** [rel_err_inf x x_ref] is [max_i |x_i - x_ref_i| / max_i |x_ref_i|] — the
+    infinity-norm relative error metric the SuperLU experiment reports. *)
+
+val dot : float array -> float array -> float
+
+val percent : float -> float -> float
+(** [percent part total] is [100 * part / total], 0 when [total = 0]. *)

@@ -1,0 +1,1 @@
+lib/vm/cost.ml: Array Float Ir Vm

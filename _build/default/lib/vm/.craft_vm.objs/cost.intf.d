@@ -1,0 +1,1 @@
+lib/vm/cost.mli: Ir Vm

@@ -1,0 +1,1 @@
+lib/vm/mpi_model.mli:

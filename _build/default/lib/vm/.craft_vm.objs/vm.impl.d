@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array F32 Float Int32 Int64 Ir Replaced Static

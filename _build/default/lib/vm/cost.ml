@@ -1,0 +1,136 @@
+type params = {
+  c_fadd : float;
+  c_fmul : float;
+  c_fdiv_d : float;
+  c_fdiv_s : float;
+  c_fsqrt_d : float;
+  c_fsqrt_s : float;
+  c_flibm_d : float;
+  c_flibm_s : float;
+  c_fcmp : float;
+  c_fconst : float;
+  c_fmov : float;
+  c_fcvt : float;
+  c_fload : float;
+  c_fstore : float;
+  c_iop : float;
+  c_iload : float;
+  c_istore : float;
+  c_call : float;
+  c_branch : float;
+  c_testflag : float;
+  c_downcast : float;
+  c_upcast : float;
+  bytes_fmem : float;
+  bytes_imem : float;
+  bandwidth : float;
+  clock_ghz : float;
+}
+
+let default =
+  {
+    c_fadd = 3.0;
+    c_fmul = 5.0;
+    c_fdiv_d = 22.0;
+    c_fdiv_s = 14.0;
+    c_fsqrt_d = 22.0;
+    c_fsqrt_s = 14.0;
+    c_flibm_d = 60.0;
+    c_flibm_s = 40.0;
+    c_fcmp = 3.0;
+    c_fconst = 2.0;
+    c_fmov = 1.0;
+    c_fcvt = 4.0;
+    c_fload = 4.0;
+    c_fstore = 4.0;
+    c_iop = 1.0;
+    c_iload = 4.0;
+    c_istore = 4.0;
+    c_call = 15.0;
+    c_branch = 2.0;
+    c_testflag = 13.0;
+    c_downcast = 9.0;
+    c_upcast = 9.0;
+    bytes_fmem = 8.0;
+    bytes_imem = 8.0;
+    bandwidth = 1.0;
+    clock_ghz = 2.8;
+  }
+
+let op_cycles p (op : Ir.op) =
+  match op with
+  | Fbin (_, (Add | Sub | Min | Max), _, _, _) | Fbinp (_, (Add | Sub | Min | Max), _, _, _)
+    ->
+      p.c_fadd
+  | Fbin (_, Mul, _, _, _) | Fbinp (_, Mul, _, _, _) -> p.c_fmul
+  | Fbin (D, Div, _, _, _) | Fbinp (D, Div, _, _, _) -> p.c_fdiv_d
+  | Fbin (S, Div, _, _, _) | Fbinp (S, Div, _, _, _) -> p.c_fdiv_s
+  | Funop (D, Sqrt, _, _) -> p.c_fsqrt_d
+  | Funop (S, Sqrt, _, _) -> p.c_fsqrt_s
+  | Funop (_, (Neg | Abs), _, _) -> p.c_fmov
+  | Flibm (D, _, _, _) -> p.c_flibm_d
+  | Flibm (S, _, _, _) -> p.c_flibm_s
+  | Fcmp _ -> p.c_fcmp
+  | Fconst _ -> p.c_fconst
+  | Fmov _ -> p.c_fmov
+  | Fload _ -> p.c_fload
+  | Fstore _ -> p.c_fstore
+  | Fcvt_i2f _ | Fcvt_f2i _ -> p.c_fcvt
+  | Ibin _ | Icmp _ | Iconst _ | Imov _ -> p.c_iop
+  | Iload _ -> p.c_iload
+  | Istore _ -> p.c_istore
+  | Call _ -> p.c_call
+  | Ftestflag _ -> p.c_testflag
+  | Fdowncast _ -> p.c_downcast
+  | Fupcast _ -> p.c_upcast
+  | Fexpo _ -> 4.0
+
+let op_bytes p (op : Ir.op) =
+  match op with
+  | Fload _ | Fstore _ -> p.bytes_fmem
+  | Iload _ | Istore _ -> p.bytes_imem
+  | _ -> 0.0
+
+type run_cost = {
+  cycles : float;
+  mem_bytes : float;
+  time_cycles : float;
+  seconds : float;
+  fp_ops : int;
+}
+
+let of_run ?(params = default) ?fmem_bytes (vm : Vm.t) =
+  let p =
+    match fmem_bytes with None -> params | Some b -> { params with bytes_fmem = b }
+  in
+  let cycles = ref 0.0 and bytes = ref 0.0 and fp_ops = ref 0 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun ({ addr; op } : Ir.instr) ->
+              let n = vm.counts.(addr) in
+              if n > 0 then begin
+                let nf = float_of_int n in
+                cycles := !cycles +. (nf *. op_cycles p op);
+                bytes := !bytes +. (nf *. op_bytes p op);
+                if Ir.is_candidate op then fp_ops := !fp_ops + n
+              end)
+            b.instrs;
+          let n = vm.bcounts.(b.label) in
+          if n > 0 then cycles := !cycles +. (float_of_int n *. p.c_branch))
+        f.blocks)
+    vm.prog.funcs;
+  let time_cycles = Float.max !cycles (!bytes /. p.bandwidth) in
+  {
+    cycles = !cycles;
+    mem_bytes = !bytes;
+    time_cycles;
+    seconds = time_cycles /. (p.clock_ghz *. 1e9);
+    fp_ops = !fp_ops;
+  }
+
+let overhead instrumented native = instrumented.time_cycles /. native.time_cycles
+
+let mflops rc = if rc.seconds = 0.0 then 0.0 else float_of_int rc.fp_ops /. rc.seconds /. 1e6

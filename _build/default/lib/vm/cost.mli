@@ -1,0 +1,65 @@
+(** Post-hoc execution cost model.
+
+    The paper reports wall-clock overheads on a 2.8 GHz Xeon; here runtime
+    is modeled from the VM's execution counts with a per-opcode cycle table
+    and a roofline memory term: [time = max(cycles, bytes / bandwidth)].
+    Snippet ops ([Ftestflag]/[Fdowncast]/[Fupcast]) are priced as the x86
+    integer sequences of the paper's Fig.-6 template, so instrumented-versus-
+    native ratios measure the same structural overhead the paper measures.
+
+    Instrumented programs still move 8 bytes per float access (the replaced
+    value lives in the original 64-bit slot — the paper's "does not fully
+    realize the benefits"); manually-converted single-precision programs
+    pass [fmem_bytes:4.]. *)
+
+type params = {
+  c_fadd : float;
+  c_fmul : float;
+  c_fdiv_d : float;
+  c_fdiv_s : float;
+  c_fsqrt_d : float;
+  c_fsqrt_s : float;
+  c_flibm_d : float;
+  c_flibm_s : float;
+  c_fcmp : float;
+  c_fconst : float;
+  c_fmov : float;
+  c_fcvt : float;
+  c_fload : float;
+  c_fstore : float;
+  c_iop : float;
+  c_iload : float;
+  c_istore : float;
+  c_call : float;
+  c_branch : float;
+  c_testflag : float;
+      (** Fig.-6 flag check: mov/mov/and/mov/test/je plus the push/pop
+          save-restore share — ~13 cycles per tested operand *)
+  c_downcast : float;  (** cvtsd2ss + or + copy back *)
+  c_upcast : float;
+  bytes_fmem : float;  (** bytes per float heap access (8; 4 for converted-single) *)
+  bytes_imem : float;
+  bandwidth : float;  (** sustained bytes per cycle *)
+  clock_ghz : float;  (** for converting modeled cycles to seconds *)
+}
+
+val default : params
+
+type run_cost = {
+  cycles : float;  (** modeled compute cycles *)
+  mem_bytes : float;  (** modeled memory traffic *)
+  time_cycles : float;  (** roofline: max(cycles, mem_bytes / bandwidth) *)
+  seconds : float;
+  fp_ops : int;  (** executed candidate FP instructions *)
+}
+
+val op_cycles : params -> Ir.op -> float
+
+val of_run : ?params:params -> ?fmem_bytes:float -> Vm.t -> run_cost
+(** Price a finished run from its counters. [fmem_bytes] overrides
+    [params.bytes_fmem]. *)
+
+val overhead : run_cost -> run_cost -> float
+(** [overhead instrumented native] is the paper's overhead ratio (X). *)
+
+val mflops : run_cost -> float

@@ -1,0 +1,31 @@
+type net = { latency_cycles : float; net_bandwidth : float }
+
+let default_net = { latency_cycles = 2800.0; net_bandwidth = 0.35 }
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let allreduce net ~ranks ~bytes =
+  if ranks <= 1 then 0.0
+  else
+    float_of_int (log2i ranks) *. (net.latency_cycles +. (bytes /. net.net_bandwidth))
+
+let alltoall net ~ranks ~bytes_total =
+  if ranks <= 1 then 0.0
+  else begin
+    let r = float_of_int ranks in
+    let per_rank_sends = r -. 1.0 in
+    let bytes_moved = bytes_total *. (r -. 1.0) /. r in
+    (per_rank_sends *. net.latency_cycles) +. (bytes_moved /. net.net_bandwidth)
+  end
+
+let halo net ~ranks ~bytes_boundary =
+  if ranks <= 1 then 0.0
+  else 2.0 *. (net.latency_cycles +. (bytes_boundary /. net.net_bandwidth))
+
+let overhead_at ~comp_native ~comp_instr ~comm n =
+  let nf = float_of_int n in
+  let t_nat = (comp_native /. nf) +. comm n in
+  let t_ins = (comp_instr /. nf) +. comm n in
+  t_ins /. t_nat

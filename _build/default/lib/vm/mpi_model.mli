@@ -1,0 +1,36 @@
+(** Analytic MPI rank-scaling model (for the paper's Fig. 8).
+
+    The paper measures instrumented/native wall-clock ratios of the NAS MPI
+    benchmarks at 1–8 ranks. Only computation is instrumented; communication
+    time is untouched, so the overhead ratio is diluted as the communication
+    fraction grows with rank count. We model exactly that:
+
+    [T(n)      = comp / n + comm(n)]
+    [T_ins(n)  = comp_instrumented / n + comm(n)]
+    [overhead(n) = T_ins(n) / T(n)]
+
+    with [comp] taken from real cost-model measurements of the single-rank
+    program and [comm(n)] from standard collective/halo formulas. *)
+
+type net = {
+  latency_cycles : float;  (** per-message latency *)
+  net_bandwidth : float;  (** bytes per cycle through the network *)
+}
+
+val default_net : net
+(** ≈1 µs latency and ≈1 GB/s per link at the paper's 2.8 GHz clock. *)
+
+val allreduce : net -> ranks:int -> bytes:float -> float
+(** Recursive-doubling allreduce: [log2(ranks)] message rounds. *)
+
+val alltoall : net -> ranks:int -> bytes_total:float -> float
+(** Personalized all-to-all of [bytes_total] spread over ranks (FT's
+    transpose). *)
+
+val halo : net -> ranks:int -> bytes_boundary:float -> float
+(** Nearest-neighbour boundary exchange, both directions. *)
+
+val overhead_at :
+  comp_native:float -> comp_instr:float -> comm:(int -> float) -> int -> float
+(** [overhead_at ~comp_native ~comp_instr ~comm n] is the modeled
+    instrumentation overhead at [n] ranks. *)

@@ -1,0 +1,261 @@
+exception Trap of int * string
+exception Limit of int
+
+type smode = Flagged | Plain
+
+type t = {
+  prog : Ir.program;
+  fheap : float array;
+  iheap : int array;
+  counts : int array;
+  bcounts : int array;
+  checked : bool;
+  smode : smode;
+  max_steps : int;
+  mutable steps : int;
+}
+
+let max_addr_of (p : Ir.program) = Static.max_addr p
+
+let max_label_of (p : Ir.program) =
+  Array.fold_left
+    (fun acc (f : Ir.func) ->
+      Array.fold_left (fun acc (b : Ir.block) -> max acc b.label) acc f.blocks)
+    0 p.funcs
+
+let create ?(checked = false) ?(smode = Flagged) ?(max_steps = 2_000_000_000) prog =
+  {
+    prog;
+    fheap = Array.make prog.fheap_size 0.0;
+    iheap = Array.make prog.iheap_size 0;
+    counts = Array.make (max_addr_of prog + 1) 0;
+    bcounts = Array.make (max_label_of prog + 1) 0;
+    checked;
+    smode;
+    max_steps;
+    steps = 0;
+  }
+
+let is_replaced = Replaced.is_replaced
+
+let extract32 v = Int32.float_of_bits (Int64.to_int32 (Int64.bits_of_float v))
+
+let trap addr reason = raise (Trap (addr, reason))
+
+(* Operand fetch for D-precision ops: enforce the invariant in checked mode. *)
+let opd t addr v = if t.checked && is_replaced v then trap addr "replaced operand reaches a double-precision op" else v
+
+(* Operand fetch for S-precision ops. Flagged mode: operands must carry the
+   replacement flag and the value is extracted from the low 32 bits. Plain
+   mode (manually-converted binaries): operands are ordinary binary32-exact
+   doubles. *)
+let ops t addr v =
+  match t.smode with
+  | Flagged ->
+      if t.checked && not (is_replaced v) then
+        trap addr "unreplaced operand reaches a single-precision op"
+      else extract32 v
+  | Plain ->
+      if t.checked && is_replaced v then
+        trap addr "replaced operand in a plain-single binary"
+      else F32.round v
+
+(* Result store for S-precision ops. *)
+let sres t v = match t.smode with Flagged -> Replaced.encode v | Plain -> v
+
+let fbin_d (o : Ir.fbinop) x y =
+  match o with
+  | Add -> x +. y
+  | Sub -> x -. y
+  | Mul -> x *. y
+  | Div -> x /. y
+  | Min -> Float.min x y
+  | Max -> Float.max x y
+
+let fbin_s (o : Ir.fbinop) x y =
+  match o with
+  | Add -> F32.add x y
+  | Sub -> F32.sub x y
+  | Mul -> F32.mul x y
+  | Div -> F32.div x y
+  | Min -> F32.min x y
+  | Max -> F32.max x y
+
+let funop_d (o : Ir.funop) x =
+  match o with Sqrt -> sqrt x | Neg -> -.x | Abs -> Float.abs x
+
+let funop_s (o : Ir.funop) x =
+  match o with Sqrt -> F32.sqrt x | Neg -> F32.neg x | Abs -> F32.abs x
+
+let flibm_d (o : Ir.flibm) x =
+  match o with
+  | Sin -> sin x
+  | Cos -> cos x
+  | Tan -> tan x
+  | Exp -> exp x
+  | Log -> log x
+  | Atan -> atan x
+
+let flibm_s (o : Ir.flibm) x =
+  match o with
+  | Sin -> F32.sin x
+  | Cos -> F32.cos x
+  | Tan -> F32.tan x
+  | Exp -> F32.exp x
+  | Log -> F32.log x
+  | Atan -> F32.atan x
+
+let cmp (c : Ir.cmpop) (x : float) (y : float) =
+  let b =
+    match c with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Lt -> x < y
+    | Le -> x <= y
+    | Gt -> x > y
+    | Ge -> x >= y
+  in
+  if b then 1 else 0
+
+let icmp (c : Ir.cmpop) (x : int) (y : int) =
+  let b =
+    match c with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Lt -> x < y
+    | Le -> x <= y
+    | Gt -> x > y
+    | Ge -> x >= y
+  in
+  if b then 1 else 0
+
+let ibin addr (o : Ir.ibinop) x y =
+  match o with
+  | Iadd -> x + y
+  | Isub -> x - y
+  | Imul -> x * y
+  | Idiv -> if y = 0 then trap addr "integer division by zero" else x / y
+  | Irem -> if y = 0 then trap addr "integer remainder by zero" else x mod y
+  | Iand -> x land y
+  | Ior -> x lor y
+  | Ixor -> x lxor y
+  | Ishl -> x lsl y
+  | Ishr -> x asr y
+  | Imax -> if x >= y then x else y
+  | Imin -> if x <= y then x else y
+
+let run t =
+  let prog = t.prog in
+  let fheap = t.fheap and iheap = t.iheap in
+  let nf = Array.length fheap and ni = Array.length iheap in
+  let counts = t.counts and bcounts = t.bcounts in
+  let rec exec_func (f : Ir.func) (fargs : float array) (iargs : int array) =
+    let fr = Array.make f.n_fregs 0.0 in
+    let ir = Array.make f.n_iregs 0 in
+    Array.blit fargs 0 fr 0 (Array.length fargs);
+    Array.blit iargs 0 ir 0 (Array.length iargs);
+    let eaddr addr ({ base; index; scale; offset } : Ir.mem) bound =
+      let a =
+        offset
+        + (match base with Some r -> ir.(r) | None -> 0)
+        + (match index with Some r -> ir.(r) * scale | None -> 0)
+      in
+      if a < 0 || a >= bound then trap addr "heap access out of bounds" else a
+    in
+    let step ({ addr; op } : Ir.instr) =
+      counts.(addr) <- counts.(addr) + 1;
+      match op with
+      | Fbin (D, o, d, a, b) -> fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b))
+      | Fbin (S, o, d, a, b) ->
+          fr.(d) <- sres t (fbin_s o (ops t addr fr.(a)) (ops t addr fr.(b)))
+      | Fbinp (D, o, d, a, b) ->
+          (* lane 0 then lane 1, as hardware does element-wise *)
+          fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b));
+          fr.(d + 1) <- fbin_d o (opd t addr fr.(a + 1)) (opd t addr fr.(b + 1))
+      | Fbinp (S, o, d, a, b) ->
+          fr.(d) <- sres t (fbin_s o (ops t addr fr.(a)) (ops t addr fr.(b)));
+          fr.(d + 1) <- sres t (fbin_s o (ops t addr fr.(a + 1)) (ops t addr fr.(b + 1)))
+      | Funop (D, o, d, a) -> fr.(d) <- funop_d o (opd t addr fr.(a))
+      | Funop (S, o, d, a) -> fr.(d) <- sres t (funop_s o (ops t addr fr.(a)))
+      | Flibm (D, o, d, a) -> fr.(d) <- flibm_d o (opd t addr fr.(a))
+      | Flibm (S, o, d, a) -> fr.(d) <- sres t (flibm_s o (ops t addr fr.(a)))
+      | Fcmp (D, c, d, a, b) -> ir.(d) <- cmp c (opd t addr fr.(a)) (opd t addr fr.(b))
+      | Fcmp (S, c, d, a, b) -> ir.(d) <- cmp c (ops t addr fr.(a)) (ops t addr fr.(b))
+      | Fconst (D, d, x) -> fr.(d) <- x
+      | Fconst (S, d, x) -> fr.(d) <- sres t (F32.round x)
+      | Fmov (d, a) -> fr.(d) <- fr.(a)
+      | Fload (d, m) -> fr.(d) <- fheap.(eaddr addr m nf)
+      | Fstore (m, a) -> fheap.(eaddr addr m nf) <- fr.(a)
+      | Fcvt_i2f (D, d, a) -> fr.(d) <- float_of_int ir.(a)
+      | Fcvt_i2f (S, d, a) -> fr.(d) <- sres t (F32.round (float_of_int ir.(a)))
+      | Fcvt_f2i (D, d, a) -> ir.(d) <- int_of_float (opd t addr fr.(a))
+      | Fcvt_f2i (S, d, a) -> ir.(d) <- int_of_float (ops t addr fr.(a))
+      | Ibin (o, d, a, b) -> ir.(d) <- ibin addr o ir.(a) ir.(b)
+      | Icmp (c, d, a, b) -> ir.(d) <- icmp c ir.(a) ir.(b)
+      | Iconst (d, x) -> ir.(d) <- x
+      | Imov (d, a) -> ir.(d) <- ir.(a)
+      | Iload (d, m) -> ir.(d) <- iheap.(eaddr addr m ni)
+      | Istore (m, a) -> iheap.(eaddr addr m ni) <- ir.(a)
+      | Call { callee; fargs; iargs; frets; irets } ->
+          let g = prog.funcs.(callee) in
+          let fa = Array.map (fun r -> fr.(r)) fargs in
+          let ia = Array.map (fun r -> ir.(r)) iargs in
+          let rf, ri = exec_func g fa ia in
+          Array.iteri (fun k r -> fr.(r) <- rf.(k)) frets;
+          Array.iteri (fun k r -> ir.(r) <- ri.(k)) irets
+      | Ftestflag (d, a) -> ir.(d) <- if is_replaced fr.(a) then 1 else 0
+      | Fdowncast (d, a) -> fr.(d) <- Replaced.downcast fr.(a)
+      | Fupcast (d, a) ->
+          let v = fr.(a) in
+          if not (is_replaced v) then trap addr "upcast of an unreplaced value"
+          else fr.(d) <- extract32 v
+      | Fexpo (d, a) ->
+          ir.(d) <-
+            Int64.to_int
+              (Int64.logand (Int64.shift_right_logical (Int64.bits_of_float fr.(a)) 52) 0x7FFL)
+    in
+    let rec run_block bidx =
+      let b = f.blocks.(bidx) in
+      bcounts.(b.label) <- bcounts.(b.label) + 1;
+      let n = Array.length b.instrs in
+      t.steps <- t.steps + n + 1;
+      if t.steps > t.max_steps then raise (Limit t.max_steps);
+      for k = 0 to n - 1 do
+        step (Array.unsafe_get b.instrs k)
+      done;
+      match b.term with
+      | Jmp tgt -> run_block tgt
+      | Br (r, th, el) -> if ir.(r) <> 0 then run_block th else run_block el
+      | Ret -> ()
+    in
+    run_block f.entry;
+    (Array.map (fun r -> fr.(r)) f.ret_fregs, Array.map (fun r -> ir.(r)) f.ret_iregs)
+  in
+  let main = prog.funcs.(prog.main) in
+  let (_ : float array * int array) =
+    exec_func main (Array.make main.n_fargs 0.0) (Array.make main.n_iargs 0)
+  in
+  ()
+
+let get_f t slot = t.fheap.(slot)
+let get_f_value t slot = Replaced.coerce t.fheap.(slot)
+let set_f t slot v = t.fheap.(slot) <- v
+let get_i t slot = t.iheap.(slot)
+let set_i t slot v = t.iheap.(slot) <- v
+let write_f t base a = Array.blit a 0 t.fheap base (Array.length a)
+let write_i t base a = Array.blit a 0 t.iheap base (Array.length a)
+let read_f t base n = Array.init n (fun k -> get_f_value t (base + k))
+
+let fp_ops_executed t =
+  let total = ref 0 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun ({ addr; op } : Ir.instr) ->
+              if Ir.is_candidate op then total := !total + t.counts.(addr))
+            b.instrs)
+        f.blocks)
+    t.prog.funcs;
+  !total

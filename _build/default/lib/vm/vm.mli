@@ -1,0 +1,75 @@
+(** The execution engine.
+
+    Runs IR programs with the precise bit-level semantics the analysis
+    relies on: float registers and the float heap hold raw 64-bit patterns,
+    [S]-precision opcodes operate on replaced-encoded operands (extract low
+    32 bits, compute in emulated binary32, re-encode with the 0x7FF4DEAD
+    flag), and [D]-precision opcodes operate on plain doubles.
+
+    In [checked] mode the VM enforces the instrumentation invariant the
+    paper gets "for free" from NaN poisoning: a [D] operation consuming a
+    replaced value — or an [S] operation consuming an unreplaced one —
+    raises {!Trap} (the analogue of the instrumented binary crashing when
+    the analysis missed an instruction).
+
+    Execution counts are recorded per instruction address and per block
+    label; {!Cost} turns them into modeled cycles and memory traffic. *)
+
+exception Trap of int * string
+(** [(address, reason)]: instrumentation-invariant violation, out-of-bounds
+    heap access, or division by zero. *)
+
+exception Limit of int
+(** Raised when the step budget is exhausted (argument: the budget). *)
+
+type smode =
+  | Flagged  (** instrumented binaries: [S] ops read/write replaced encodings *)
+  | Plain
+      (** manually-converted single binaries: [S] ops read/write plain
+          binary32-exact doubles, no flags anywhere *)
+
+type t = {
+  prog : Ir.program;
+  fheap : float array;
+  iheap : int array;
+  counts : int array;  (** executions per instruction address *)
+  bcounts : int array;  (** executions per block label *)
+  checked : bool;
+  smode : smode;
+  max_steps : int;
+  mutable steps : int;
+}
+
+val create : ?checked:bool -> ?smode:smode -> ?max_steps:int -> Ir.program -> t
+(** Fresh state with zeroed heaps and counters. [checked] defaults to
+    [false] (native runs); patched programs should run with
+    [checked:true]. [smode] defaults to [Flagged]. [max_steps] defaults to
+    2e9. *)
+
+val run : t -> unit
+(** Execute from [main]. The state's counters and heaps reflect the run
+    afterwards; [run] can be called once per state. *)
+
+val get_f : t -> int -> float
+(** Raw pattern at a float-heap slot (may be a replaced encoding). *)
+
+val get_f_value : t -> int -> float
+(** Value at a float-heap slot, coerced: replaced encodings are decoded to
+    their single-precision value. This is how verification routines read
+    program outputs. *)
+
+val set_f : t -> int -> float -> unit
+val get_i : t -> int -> int
+val set_i : t -> int -> int -> unit
+
+val write_f : t -> int -> float array -> unit
+(** Bulk-poke doubles into the float heap starting at a slot. *)
+
+val write_i : t -> int -> int array -> unit
+
+val read_f : t -> int -> int -> float array
+(** [read_f t base n] reads [n] coerced values starting at [base]. *)
+
+val fp_ops_executed : t -> int
+(** Total executions of candidate FP instructions (denominator of the
+    paper's "dynamic instructions replaced" percentage). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Bfs Builder Config Cost Format Static String Vm

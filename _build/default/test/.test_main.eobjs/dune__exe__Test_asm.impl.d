@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Builder Bytes Cancellation Config Format Int64 Ir Kernel List Nas_bt Nas_cg Nas_ep Nas_ft Nas_lu Nas_mg Nas_sp Patcher QCheck2 QCheck_alcotest Rng Slu Vm

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Builder Ir List Static String Vm

@@ -1,0 +1,1 @@
+test/test_cancellation.ml: Alcotest Array Builder Cancellation Int64 Ir Kernel List Nas_cg Nas_ft Nas_mg Nas_sp String Vm

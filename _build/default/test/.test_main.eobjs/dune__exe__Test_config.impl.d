@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Builder Config Format List QCheck2 QCheck_alcotest Static String Tree_view Vm

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Bfs Builder Config Cost Dataflow Int64 Ir Kernel List Nas_bt Nas_cg Nas_ep Nas_ft Nas_lu Nas_mg Nas_sp Option Patcher Rng Static Vm

@@ -1,0 +1,1 @@
+test/test_fpbits.ml: Alcotest F32 Float Format Ieee Int32 Int64 List QCheck2 QCheck_alcotest Replaced String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Builder Cancellation Config Float Int64 Ir List Patcher Printf Rng Static String To_single Vm

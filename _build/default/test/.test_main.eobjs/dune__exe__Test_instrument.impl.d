@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Builder Config Int64 Ir List Patcher Static Stats String To_single Vm

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Format Ir List Static String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Amg_kernel Array Bfs Config Cost Float Int64 Ir Kernel List Mpi_model Nas_bt Nas_cg Nas_ep Nas_ft Nas_lu Nas_mg Nas_sp Sparse_gen Static Stats String Vm

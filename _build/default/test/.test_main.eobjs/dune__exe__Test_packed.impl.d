@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest Asm Builder Config Cost Format Int64 Ir Patcher Replaced To_single Vm

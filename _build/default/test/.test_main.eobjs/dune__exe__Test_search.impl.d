@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Bfs Builder Config List Static String Vm

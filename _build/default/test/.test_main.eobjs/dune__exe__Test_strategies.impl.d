@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Bfs Builder Kernel List Nas_ep Nas_mg Static Strategies Vm

@@ -1,0 +1,1 @@
+test/test_superlu.ml: Alcotest Array Bfs Config Float Int64 Memplus_like Patcher Slu Sparse_csc Vm

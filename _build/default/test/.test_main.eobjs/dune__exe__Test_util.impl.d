@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int64 QCheck2 QCheck_alcotest Rng Stats

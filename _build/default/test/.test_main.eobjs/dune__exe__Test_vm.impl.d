@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Builder F32 Float Format Int64 Ir List Option Replaced Static String Vm

@@ -1,0 +1,1 @@
+test/test_vm_props.ml: Builder F32 Float Int64 Ir QCheck2 QCheck_alcotest Vm

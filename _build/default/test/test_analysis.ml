@@ -1,0 +1,66 @@
+(* Tests for the end-to-end analysis pipeline (paper Fig. 2). *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let tiny_target () =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t 2 in
+  let main =
+    Builder.func t ~module_:"app" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        (* chain 0 uses an exact constant (replaceable), chain 1 an inexact
+           one whose rounding the verification rejects *)
+        let a = Builder.fconst b 0.5 in
+        Builder.storef b (Builder.at out) (Builder.fmul b a a);
+        let c = Builder.fconst b 0.1 in
+        Builder.storef b (Builder.at (out + 1)) (Builder.fmul b c c))
+  in
+  let program = Builder.program t ~main in
+  ( program,
+    (fun (_ : Vm.t) -> ()),
+    (fun vm -> Vm.read_f vm out 2),
+    fun res -> res.(0) = 0.25 && res.(1) = 0.1 *. 0.1 )
+
+let test_recommend () =
+  let program, setup, output, verify = tiny_target () in
+  let r = Analysis.recommend ~program ~setup ~output ~verify () in
+  checkb "final passes" true r.Analysis.result.Bfs.final_pass;
+  checkb "replaced something" true (r.Analysis.result.Bfs.static_replaced > 0);
+  checkb "not everything" true
+    (r.Analysis.result.Bfs.static_replaced
+    < Array.length (Static.candidates program));
+  checkb "config text renders" true (String.length r.Analysis.config_text > 0);
+  checkb "tree renders" true (String.length r.Analysis.tree > 0);
+  checkb "costs positive" true
+    (r.Analysis.native_cost.Cost.time_cycles > 0.0
+    && r.Analysis.converted_cost.Cost.time_cycles > 0.0);
+  checkb "speedup sane" true
+    (r.Analysis.projected_speedup > 0.5 && r.Analysis.projected_speedup < 10.0)
+
+let test_recommended_config_parses_back () =
+  let program, setup, output, verify = tiny_target () in
+  let r = Analysis.recommend ~program ~setup ~output ~verify () in
+  match Config.parse program r.Analysis.config_text with
+  | Ok cfg ->
+      Array.iter
+        (fun info ->
+          if Config.effective cfg info <> Config.effective r.Analysis.result.Bfs.final info
+          then Alcotest.fail "roundtrip changed a flag")
+        (Static.candidates program)
+  | Error e -> Alcotest.fail e
+
+let test_summary_renders () =
+  let program, setup, output, verify = tiny_target () in
+  let r = Analysis.recommend ~program ~setup ~output ~verify () in
+  let s = Format.asprintf "%a" Analysis.pp_summary r in
+  checkb "mentions candidates" true
+    (let rec contains i =
+       i + 10 <= String.length s && (String.sub s i 10 = "candidates" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [
+    ("recommend", `Quick, test_recommend);
+    ("recommended config parses back", `Quick, test_recommended_config_parses_back);
+    ("summary renders", `Quick, test_summary_renders);
+  ]

@@ -1,0 +1,192 @@
+(* Tests for the assembler: listing round-trips, hand-written assembly, and
+   error reporting. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 0.0)
+
+let roundtrip_exact name prog =
+  let text = Format.asprintf "%a" Ir.pp_program prog in
+  match Asm.parse text with
+  | Error e -> Alcotest.failf "%s: parse error: %s" name e
+  | Ok prog2 ->
+      let text2 = Format.asprintf "%a" Ir.pp_program prog2 in
+      if text <> text2 then Alcotest.failf "%s: round trip differs" name
+
+let test_roundtrip_kernels () =
+  List.iter
+    (fun k -> roundtrip_exact k.Kernel.name k.Kernel.program)
+    [
+      Nas_ep.make Kernel.W;
+      Nas_cg.make Kernel.W;
+      Nas_ft.make Kernel.W;
+      Nas_mg.make Kernel.W;
+      Nas_bt.make Kernel.W;
+      Nas_lu.make Kernel.W;
+      Nas_sp.make Kernel.W;
+    ]
+
+let test_roundtrip_patched () =
+  let k = Nas_cg.make Kernel.W in
+  let cfg = Config.set_module Config.empty "cg" Config.Single in
+  roundtrip_exact "cg patched" (Patcher.patch k.Kernel.program cfg);
+  roundtrip_exact "cg patched optimized" (Patcher.patch ~dataflow:true k.Kernel.program cfg)
+
+let test_roundtrip_instrumented () =
+  let k = Nas_lu.make Kernel.W in
+  roundtrip_exact "lu cancellation" (fst (Cancellation.instrument k.Kernel.program))
+
+let test_roundtrip_superlu () =
+  let s = Slu.create ~n:60 ~seed:3 () in
+  roundtrip_exact "superlu" s.Slu.program
+
+let test_semantics_preserved () =
+  (* the reassembled binary computes the same results *)
+  let k = Nas_sp.make Kernel.W in
+  let text = Format.asprintf "%a" Ir.pp_program k.Kernel.program in
+  let prog2 = Asm.parse_exn text in
+  let native, _ = Kernel.run_native k in
+  let vm = Vm.create prog2 in
+  k.Kernel.setup vm;
+  Vm.run vm;
+  let out = k.Kernel.output vm in
+  checkb "bit-for-bit" true
+    (Array.for_all2 (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b) native out)
+
+let test_hand_written () =
+  (* a small program written directly in the listing syntax *)
+  let text =
+    {|; program main=main fheap=4 iheap=1
+demo:main()  ; fid=0 fargs=0 iargs=0 frets=[] irets=[] fregs=4 iregs=1
+.B0 (label 1) <entry>:
+  0x000000  movsd.imm $0x1.8p+1 -> f0
+  0x000001  movsd.imm $0x1p-1 -> f1
+  0x000002  addsd f0, f1 -> f2
+  0x000003  sqrtsd f2 -> f3
+  0x000004  movsd.st f3 -> [0]
+          ret
+|}
+  in
+  let prog = Asm.parse_exn text in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "sqrt(3 + 0.5)" (sqrt 3.5) (Vm.get_f_value vm 0)
+
+let test_hand_written_control_flow () =
+  let text =
+    {|; program main=main fheap=2 iheap=1
+demo:abs_diff()  ; fid=0 fargs=2 iargs=0 frets=[f2] irets=[] fregs=3 iregs=1
+.B0 (label 1) <entry>:
+  0x000000  cmpsd.lt f0, f1 -> i0
+          br i0 ? .B1 : .B2
+.B1 (label 2):
+  0x000001  subsd f1, f0 -> f2
+          jmp .B3
+.B2 (label 3):
+  0x000002  subsd f0, f1 -> f2
+          jmp .B3
+.B3 (label 4):
+          ret
+demo:main()  ; fid=1 fargs=0 iargs=0 frets=[] irets=[] fregs=3 iregs=1
+.B0 (label 5) <entry>:
+  0x000003  movsd.imm $0x1p+0 -> f0
+  0x000004  movsd.imm $0x1.8p+1 -> f1
+  0x000005  call @0 (f0, f1) -> (f2)
+  0x000006  movsd.st f2 -> [0]
+          ret
+|}
+  in
+  let prog = Asm.parse_exn text in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "|1 - 3| = 2" 2.0 (Vm.get_f_value vm 0)
+
+let expect_error text =
+  match Asm.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "garbage that is not a listing";
+  (* unknown mnemonic *)
+  expect_error
+    {|; program main=main fheap=1 iheap=1
+m:main()  ; fid=0 fargs=0 iargs=0 frets=[] irets=[] fregs=1 iregs=1
+.B0 (label 1) <entry>:
+  0x000000  frobnicate f0 -> f0
+          ret
+|};
+  (* instruction outside a block *)
+  expect_error
+    {|; program main=main fheap=1 iheap=1
+m:main()  ; fid=0 fargs=0 iargs=0 frets=[] irets=[] fregs=1 iregs=1
+  0x000000  movsd.imm $0x1p+0 -> f0
+|};
+  (* validation failure: register out of range *)
+  expect_error
+    {|; program main=main fheap=1 iheap=1
+m:main()  ; fid=0 fargs=0 iargs=0 frets=[] irets=[] fregs=1 iregs=1
+.B0 (label 1) <entry>:
+  0x000000  movsd.imm $0x1p+0 -> f9
+          ret
+|};
+  (* missing main *)
+  expect_error
+    {|; program main=nosuch fheap=1 iheap=1
+m:main()  ; fid=0 fargs=0 iargs=0 frets=[] irets=[] fregs=1 iregs=1
+.B0 (label 1) <entry>:
+          ret
+|}
+
+let test_fuzz_roundtrip () =
+  (* reuse the fuzzer's generator through the builder: random programs
+     round-trip exactly *)
+  let rng = Rng.create 31337 in
+  for _ = 1 to 10 do
+    let t = Builder.create () in
+    let base = Builder.alloc_f t 8 in
+    let main =
+      Builder.func t ~module_:"r" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+          let x = Builder.fconst b (Rng.uniform rng) in
+          let y = Builder.fconst b (Rng.uniform rng) in
+          Builder.for_range b 0 (1 + Rng.int rng 5) (fun i ->
+              let v = Builder.fadd b x (Builder.fmul b y (Builder.i2f b i)) in
+              Builder.when_ b
+                (Builder.fgt b v x)
+                (fun () -> Builder.storef b (Builder.idx base i) v)))
+    in
+    roundtrip_exact "random" (Builder.program t ~main)
+  done
+
+let test_parser_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"parser is total on garbage"
+       QCheck2.Gen.(string_size ~gen:(char_range '\x20' '\x7e') (int_bound 200))
+       (fun s ->
+         match Asm.parse s with Ok _ -> true | Error _ -> true))
+
+let test_parser_total_mutations =
+  (* mutate a valid listing and require Ok or Error, never an exception *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"parser is total on mutated listings"
+       QCheck2.Gen.(pair small_nat (char_range '\x20' '\x7e'))
+       (fun (pos, c) ->
+         let k = Nas_sp.make Kernel.W in
+         let text = Format.asprintf "%a" Ir.pp_program k.Kernel.program in
+         let b = Bytes.of_string text in
+         Bytes.set b (pos mod Bytes.length b) c;
+         match Asm.parse (Bytes.to_string b) with Ok _ -> true | Error _ -> true))
+
+let suite =
+  [
+    test_parser_total;
+    test_parser_total_mutations;
+    ("roundtrip: all kernels", `Quick, test_roundtrip_kernels);
+    ("roundtrip: patched binaries", `Quick, test_roundtrip_patched);
+    ("roundtrip: cancellation-instrumented", `Quick, test_roundtrip_instrumented);
+    ("roundtrip: superlu", `Quick, test_roundtrip_superlu);
+    ("semantics preserved", `Quick, test_semantics_preserved);
+    ("hand-written assembly", `Quick, test_hand_written);
+    ("hand-written control flow + call", `Quick, test_hand_written_control_flow);
+    ("parse errors", `Quick, test_errors);
+    ("roundtrip: random programs", `Quick, test_fuzz_roundtrip);
+  ]

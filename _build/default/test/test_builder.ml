@@ -1,0 +1,303 @@
+(* Tests for the builder eDSL: every control-flow construct and addressing
+   mode is lowered to IR that validates and computes the right values. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 0.0)
+let checki = Alcotest.check Alcotest.int
+
+(* Build a one-function program, run it, and return heap slot 0..n-1. *)
+let run_program ?(fheap_read = 1) build =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t fheap_read in
+  let main = Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (build t out) in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  (Array.init fheap_read (fun k -> Vm.get_f_value vm (out + k)), prog)
+
+let test_arith () =
+  let out, _ =
+    run_program (fun _ out b _ _ ->
+        let x = Builder.fconst b 7.0 in
+        let y = Builder.fconst b 2.0 in
+        let r =
+          Builder.fadd b
+            (Builder.fmul b x y)
+            (Builder.fsub b (Builder.fdiv b x y) (Builder.fsqrt b y))
+        in
+        Builder.storef b (Builder.at out) r)
+  in
+  checkf "(7*2) + (7/2 - sqrt 2)" ((7.0 *. 2.0) +. ((7.0 /. 2.0) -. sqrt 2.0)) out.(0)
+
+let test_libm_and_unops () =
+  let out, _ =
+    run_program ~fheap_read:6 (fun _ out b _ _ ->
+        let x = Builder.fconst b 0.5 in
+        Builder.storef b (Builder.at out) (Builder.fsin b x);
+        Builder.storef b (Builder.at (out + 1)) (Builder.fcos b x);
+        Builder.storef b (Builder.at (out + 2)) (Builder.fexp b x);
+        Builder.storef b (Builder.at (out + 3)) (Builder.flog b x);
+        Builder.storef b (Builder.at (out + 4)) (Builder.fneg b x);
+        Builder.storef b (Builder.at (out + 5)) (Builder.fabs b (Builder.fneg b x)))
+  in
+  checkf "sin" (sin 0.5) out.(0);
+  checkf "cos" (cos 0.5) out.(1);
+  checkf "exp" (exp 0.5) out.(2);
+  checkf "log" (log 0.5) out.(3);
+  checkf "neg" (-0.5) out.(4);
+  checkf "abs" 0.5 out.(5)
+
+let test_if () =
+  let out, _ =
+    run_program ~fheap_read:2 (fun _ out b _ _ ->
+        let x = Builder.fconst b 1.0 in
+        let y = Builder.fconst b 2.0 in
+        let r = Builder.freshf b in
+        Builder.if_ b (Builder.flt b x y)
+          (fun () -> Builder.setf b r (Builder.fconst b 10.0))
+          (fun () -> Builder.setf b r (Builder.fconst b 20.0));
+        Builder.storef b (Builder.at out) r;
+        Builder.if_ b (Builder.fgt b x y)
+          (fun () -> Builder.setf b r (Builder.fconst b 30.0))
+          (fun () -> Builder.setf b r (Builder.fconst b 40.0));
+        Builder.storef b (Builder.at (out + 1)) r)
+  in
+  checkf "then branch" 10.0 out.(0);
+  checkf "else branch" 40.0 out.(1)
+
+let test_while () =
+  (* sum of 1..10 via a while loop *)
+  let out, _ =
+    run_program (fun _ out b _ _ ->
+        let i = Builder.freshi b in
+        Builder.seti b i (Builder.iconst b 1);
+        let acc = Builder.freshf b in
+        Builder.setf b acc (Builder.fconst b 0.0);
+        let eleven = Builder.iconst b 11 in
+        Builder.while_ b
+          (fun () -> Builder.ilt b i eleven)
+          (fun () ->
+            Builder.setf b acc (Builder.fadd b acc (Builder.i2f b i));
+            Builder.seti b i (Builder.iaddc b i 1));
+        Builder.storef b (Builder.at out) acc)
+  in
+  checkf "sum 1..10" 55.0 out.(0)
+
+let test_for_and_for_down () =
+  let out, _ =
+    run_program ~fheap_read:2 (fun _ out b _ _ ->
+        let acc = Builder.freshf b in
+        Builder.setf b acc (Builder.fconst b 0.0);
+        Builder.for_range b 0 5 (fun i ->
+            Builder.setf b acc (Builder.fadd b acc (Builder.i2f b i)));
+        Builder.storef b (Builder.at out) acc;
+        (* descending: record first index seen *)
+        let first = Builder.freshf b in
+        Builder.setf b first (Builder.fconst b (-1.0));
+        let seen = Builder.freshi b in
+        Builder.seti b seen (Builder.iconst b 0);
+        Builder.for_down b (Builder.iconst b 5) (Builder.iconst b 0) (fun i ->
+            Builder.when_ b (Builder.ieq b seen (Builder.iconst b 0)) (fun () ->
+                Builder.setf b first (Builder.i2f b i);
+                Builder.seti b seen (Builder.iconst b 1)));
+        Builder.storef b (Builder.at (out + 1)) first)
+  in
+  checkf "0+1+2+3+4" 10.0 out.(0);
+  checkf "for_down starts at hi-1" 4.0 out.(1)
+
+let test_int_ops () =
+  let out, _ =
+    run_program ~fheap_read:8 (fun _ out b _ _ ->
+        let a = Builder.iconst b 13 in
+        let c = Builder.iconst b 5 in
+        let put k v = Builder.storef b (Builder.at (out + k)) (Builder.i2f b v) in
+        put 0 (Builder.iadd b a c);
+        put 1 (Builder.isub b a c);
+        put 2 (Builder.imul b a c);
+        put 3 (Builder.idiv b a c);
+        put 4 (Builder.irem b a c);
+        put 5 (Builder.iand b a c);
+        put 6 (Builder.ishl b c (Builder.iconst b 2));
+        put 7 (Builder.ixor b a c))
+  in
+  checkf "add" 18.0 out.(0);
+  checkf "sub" 8.0 out.(1);
+  checkf "mul" 65.0 out.(2);
+  checkf "div" 2.0 out.(3);
+  checkf "rem" 3.0 out.(4);
+  checkf "and" 5.0 out.(5);
+  checkf "shl" 20.0 out.(6);
+  checkf "xor" 8.0 out.(7)
+
+let test_cmp_ops () =
+  let out, _ =
+    run_program ~fheap_read:6 (fun _ out b _ _ ->
+        let x = Builder.fconst b 1.0 in
+        let y = Builder.fconst b 2.0 in
+        let put k v = Builder.storef b (Builder.at (out + k)) (Builder.i2f b v) in
+        put 0 (Builder.feq b x x);
+        put 1 (Builder.fne b x y);
+        put 2 (Builder.fle b x y);
+        put 3 (Builder.fge b x y);
+        put 4 (Builder.ile b (Builder.iconst b 3) (Builder.iconst b 3));
+        put 5 (Builder.igt b (Builder.iconst b 3) (Builder.iconst b 4)))
+  in
+  Alcotest.(check (list (float 0.0)))
+    "comparison results" [ 1.0; 1.0; 1.0; 0.0; 1.0; 0.0 ] (Array.to_list out)
+
+let test_memory_addressing () =
+  let t = Builder.create () in
+  let arr = Builder.alloc_f t 8 in
+  let iarr = Builder.alloc_i t 4 in
+  let out = Builder.alloc_f t 3 in
+  let main =
+    Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        (* fill arr.(i) = i*1.5 *)
+        Builder.for_range b 0 8 (fun i ->
+            Builder.storef b (Builder.idx arr i) (Builder.fmul b (Builder.i2f b i) (Builder.fconst b 1.5)));
+        (* int heap roundtrip *)
+        Builder.storei b (Builder.at iarr) (Builder.iconst b 3);
+        let k = Builder.loadi b (Builder.at iarr) in
+        (* static, indexed, scaled and dynamic addressing must agree *)
+        Builder.storef b (Builder.at out) (Builder.loadf b (Builder.at (arr + 3)));
+        Builder.storef b (Builder.at (out + 1)) (Builder.loadf b (Builder.idx arr k));
+        let base = Builder.iconst b arr in
+        Builder.storef b (Builder.at (out + 2))
+          (Builder.loadf b (Builder.dyn_off base 3)))
+  in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "static" 4.5 (Vm.get_f_value vm out);
+  checkf "indexed" 4.5 (Vm.get_f_value vm (out + 1));
+  checkf "dynamic" 4.5 (Vm.get_f_value vm (out + 2))
+
+let test_scaled_addressing () =
+  let t = Builder.create () in
+  let arr = Builder.alloc_f t 16 in
+  let out = Builder.alloc_f t 1 in
+  let main =
+    Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        Builder.for_range b 0 16 (fun i ->
+            Builder.storef b (Builder.idx arr i) (Builder.i2f b i));
+        let two = Builder.iconst b 2 in
+        Builder.storef b (Builder.at out)
+          (Builder.loadf b (Builder.idx_scaled arr two 4)))
+  in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "scale 4, index 2 -> slot 8" 8.0 (Vm.get_f_value vm out)
+
+let test_calls_and_returns () =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t 2 in
+  let hypot2 =
+    Builder.func t ~module_:"t" "hypot2" ~nf_args:2 ~ni_args:0 (fun b fa _ ->
+        let s = Builder.fadd b (Builder.fmul b fa.(0) fa.(0)) (Builder.fmul b fa.(1) fa.(1)) in
+        Builder.ret b ~f:[ Builder.fsqrt b s ] ())
+  in
+  let divmod =
+    Builder.func t ~module_:"t" "divmod" ~nf_args:0 ~ni_args:2 (fun b _ ia ->
+        Builder.ret b ~i:[ Builder.idiv b ia.(0) ia.(1); Builder.irem b ia.(0) ia.(1) ] ())
+  in
+  let main =
+    Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let f, _ =
+          Builder.call b hypot2 ~fargs:[ Builder.fconst b 3.0; Builder.fconst b 4.0 ] ~iargs:[]
+        in
+        Builder.storef b (Builder.at out) f.(0);
+        let _, i =
+          Builder.call b divmod ~fargs:[] ~iargs:[ Builder.iconst b 17; Builder.iconst b 5 ]
+        in
+        Builder.storef b (Builder.at (out + 1))
+          (Builder.fadd b (Builder.i2f b i.(0)) (Builder.i2f b i.(1))))
+  in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "hypot 3 4" 5.0 (Vm.get_f_value vm out);
+  checkf "17/5 + 17 mod 5" 5.0 (Vm.get_f_value vm (out + 1))
+
+let test_early_ret () =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t 1 in
+  let sign =
+    Builder.func t ~module_:"t" "sign" ~nf_args:1 ~ni_args:0 (fun b fa _ ->
+        let zero = Builder.fconst b 0.0 in
+        Builder.when_ b (Builder.flt b fa.(0) zero) (fun () ->
+            Builder.ret b ~f:[ Builder.fconst b (-1.0) ] ());
+        Builder.ret b ~f:[ Builder.fconst b 1.0 ] ())
+  in
+  let main =
+    Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let r1, _ = Builder.call b sign ~fargs:[ Builder.fconst b (-5.0) ] ~iargs:[] in
+        let r2, _ = Builder.call b sign ~fargs:[ Builder.fconst b 5.0 ] ~iargs:[] in
+        Builder.storef b (Builder.at out) (Builder.fsub b r1.(0) r2.(0)))
+  in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  checkf "sign(-5) - sign(5)" (-2.0) (Vm.get_f_value vm out)
+
+let test_call_arity_mismatch () =
+  let t = Builder.create () in
+  let f =
+    Builder.func t ~module_:"t" "f" ~nf_args:1 ~ni_args:0 (fun b fa _ ->
+        Builder.ret b ~f:[ fa.(0) ] ())
+  in
+  checkb "raises" true
+    (try
+       let _ =
+         Builder.func t ~module_:"t" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+             ignore (Builder.call b f ~fargs:[] ~iargs:[]))
+       in
+       false
+     with Invalid_argument _ -> true)
+
+let test_programs_validate () =
+  (* every emitted construct yields a valid program *)
+  let _, prog =
+    run_program (fun _ out b _ _ ->
+        Builder.for_range b 0 3 (fun i ->
+            Builder.when_ b (Builder.ieq b i (Builder.iconst b 1)) (fun () ->
+                Builder.storef b (Builder.at out) (Builder.i2f b i))))
+  in
+  match Ir.validate prog with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es)
+
+let test_addresses_sequential () =
+  let _, prog =
+    run_program (fun _ out b _ _ ->
+        Builder.storef b (Builder.at out) (Builder.fconst b 1.0))
+  in
+  let addrs = ref [] in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (blk : Ir.block) ->
+          Array.iter (fun (i : Ir.instr) -> addrs := i.Ir.addr :: !addrs) blk.Ir.instrs)
+        f.Ir.blocks)
+    prog.Ir.funcs;
+  let sorted = List.sort compare !addrs in
+  checki "dense from zero" 0 (List.hd sorted);
+  checki "count matches" (List.length sorted) (Static.insn_count prog)
+
+let suite =
+  [
+    ("arithmetic", `Quick, test_arith);
+    ("libm and unary ops", `Quick, test_libm_and_unops);
+    ("if/else", `Quick, test_if);
+    ("while loop", `Quick, test_while);
+    ("for and for_down", `Quick, test_for_and_for_down);
+    ("integer ops", `Quick, test_int_ops);
+    ("comparisons", `Quick, test_cmp_ops);
+    ("memory addressing", `Quick, test_memory_addressing);
+    ("scaled addressing", `Quick, test_scaled_addressing);
+    ("calls and returns", `Quick, test_calls_and_returns);
+    ("early return", `Quick, test_early_ret);
+    ("call arity mismatch", `Quick, test_call_arity_mismatch);
+    ("programs validate", `Quick, test_programs_validate);
+    ("addresses dense", `Quick, test_addresses_sequential);
+  ]

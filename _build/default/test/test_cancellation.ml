@@ -1,0 +1,110 @@
+(* Tests for the dynamic cancellation detector (paper §4.4). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)) a b
+
+(* out.(0) = (a + b) + c with catastrophic cancellation when b = -a *)
+let cancel_program a b c =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t 1 in
+  let main =
+    Builder.func t ~module_:"m" "main" ~nf_args:0 ~ni_args:0 (fun bd _ _ ->
+        let va = Builder.fconst bd a in
+        let vb = Builder.fconst bd b in
+        let vc = Builder.fconst bd c in
+        let s = Builder.fadd bd va vb in
+        Builder.storef bd (Builder.at out) (Builder.fadd bd s vc))
+  in
+  (Builder.program t ~main, out)
+
+let run_instrumented ?threshold_bits prog =
+  let instr, layout = Cancellation.instrument ?threshold_bits prog in
+  let vm = Vm.create instr in
+  Vm.run vm;
+  (layout, vm)
+
+let test_detects_catastrophic () =
+  let prog, _ = cancel_program 1.0 (-1.0 +. 1e-14) 2.0 in
+  let layout, vm = run_instrumented prog in
+  let sites = Cancellation.read_sites layout vm in
+  checki "two add sites" 2 (List.length sites);
+  let first = List.hd sites in
+  checki "executed once" 1 first.Cancellation.executions;
+  checki "cancelled" 1 first.Cancellation.cancellations;
+  checkb "large drop" true (first.Cancellation.total_bits > 40)
+
+let test_benign_not_flagged () =
+  let prog, _ = cancel_program 1.0 2.0 3.0 in
+  let layout, vm = run_instrumented prog in
+  List.iter
+    (fun s -> checki "no cancellation" 0 s.Cancellation.cancellations)
+    (Cancellation.read_sites layout vm)
+
+let test_threshold () =
+  (* a ~4-bit cancellation is seen at threshold 3 but not at 10 *)
+  let prog, _ = cancel_program 1.0 (-0.9375) 1.0 in
+  let layout10, vm10 = run_instrumented ~threshold_bits:10 prog in
+  let layout3, vm3 = run_instrumented ~threshold_bits:3 prog in
+  let cancels layout vm =
+    List.fold_left (fun acc s -> acc + s.Cancellation.cancellations) 0
+      (Cancellation.read_sites layout vm)
+  in
+  checki "missed at 10 bits" 0 (cancels layout10 vm10);
+  checkb "caught at 3 bits" true (cancels layout3 vm3 > 0)
+
+let test_preserves_results () =
+  List.iter
+    (fun k ->
+      let native, _ = Kernel.run_native k in
+      let instr, _ = Cancellation.instrument k.Kernel.program in
+      let vm = Vm.create instr in
+      k.Kernel.setup vm;
+      Vm.run vm;
+      if not (bits_equal native (k.Kernel.output vm)) then
+        Alcotest.failf "%s: detector changed the results" k.Kernel.name)
+    [ Nas_cg.make Kernel.W; Nas_ft.make Kernel.W; Nas_sp.make Kernel.W ]
+
+let test_cg_residual_cancels () =
+  (* the known hot spot: CG's final residual subtraction x - A z *)
+  let k = Nas_cg.make Kernel.W in
+  let instr, layout = Cancellation.instrument k.Kernel.program in
+  let vm = Vm.create instr in
+  k.Kernel.setup vm;
+  Vm.run vm;
+  let worst =
+    Cancellation.read_sites layout vm
+    |> List.sort (fun a b -> compare b.Cancellation.total_bits a.Cancellation.total_bits)
+    |> List.hd
+  in
+  checkb "substantial cancellation found" true (worst.Cancellation.cancellations > 100);
+  checkb "is a subtraction" true
+    (String.length worst.Cancellation.disasm >= 5
+    && String.sub worst.Cancellation.disasm 0 5 = "subsd")
+
+let test_report_renders () =
+  let prog, _ = cancel_program 1.0 (-1.0 +. 1e-14) 2.0 in
+  let layout, vm = run_instrumented prog in
+  let s = Cancellation.report layout vm in
+  checkb "mentions threshold" true (String.length s > 0)
+
+let test_validates () =
+  let k = Nas_mg.make Kernel.W in
+  let instr, _ = Cancellation.instrument k.Kernel.program in
+  match Ir.validate instr with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es)
+
+let suite =
+  [
+    ("detects catastrophic cancellation", `Quick, test_detects_catastrophic);
+    ("benign additions not flagged", `Quick, test_benign_not_flagged);
+    ("threshold respected", `Quick, test_threshold);
+    ("preserves results bit-for-bit", `Quick, test_preserves_results);
+    ("cg residual cancels", `Quick, test_cg_residual_cancels);
+    ("report renders", `Quick, test_report_renders);
+    ("instrumented program validates", `Quick, test_validates);
+  ]

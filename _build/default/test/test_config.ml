@@ -1,0 +1,245 @@
+(* Tests for precision configurations: the aggregate-overrides-children
+   semantics, union, the exchange file format, and the tree view. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let flag = Alcotest.testable
+    (fun ppf f -> Format.pp_print_char ppf (Config.flag_char f))
+    ( = )
+
+(* A two-module program with two functions and several candidates. *)
+let program () =
+  let t = Builder.create () in
+  let base = Builder.alloc_f t 4 in
+  let helper =
+    Builder.func t ~module_:"modA" "helper" ~nf_args:1 ~ni_args:0 (fun b fa _ ->
+        Builder.ret b ~f:[ Builder.fmul b fa.(0) fa.(0) ] ())
+  in
+  let main =
+    Builder.func t ~module_:"modB" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let x = Builder.fconst b 1.5 in
+        let r, _ = Builder.call b helper ~fargs:[ x ] ~iargs:[] in
+        let y = Builder.fadd b r.(0) x in
+        let z = Builder.fdiv b y (Builder.fconst b 3.0) in
+        Builder.storef b (Builder.at base) (Builder.fsqrt b z))
+  in
+  Builder.program t ~main
+
+let candidates p = Array.to_list (Static.candidates p)
+
+let find_by_prefix p prefix =
+  List.find
+    (fun (i : Static.insn_info) ->
+      String.length i.disasm >= String.length prefix
+      && String.sub i.disasm 0 (String.length prefix) = prefix)
+    (candidates p)
+
+let test_default_double () =
+  let p = program () in
+  List.iter
+    (fun info -> Alcotest.check flag "default" Config.Double (Config.effective Config.empty info))
+    (candidates p)
+
+let test_insn_flag () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_insn Config.empty mul.Static.addr Config.Single in
+  Alcotest.check flag "set" Config.Single (Config.effective cfg mul);
+  List.iter
+    (fun (i : Static.insn_info) ->
+      if i.addr <> mul.addr then
+        Alcotest.check flag "others untouched" Config.Double (Config.effective cfg i))
+    (candidates p)
+
+let test_func_overrides_insn () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_insn Config.empty mul.Static.addr Config.Double in
+  let cfg = Config.set_func cfg "helper" Config.Single in
+  (* the paper's semantics: the aggregate flag wins over the child's *)
+  Alcotest.check flag "func overrides insn" Config.Single (Config.effective cfg mul)
+
+let test_module_overrides_func () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_func Config.empty "helper" Config.Double in
+  let cfg = Config.set_module cfg "modA" Config.Single in
+  Alcotest.check flag "module overrides func" Config.Single (Config.effective cfg mul)
+
+let test_block_level () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_block Config.empty mul.Static.block_label Config.Ignore in
+  Alcotest.check flag "block flag" Config.Ignore (Config.effective cfg mul)
+
+let test_union_left_wins () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let a = Config.set_insn Config.empty mul.Static.addr Config.Single in
+  let b = Config.set_insn Config.empty mul.Static.addr Config.Ignore in
+  Alcotest.check flag "left wins" Config.Single (Config.effective (Config.union a b) mul);
+  Alcotest.check flag "right loses" Config.Ignore (Config.effective (Config.union b a) mul)
+
+let test_union_merges () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let add = find_by_prefix p "addsd" in
+  let a = Config.set_insn Config.empty mul.Static.addr Config.Single in
+  let b = Config.set_insn Config.empty add.Static.addr Config.Single in
+  let u = Config.union a b in
+  Alcotest.check flag "a part" Config.Single (Config.effective u mul);
+  Alcotest.check flag "b part" Config.Single (Config.effective u add)
+
+let test_is_empty () =
+  checkb "empty" true (Config.is_empty Config.empty);
+  checkb "nonempty" false (Config.is_empty (Config.set_func Config.empty "helper" Config.Single))
+
+let test_stats () =
+  let p = program () in
+  let total = List.length (candidates p) in
+  let s, d, i = Config.stats p Config.empty in
+  checki "all double" total d;
+  checki "no single" 0 s;
+  checki "no ignore" 0 i;
+  let cfg = Config.set_module Config.empty "modB" Config.Single in
+  let s2, _, _ = Config.stats p cfg in
+  let in_b =
+    List.length (List.filter (fun (c : Static.insn_info) -> c.module_name = "modB") (candidates p))
+  in
+  checki "modB single" in_b s2
+
+let test_set_node () =
+  let p = program () in
+  let tree = Static.tree p in
+  let cfg =
+    List.fold_left (fun acc n -> Config.set_node acc n Config.Single) Config.empty tree
+  in
+  let s, d, i = Config.stats p cfg in
+  checki "all single" (List.length (candidates p)) s;
+  checki "none double" 0 d;
+  checki "none ignore" 0 i
+
+let test_print_contains_structures () =
+  let p = program () in
+  let txt = Config.print p Config.empty in
+  let contains needle =
+    let n = String.length needle and m = String.length txt in
+    let rec go i = i + n <= m && (String.sub txt i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "module A" true (contains "MODULE: modA");
+  checkb "module B" true (contains "MODULE: modB");
+  checkb "helper" true (contains "helper()");
+  checkb "an insn" true (contains "INSN01");
+  checkb "disasm quoted" true (contains "\"mulsd")
+
+let test_print_flag_column () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_insn Config.empty mul.Static.addr Config.Single in
+  let cfg = Config.set_func cfg "main" Config.Ignore in
+  let txt = Config.print p cfg in
+  let lines = String.split_on_char '\n' txt in
+  checkb "has s line" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 's') lines);
+  checkb "has i line" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 'i') lines)
+
+let effective_equal p a b =
+  List.for_all (fun info -> Config.effective a info = Config.effective b info) (candidates p)
+
+let test_roundtrip_simple () =
+  let p = program () in
+  let mul = find_by_prefix p "mulsd" in
+  let cfg = Config.set_insn Config.empty mul.Static.addr Config.Single in
+  let cfg = Config.set_module cfg "modB" Config.Single in
+  match Config.parse p (Config.print p cfg) with
+  | Ok cfg2 -> checkb "same effective flags" true (effective_equal p cfg cfg2)
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_random =
+  let gen =
+    QCheck2.Gen.(list_size (int_bound 8) (pair (int_bound 20) (int_bound 2)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"print/parse roundtrip (random configs)" gen
+       (fun choices ->
+         let p = program () in
+         let cands = Array.of_list (candidates p) in
+         let flag_of = function 0 -> Config.Single | 1 -> Config.Double | _ -> Config.Ignore in
+         let cfg =
+           List.fold_left
+             (fun acc (k, f) ->
+               let info = cands.(k mod Array.length cands) in
+               Config.set_insn acc info.Static.addr (flag_of f))
+             Config.empty choices
+         in
+         match Config.parse p (Config.print p cfg) with
+         | Ok cfg2 -> effective_equal p cfg cfg2
+         | Error _ -> false))
+
+let test_parse_errors () =
+  let p = program () in
+  let err txt =
+    match Config.parse p txt with Ok _ -> Alcotest.fail "expected error" | Error _ -> ()
+  in
+  err " MODULE: nonexistent";
+  err " FUNC09: nosuchfunc()";
+  err " BBLK99";
+  err " INSN01: 0xfffff \"addsd\"";
+  err " GARBAGE LINE"
+
+let test_parse_blank_and_unflagged () =
+  let p = program () in
+  (* unflagged structure lines parse as no-flag; blanks are skipped *)
+  match Config.parse p "\n MODULE: modA\n\n   FUNC01: helper()\n" with
+  | Ok cfg -> checkb "no flags set" true (Config.is_empty cfg)
+  | Error e -> Alcotest.fail e
+
+let test_tree_view () =
+  let p = program () in
+  let cfg = Config.set_module Config.empty "modA" Config.Single in
+  let txt = Tree_view.render p cfg in
+  let contains needle =
+    let n = String.length needle and m = String.length txt in
+    let rec go i = i + n <= m && (String.sub txt i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "module line with summary" true (contains "MODULE modA");
+  checkb "summary counts" true (contains "[s:1 d:0 of 1]");
+  checkb "flag chars on leaves" true (contains "s 0x")
+
+let test_tree_view_counts () =
+  let p = program () in
+  let vm = Vm.create p in
+  Vm.run vm;
+  let txt = Tree_view.render ~counts:vm.Vm.counts p Config.empty in
+  let contains needle =
+    let n = String.length needle and m = String.length txt in
+    let rec go i = i + n <= m && (String.sub txt i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "exec counts shown" true (contains "(exec 1)")
+
+let suite =
+  [
+    ("default double", `Quick, test_default_double);
+    ("insn flag", `Quick, test_insn_flag);
+    ("func overrides insn", `Quick, test_func_overrides_insn);
+    ("module overrides func", `Quick, test_module_overrides_func);
+    ("block level", `Quick, test_block_level);
+    ("union: left wins", `Quick, test_union_left_wins);
+    ("union merges", `Quick, test_union_merges);
+    ("is_empty", `Quick, test_is_empty);
+    ("stats", `Quick, test_stats);
+    ("set_node over tree", `Quick, test_set_node);
+    ("print: structures present", `Quick, test_print_contains_structures);
+    ("print: flag column", `Quick, test_print_flag_column);
+    ("roundtrip simple", `Quick, test_roundtrip_simple);
+    test_roundtrip_random;
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse blank/unflagged", `Quick, test_parse_blank_and_unflagged);
+    ("tree view", `Quick, test_tree_view);
+    ("tree view with counts", `Quick, test_tree_view_counts);
+  ]

@@ -1,0 +1,240 @@
+(* Tests for the floating-point substrate: IEEE field views, emulated
+   binary32 arithmetic, and the 0x7FF4DEAD replaced-value encoding. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let float_bits = Alcotest.testable (fun ppf x -> Format.fprintf ppf "%h" x)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let qt ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let finite_float =
+  QCheck2.Gen.map
+    (fun (frac, exp, sign) ->
+      let m = Float.of_int frac /. 1e9 in
+      let v = ldexp m exp in
+      if sign then -.v else v)
+    QCheck2.Gen.(triple (int_bound 1_000_000_000) (int_range (-60) 60) bool)
+
+(* ---------- Ieee ---------- *)
+
+let test_fields64_roundtrip () =
+  List.iter
+    (fun x ->
+      check float_bits "roundtrip" x (Ieee.of_fields64 (Ieee.fields64 x)))
+    [ 0.0; -0.0; 1.0; -1.0; Float.pi; 1e300; 1e-300; infinity; neg_infinity; Float.min_float ]
+
+let test_fields64_values () =
+  let f = Ieee.fields64 1.0 in
+  checki "sign" 0 f.Ieee.sign;
+  checki "exp" Ieee.bias64 f.Ieee.exponent;
+  check Alcotest.int64 "frac" 0L f.Ieee.significand;
+  let f2 = Ieee.fields64 (-2.0) in
+  checki "sign -2" 1 f2.Ieee.sign;
+  checki "exp -2" (Ieee.bias64 + 1) f2.Ieee.exponent
+
+let test_fields32_roundtrip () =
+  List.iter
+    (fun b ->
+      check Alcotest.int32 "roundtrip" b (Ieee.of_fields32 (Ieee.fields32 b)))
+    [ 0l; Int32.min_int; 0x3F800000l; 0x7F800000l; 0xFF800000l; 0x7FC00000l; 1l ]
+
+let test_classify () =
+  let c = Alcotest.testable Ieee.pp_class ( = ) in
+  check c "zero" Ieee.Zero (Ieee.classify64 0.0);
+  check c "-zero" Ieee.Zero (Ieee.classify64 (-0.0));
+  check c "normal" Ieee.Normal (Ieee.classify64 1.5);
+  check c "subnormal" Ieee.Subnormal (Ieee.classify64 (Float.min_float /. 2.0));
+  check c "inf" Ieee.Infinite (Ieee.classify64 infinity);
+  check c "nan" Ieee.Nan (Ieee.classify64 Float.nan);
+  check c "nan32" Ieee.Nan (Ieee.classify32 0x7FC00001l);
+  check c "zero32" Ieee.Zero (Ieee.classify32 0l);
+  check c "normal32" Ieee.Normal (Ieee.classify32 0x3F800000l);
+  check c "inf32" Ieee.Infinite (Ieee.classify32 0x7F800000l)
+
+let test_describe () =
+  let s = Ieee.describe64 1.0 in
+  checkb "mentions normal" true (String.length s > 0 && String.exists (fun _ -> true) s);
+  checkb "contains binary64" true
+    (String.length s >= 8 && String.sub s 0 8 = "binary64");
+  let s32 = Ieee.describe32 0x3F800000l in
+  checkb "contains binary32" true (String.sub s32 0 8 = "binary32")
+
+let prop_fields64_roundtrip =
+  qt "fields64 roundtrip (random)" finite_float (fun x ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float (Ieee.of_fields64 (Ieee.fields64 x))))
+
+(* ---------- F32 ---------- *)
+
+let test_round_known () =
+  check float_bits "1.0 exact" 1.0 (F32.round 1.0);
+  check float_bits "0.5 exact" 0.5 (F32.round 0.5);
+  (* 0.1 is not representable in binary32 *)
+  checkb "0.1 inexact" false (F32.is_exact 0.1);
+  check float_bits "0.1 rounds" (Int32.float_of_bits 0x3DCCCCCDl) (F32.round 0.1);
+  check float_bits "pi rounds" (Int32.float_of_bits 0x40490FDBl) (F32.round Float.pi)
+
+let test_round_specials () =
+  check float_bits "inf" infinity (F32.round infinity);
+  check float_bits "-inf" neg_infinity (F32.round neg_infinity);
+  checkb "nan" true (Float.is_nan (F32.round Float.nan));
+  check float_bits "-0" (-0.0) (F32.round (-0.0));
+  (* overflow to infinity *)
+  check float_bits "1e300 overflows" infinity (F32.round 1e300);
+  check float_bits "-1e300 overflows" neg_infinity (F32.round (-1e300));
+  (* tiny values flush toward zero region (subnormal or zero) *)
+  checkb "1e-300 underflows" true (F32.round 1e-300 = 0.0)
+
+let test_exactness_small_ints () =
+  for i = -4096 to 4096 do
+    if not (F32.is_exact (float_of_int i)) then
+      Alcotest.failf "int %d should be binary32-exact" i
+  done
+
+let test_arith_known () =
+  check float_bits "add" 3.0 (F32.add 1.0 2.0);
+  check float_bits "div thirds" (F32.round (1.0 /. 3.0)) (F32.div 1.0 3.0);
+  check float_bits "sqrt 2" (F32.round (sqrt 2.0)) (F32.sqrt 2.0);
+  check float_bits "neg" (-1.5) (F32.neg 1.5);
+  check float_bits "abs" 1.5 (F32.abs (-1.5));
+  check float_bits "min" 1.0 (F32.min 1.0 2.0);
+  check float_bits "max" 2.0 (F32.max 1.0 2.0);
+  check float_bits "pow" (F32.round (2.0 ** 10.0)) (F32.pow 2.0 10.0)
+
+let test_constants () =
+  check float_bits "epsilon" (ldexp 1.0 (-23)) F32.epsilon;
+  checkb "max finite" true (F32.is_exact F32.max_value && F32.max_value < infinity);
+  check float_bits "min normal" (ldexp 1.0 (-126)) F32.min_normal
+
+let prop_round_idempotent =
+  qt "round idempotent" finite_float (fun x ->
+      let r = F32.round x in
+      Int64.equal (Int64.bits_of_float r) (Int64.bits_of_float (F32.round r)))
+
+let prop_round_exact =
+  qt "round produces exact values" finite_float (fun x -> F32.is_exact (F32.round x))
+
+let prop_round_monotone =
+  qt "round monotone"
+    QCheck2.Gen.(pair finite_float finite_float)
+    (fun (a, b) ->
+      let lo, hi = if a <= b then (a, b) else (b, a) in
+      F32.round lo <= F32.round hi)
+
+let prop_add_comm =
+  qt "emulated add commutative"
+    QCheck2.Gen.(pair finite_float finite_float)
+    (fun (a, b) ->
+      let a = F32.round a and b = F32.round b in
+      Int64.equal (Int64.bits_of_float (F32.add a b)) (Int64.bits_of_float (F32.add b a)))
+
+let prop_mul_by_one =
+  qt "x * 1 = x for exact x" finite_float (fun x ->
+      let x = F32.round x in
+      Int64.equal (Int64.bits_of_float (F32.mul x 1.0)) (Int64.bits_of_float x))
+
+let prop_bits_roundtrip =
+  qt "bits/of_bits roundtrip" finite_float (fun x ->
+      let x = F32.round x in
+      Int64.equal (Int64.bits_of_float (F32.of_bits (F32.bits x))) (Int64.bits_of_float x))
+
+let prop_rel_error_bound =
+  qt "rounding relative error below eps/2" finite_float (fun x ->
+      let r = F32.round x in
+      x = 0.0 || r = 0.0 || Float.is_nan r
+      || Float.abs r = infinity
+      || Float.abs ((r -. x) /. x) <= F32.epsilon /. 2.0 *. 1.0001)
+
+(* ---------- Replaced ---------- *)
+
+let test_flag_values () =
+  check Alcotest.int64 "flag" 0x7FF4DEADL Replaced.flag;
+  check Alcotest.int64 "flag shifted" 0x7FF4DEAD00000000L Replaced.flag_shifted
+
+let test_replaced_is_nan () =
+  (* the key safety property: every replaced value is a NaN *)
+  List.iter
+    (fun x -> checkb "nan" true (Float.is_nan (Replaced.downcast x)))
+    [ 0.0; 1.0; -1.0; Float.pi; 1e30; -1e-30; infinity ]
+
+let test_downcast_upcast () =
+  List.iter
+    (fun x ->
+      let r = Replaced.downcast x in
+      checkb "is_replaced" true (Replaced.is_replaced r);
+      check float_bits "upcast = round32" (F32.round x) (Replaced.upcast r))
+    [ 0.0; 1.0; -2.5; 0.1; Float.pi; 1e20; -3.25e-12 ]
+
+let test_upcast_rejects_plain () =
+  Alcotest.check_raises "upcast plain" (Invalid_argument "Replaced.upcast: value is not replaced")
+    (fun () -> ignore (Replaced.upcast 1.0))
+
+let test_coerce () =
+  check float_bits "coerce plain" 1.5 (Replaced.coerce 1.5);
+  check float_bits "coerce replaced" (F32.round 0.1) (Replaced.coerce (Replaced.downcast 0.1));
+  check float_bits "coerce32 plain rounds" (F32.round 0.1) (Replaced.coerce32 0.1);
+  check float_bits "coerce32 replaced" (F32.round 0.1) (Replaced.coerce32 (Replaced.downcast 0.1))
+
+let test_is_replaced_negative () =
+  List.iter
+    (fun x -> checkb "plain not replaced" false (Replaced.is_replaced x))
+    [ 0.0; 1.0; -1.0; Float.nan; infinity; neg_infinity; Float.min_float ];
+  (* an ordinary quiet NaN is not mistaken for a replaced value *)
+  checkb "qnan not replaced" false (Replaced.is_replaced (Int64.float_of_bits 0x7FF8000000000000L))
+
+let test_pp () =
+  let s = Format.asprintf "%a" Replaced.pp (Replaced.downcast 1.0) in
+  checkb "nonempty" true (String.length s > 0);
+  checkb "hex flag visible" true
+    (let s = String.lowercase_ascii s in
+     let rec contains i =
+       i + 8 <= String.length s && (String.sub s i 8 = "7ff4dead" || contains (i + 1))
+     in
+     contains 0)
+
+let prop_downcast_bits =
+  qt "downcast packs float32 bits" finite_float (fun x ->
+      let r = Replaced.downcast x in
+      let bits = Int64.bits_of_float r in
+      Int64.equal (Int64.shift_right_logical bits 32) Replaced.flag
+      && Int32.equal (Int64.to_int32 bits) (F32.bits x))
+
+let prop_roundtrip_idempotent =
+  qt "downcast of upcast stable" finite_float (fun x ->
+      let r = Replaced.downcast x in
+      let r2 = Replaced.downcast (Replaced.upcast r) in
+      Int64.equal (Int64.bits_of_float r) (Int64.bits_of_float r2))
+
+let suite =
+  [
+    ("fields64 roundtrip", `Quick, test_fields64_roundtrip);
+    ("fields64 values", `Quick, test_fields64_values);
+    ("fields32 roundtrip", `Quick, test_fields32_roundtrip);
+    ("classify", `Quick, test_classify);
+    ("describe", `Quick, test_describe);
+    prop_fields64_roundtrip;
+    ("round known vectors", `Quick, test_round_known);
+    ("round specials", `Quick, test_round_specials);
+    ("small ints exact", `Quick, test_exactness_small_ints);
+    ("arith known vectors", `Quick, test_arith_known);
+    ("constants", `Quick, test_constants);
+    prop_round_idempotent;
+    prop_round_exact;
+    prop_round_monotone;
+    prop_add_comm;
+    prop_mul_by_one;
+    prop_bits_roundtrip;
+    prop_rel_error_bound;
+    ("flag values", `Quick, test_flag_values);
+    ("replaced is nan", `Quick, test_replaced_is_nan);
+    ("downcast/upcast", `Quick, test_downcast_upcast);
+    ("upcast rejects plain", `Quick, test_upcast_rejects_plain);
+    ("coerce", `Quick, test_coerce);
+    ("is_replaced negatives", `Quick, test_is_replaced_negative);
+    ("pp", `Quick, test_pp);
+    prop_downcast_bits;
+    prop_roundtrip_idempotent;
+  ]

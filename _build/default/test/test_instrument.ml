@@ -1,0 +1,273 @@
+(* Tests for the patcher and the manual conversion: block splitting, snippet
+   emission, the bit-for-bit equivalences of paper §3.1, and ignore/crash
+   semantics. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* y[i] = sqrt(x[i]) * c + x[i] / d over n elements, with a helper call *)
+let sample_program n =
+  let t = Builder.create () in
+  let x = Builder.alloc_f t n in
+  let y = Builder.alloc_f t n in
+  let helper =
+    Builder.func t ~module_:"demo" "helper" ~nf_args:1 ~ni_args:0 (fun b fa _ ->
+        Builder.ret b ~f:[ Builder.fsqrt b fa.(0) ] ())
+  in
+  let main =
+    Builder.func t ~module_:"demo" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let c = Builder.fconst b 3.5 in
+        let d = Builder.fconst b 1.7 in
+        Builder.for_range b 0 n (fun i ->
+            let xi = Builder.loadf b (Builder.idx x i) in
+            let s, _ = Builder.call b helper ~fargs:[ xi ] ~iargs:[] in
+            let a = Builder.fmul b s.(0) c in
+            let q = Builder.fdiv b xi d in
+            Builder.storef b (Builder.idx y i) (Builder.fadd b a q)))
+  in
+  (Builder.program t ~main, x, y)
+
+let input n = Array.init n (fun i -> (float_of_int i +. 1.0) *. 0.37)
+
+let run_with prog ~x ~y ~n ?(smode = Vm.Flagged) ?(checked = false) () =
+  let vm = Vm.create ~checked ~smode prog in
+  Vm.write_f vm x (input n);
+  Vm.run vm;
+  (Vm.read_f vm y n, vm)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)) a b
+
+let test_patched_validates () =
+  let prog, _, _ = sample_program 4 in
+  let patched = Patcher.patch prog Config.empty in
+  match Ir.validate patched with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es)
+
+let test_all_double_bit_for_bit () =
+  let n = 16 in
+  let prog, x, y = sample_program n in
+  let native, _ = run_with prog ~x ~y ~n () in
+  let patched = Patcher.patch prog Config.empty in
+  let out, _ = run_with patched ~x ~y ~n ~checked:true () in
+  checkb "bit-for-bit" true (bits_equal native out)
+
+let test_all_single_equals_manual_conversion () =
+  let n = 16 in
+  let prog, x, y = sample_program n in
+  let cfg = Config.set_module Config.empty "demo" Config.Single in
+  let patched = Patcher.patch prog cfg in
+  let instrumented, _ = run_with patched ~x ~y ~n ~checked:true () in
+  let converted = To_single.convert prog in
+  let manual, _ = run_with converted ~x ~y ~n ~smode:Vm.Plain ~checked:true () in
+  checkb "bit-for-bit vs manual single" true (bits_equal instrumented manual)
+
+let test_single_differs_from_double () =
+  let n = 16 in
+  let prog, x, y = sample_program n in
+  let native, _ = run_with prog ~x ~y ~n () in
+  let cfg = Config.set_module Config.empty "demo" Config.Single in
+  let out, _ = run_with (Patcher.patch prog cfg) ~x ~y ~n ~checked:true () in
+  checkb "rounding visible" false (bits_equal native out);
+  checkb "but close" true (Stats.rel_err_inf out native < 1e-5)
+
+let test_block_splitting () =
+  let prog, _, _ = sample_program 4 in
+  let patched = Patcher.patch prog Config.empty in
+  let count_blocks p =
+    Array.fold_left (fun acc (f : Ir.func) -> acc + Array.length f.Ir.blocks) 0 p.Ir.funcs
+  in
+  (* every checked float operand adds a conversion and a continuation block *)
+  checkb "blocks added" true (count_blocks patched > count_blocks prog);
+  let stats = Patcher.patch_stats prog patched in
+  checkb "stats mention splits" true
+    (let rec contains i =
+       i + 9 <= String.length stats && (String.sub stats i 9 = "splitting" || contains (i + 1))
+     in
+     contains 0)
+
+let test_original_addresses_kept () =
+  let prog, _, _ = sample_program 4 in
+  let cands = Static.candidates prog in
+  let patched = Patcher.patch prog Config.empty in
+  let patched_addrs =
+    Array.to_list patched.Ir.funcs
+    |> List.concat_map (fun (f : Ir.func) ->
+           Array.to_list f.Ir.blocks
+           |> List.concat_map (fun (b : Ir.block) ->
+                  Array.to_list b.Ir.instrs |> List.map (fun (i : Ir.instr) -> i.Ir.addr)))
+  in
+  Array.iter
+    (fun (c : Static.insn_info) ->
+      checkb "candidate addr survives" true (List.mem c.Static.addr patched_addrs))
+    cands
+
+let test_rewritten_opcode_single () =
+  let prog, _, _ = sample_program 2 in
+  let cfg = Config.set_module Config.empty "demo" Config.Single in
+  let patched = Patcher.patch prog cfg in
+  let has_ss = ref false in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.op with
+              | Fbin (S, _, _, _, _) | Funop (S, _, _, _) | Fconst (S, _, _) -> has_ss := true
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks)
+    patched.Ir.funcs;
+  checkb "single opcodes present" true !has_ss
+
+let test_snippet_structure () =
+  (* a Double-kept instruction still gets testflag+upcast diamonds *)
+  let prog, _, _ = sample_program 2 in
+  let patched = Patcher.patch prog Config.empty in
+  let n_test = ref 0 and n_up = ref 0 and n_down = ref 0 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.op with
+              | Ftestflag _ -> incr n_test
+              | Fupcast _ -> incr n_up
+              | Fdowncast _ -> incr n_down
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks)
+    patched.Ir.funcs;
+  checkb "testflags emitted" true (!n_test > 0);
+  checkb "upcasts emitted" true (!n_up > 0);
+  checki "no downcasts in all-double" 0 !n_down
+
+let test_ignore_left_untouched () =
+  let n = 8 in
+  let prog, x, y = sample_program n in
+  let cfg = Config.set_module Config.empty "demo" Config.Ignore in
+  let patched = Patcher.patch prog cfg in
+  (* nothing patched: instruction count unchanged *)
+  checki "same instruction count" (Static.insn_count prog) (Static.insn_count patched);
+  let native, _ = run_with prog ~x ~y ~n () in
+  let out, _ = run_with patched ~x ~y ~n ~checked:true () in
+  checkb "identical" true (bits_equal native out)
+
+let test_missed_instruction_crashes () =
+  (* the paper's safety property: if an instruction consuming replaced
+     values is skipped (ignore), the checked run traps instead of silently
+     mis-rounding *)
+  let n = 4 in
+  let prog, x, y = sample_program n in
+  let mul =
+    Array.to_list (Static.candidates prog)
+    |> List.find (fun (i : Static.insn_info) ->
+           String.length i.disasm >= 5 && String.sub i.disasm 0 5 = "mulsd")
+  in
+  (* everything single at instruction level, except the ignored mul *)
+  let cfg =
+    Array.fold_left
+      (fun acc (i : Static.insn_info) ->
+        if i.addr = mul.Static.addr then Config.set_insn acc i.addr Config.Ignore
+        else Config.set_insn acc i.addr Config.Single)
+      Config.empty (Static.candidates prog)
+  in
+  let patched = Patcher.patch prog cfg in
+  checkb "traps" true
+    (match run_with patched ~x ~y ~n ~checked:true () with
+    | exception Vm.Trap _ -> true
+    | _ -> false)
+
+let test_with_prec () =
+  let op : Ir.op = Fbin (D, Add, 0, 1, 2) in
+  checkb "to S" true (Patcher.with_prec op S = Fbin (S, Add, 0, 1, 2));
+  checkb "raises on mover" true
+    (try
+       ignore (Patcher.with_prec (Fmov (0, 1)) S);
+       false
+     with Invalid_argument _ -> true)
+
+let test_snippet_listing () =
+  let s = Patcher.snippet_listing () in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "shows original addsd" true (contains "addsd");
+  checkb "rewritten to addss" true (contains "addss");
+  checkb "flag test" true (contains "testflag");
+  checkb "conditional downcast" true (contains "cvtsd2ss.flag");
+  checkb "branching" true (contains "br i")
+
+let test_to_single_all () =
+  let prog, _, _ = sample_program 2 in
+  let conv = To_single.convert prog in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun (i : Ir.instr) ->
+              match i.Ir.op with
+              | Fbin (D, _, _, _, _) | Funop (D, _, _, _) | Fconst (D, _, _)
+              | Flibm (D, _, _, _) | Fcmp (D, _, _, _, _) ->
+                  Alcotest.fail "double candidate left in converted program"
+              | _ -> ())
+            b.Ir.instrs)
+        f.Ir.blocks)
+    conv.Ir.funcs
+
+let test_convert_config_partial () =
+  let prog, x, y = sample_program 8 in
+  let cfg = Config.set_func Config.empty "helper" Config.Single in
+  let conv = To_single.convert_config prog cfg in
+  (* helper's sqrt is single; main's ops stay double *)
+  let f = Ir.find_func conv "helper" in
+  let has_single_sqrt =
+    Array.exists
+      (fun (b : Ir.block) ->
+        Array.exists
+          (fun (i : Ir.instr) -> match i.Ir.op with Funop (S, Sqrt, _, _) -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  checkb "helper sqrt single" true has_single_sqrt;
+  let m = Ir.find_func conv "main" in
+  let main_all_double =
+    Array.for_all
+      (fun (b : Ir.block) ->
+        Array.for_all
+          (fun (i : Ir.instr) ->
+            match i.Ir.op with
+            | Fbin (S, _, _, _, _) | Fconst (S, _, _) -> false
+            | _ -> true)
+          b.Ir.instrs)
+      m.Ir.blocks
+  in
+  checkb "main still double" true main_all_double;
+  (* and it runs in plain mode *)
+  let out, _ = run_with conv ~x ~y ~n:8 ~smode:Vm.Plain ~checked:true () in
+  checkb "close to native" true (Stats.rel_err_inf out (fst (run_with prog ~x ~y ~n:8 ())) < 1e-5)
+
+let suite =
+  [
+    ("patched program validates", `Quick, test_patched_validates);
+    ("all-double bit-for-bit", `Quick, test_all_double_bit_for_bit);
+    ("all-single equals manual conversion", `Quick, test_all_single_equals_manual_conversion);
+    ("single differs from double", `Quick, test_single_differs_from_double);
+    ("block splitting", `Quick, test_block_splitting);
+    ("original addresses kept", `Quick, test_original_addresses_kept);
+    ("opcode rewriting", `Quick, test_rewritten_opcode_single);
+    ("snippet structure", `Quick, test_snippet_structure);
+    ("ignore left untouched", `Quick, test_ignore_left_untouched);
+    ("missed instruction crashes", `Quick, test_missed_instruction_crashes);
+    ("with_prec", `Quick, test_with_prec);
+    ("snippet listing", `Quick, test_snippet_listing);
+    ("to_single converts all", `Quick, test_to_single_all);
+    ("convert_config partial", `Quick, test_convert_config_partial);
+  ]

@@ -1,0 +1,304 @@
+(* Tests for the IR: validation, disassembly, register def/use sets, and the
+   static analysis (candidates, structure tree). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* A tiny hand-built valid program: main calls f(x) = x * x. *)
+let valid_program () : Ir.program =
+  let square : Ir.func =
+    {
+      fid = 0;
+      fname = "square";
+      module_name = "m";
+      n_fargs = 1;
+      n_iargs = 0;
+      ret_fregs = [| 1 |];
+      ret_iregs = [||];
+      n_fregs = 2;
+      n_iregs = 1;
+      entry = 0;
+      blocks =
+        [|
+          { label = 1; instrs = [| { addr = 0; op = Fbin (D, Mul, 1, 0, 0) } |]; term = Ret };
+        |];
+    }
+  in
+  let main : Ir.func =
+    {
+      fid = 1;
+      fname = "main";
+      module_name = "m";
+      n_fargs = 0;
+      n_iargs = 0;
+      ret_fregs = [||];
+      ret_iregs = [||];
+      n_fregs = 2;
+      n_iregs = 1;
+      entry = 0;
+      blocks =
+        [|
+          {
+            label = 2;
+            instrs =
+              [|
+                { addr = 1; op = Fconst (D, 0, 3.0) };
+                {
+                  addr = 2;
+                  op = Call { callee = 0; fargs = [| 0 |]; iargs = [||]; frets = [| 1 |]; irets = [||] };
+                };
+                { addr = 3; op = Fstore ({ base = None; index = None; scale = 1; offset = 0 }, 1) };
+              |];
+            term = Jmp 1;
+          };
+          { label = 3; instrs = [||]; term = Ret };
+        |];
+    }
+  in
+  { funcs = [| square; main |]; main = 1; fheap_size = 4; iheap_size = 1; modules = [| "m" |] }
+
+let test_validate_ok () =
+  match Ir.validate (valid_program ()) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected errors: %s" (String.concat "; " es)
+
+let expect_invalid name mutate =
+  let p = valid_program () in
+  let p = mutate p in
+  match Ir.validate p with
+  | Ok () -> Alcotest.failf "%s: expected validation failure" name
+  | Error _ -> ()
+
+let with_main_blocks p blocks =
+  let funcs = Array.copy p.Ir.funcs in
+  funcs.(1) <- { (funcs.(1)) with Ir.blocks };
+  { p with Ir.funcs }
+
+let test_validate_bad_freg () =
+  expect_invalid "freg out of range" (fun p ->
+      with_main_blocks p
+        [|
+          { Ir.label = 2; instrs = [| { addr = 1; op = Fconst (D, 99, 3.0) } |]; term = Ret };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_bad_ireg () =
+  expect_invalid "ireg out of range" (fun p ->
+      with_main_blocks p
+        [|
+          { Ir.label = 2; instrs = [| { addr = 1; op = Iconst (5, 3) } |]; term = Ret };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_bad_target () =
+  expect_invalid "branch target out of range" (fun p ->
+      with_main_blocks p
+        [|
+          { Ir.label = 2; instrs = [||]; term = Jmp 7 };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_dup_label () =
+  expect_invalid "duplicate label" (fun p ->
+      with_main_blocks p
+        [|
+          { Ir.label = 5; instrs = [||]; term = Jmp 1 };
+          { Ir.label = 5; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_dup_addr () =
+  expect_invalid "duplicate address" (fun p ->
+      with_main_blocks p
+        [|
+          {
+            Ir.label = 2;
+            instrs = [| { addr = 9; op = Iconst (0, 1) }; { addr = 9; op = Iconst (0, 2) } |];
+            term = Ret;
+          };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_bad_call_arity () =
+  expect_invalid "call arity" (fun p ->
+      with_main_blocks p
+        [|
+          {
+            Ir.label = 2;
+            instrs =
+              [|
+                {
+                  addr = 1;
+                  op = Call { callee = 0; fargs = [||]; iargs = [||]; frets = [| 1 |]; irets = [||] };
+                };
+              |];
+            term = Ret;
+          };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_bad_callee () =
+  expect_invalid "unknown callee" (fun p ->
+      with_main_blocks p
+        [|
+          {
+            Ir.label = 2;
+            instrs =
+              [|
+                {
+                  addr = 1;
+                  op = Call { callee = 9; fargs = [||]; iargs = [||]; frets = [||]; irets = [||] };
+                };
+              |];
+            term = Ret;
+          };
+          { Ir.label = 3; instrs = [||]; term = Ret };
+        |])
+
+let test_validate_bad_entry () =
+  expect_invalid "entry out of range" (fun p ->
+      let funcs = Array.copy p.Ir.funcs in
+      funcs.(1) <- { (funcs.(1)) with Ir.entry = 9 };
+      { p with Ir.funcs })
+
+let test_validate_bad_main () =
+  expect_invalid "main out of range" (fun p -> { p with Ir.main = 5 })
+
+let test_validate_exn () =
+  Alcotest.check_raises "validate_exn raises" (Invalid_argument "Ir.validate: main fid 5 out of range")
+    (fun () -> ignore (Ir.validate_exn { (valid_program ()) with Ir.main = 5 }))
+
+let test_mnemonics () =
+  checks "addsd" "addsd" (Ir.mnemonic (Fbin (D, Add, 0, 1, 2)));
+  checks "addss" "addss" (Ir.mnemonic (Fbin (S, Add, 0, 1, 2)));
+  checks "mulsd" "mulsd" (Ir.mnemonic (Fbin (D, Mul, 0, 1, 2)));
+  checks "divss" "divss" (Ir.mnemonic (Fbin (S, Div, 0, 1, 2)));
+  checks "sqrtsd" "sqrtsd" (Ir.mnemonic (Funop (D, Sqrt, 0, 1)));
+  checks "sqrtss" "sqrtss" (Ir.mnemonic (Funop (S, Sqrt, 0, 1)));
+  checks "cvtsi2sd" "cvtsi2sd" (Ir.mnemonic (Fcvt_i2f (D, 0, 0)));
+  checks "cvttss2si" "cvttss2si" (Ir.mnemonic (Fcvt_f2i (S, 0, 0)));
+  checks "sinsd" "sinsd" (Ir.mnemonic (Flibm (D, Sin, 0, 1)));
+  checks "testflag" "testflag" (Ir.mnemonic (Ftestflag (0, 0)));
+  checks "downcast" "cvtsd2ss.flag" (Ir.mnemonic (Fdowncast (0, 0)));
+  checks "upcast" "cvtss2sd.flag" (Ir.mnemonic (Fupcast (0, 0)))
+
+let test_disasm_format () =
+  checks "three-address" "addsd f1, f2 -> f0" (Ir.disasm (Fbin (D, Add, 0, 1, 2)));
+  checks "cmp" "cmpsd.lt f0, f1 -> i2" (Ir.disasm (Fcmp (D, Lt, 2, 0, 1)))
+
+let test_is_candidate () =
+  checkb "fbin" true (Ir.is_candidate (Fbin (D, Add, 0, 1, 2)));
+  checkb "fconst" true (Ir.is_candidate (Fconst (D, 0, 1.0)));
+  checkb "fcmp" true (Ir.is_candidate (Fcmp (D, Lt, 0, 1, 2)));
+  checkb "flibm" true (Ir.is_candidate (Flibm (D, Exp, 0, 1)));
+  checkb "cvt" true (Ir.is_candidate (Fcvt_i2f (D, 0, 0)));
+  checkb "fmov not" false (Ir.is_candidate (Fmov (0, 1)));
+  checkb "fload not" false
+    (Ir.is_candidate (Fload (0, { base = None; index = None; scale = 1; offset = 0 })));
+  checkb "iconst not" false (Ir.is_candidate (Iconst (0, 1)));
+  checkb "call not" false
+    (Ir.is_candidate (Call { callee = 0; fargs = [||]; iargs = [||]; frets = [||]; irets = [||] }));
+  checkb "snippet op not" false (Ir.is_candidate (Ftestflag (0, 0)))
+
+let test_is_snippet_op () =
+  checkb "testflag" true (Ir.is_snippet_op (Ftestflag (0, 0)));
+  checkb "downcast" true (Ir.is_snippet_op (Fdowncast (0, 0)));
+  checkb "upcast" true (Ir.is_snippet_op (Fupcast (0, 0)));
+  checkb "fbin not" false (Ir.is_snippet_op (Fbin (S, Add, 0, 1, 2)))
+
+let test_def_use () =
+  let op : Ir.op = Fbin (D, Add, 3, 1, 2) in
+  Alcotest.(check (list int)) "def" [ 3 ] (Ir.defined_fregs op);
+  Alcotest.(check (list int)) "use" [ 1; 2 ] (Ir.used_fregs op);
+  let ld : Ir.op = Fload (4, { base = Some 1; index = Some 2; scale = 8; offset = 0 }) in
+  Alcotest.(check (list int)) "load def f" [ 4 ] (Ir.defined_fregs ld);
+  Alcotest.(check (list int)) "load use i" [ 1; 2 ] (Ir.used_iregs ld);
+  let call : Ir.op =
+    Call { callee = 0; fargs = [| 5 |]; iargs = [| 6 |]; frets = [| 7 |]; irets = [| 8 |] }
+  in
+  Alcotest.(check (list int)) "call def f" [ 7 ] (Ir.defined_fregs call);
+  Alcotest.(check (list int)) "call use f" [ 5 ] (Ir.used_fregs call);
+  Alcotest.(check (list int)) "call def i" [ 8 ] (Ir.defined_iregs call);
+  Alcotest.(check (list int)) "call use i" [ 6 ] (Ir.used_iregs call)
+
+let test_find_func () =
+  let p = valid_program () in
+  checki "square fid" 0 (Ir.find_func p "square").Ir.fid;
+  checkb "not found" true
+    (match Ir.find_func p "nope" with exception Not_found -> true | _ -> false)
+
+let test_pp_program () =
+  let s = Format.asprintf "%a" Ir.pp_program (valid_program ()) in
+  checkb "has func header" true
+    (let rec contains i =
+       i + 8 <= String.length s && (String.sub s i 8 = "m:square" || contains (i + 1))
+     in
+     contains 0)
+
+(* ---------- Static ---------- *)
+
+let test_static_candidates () =
+  let p = valid_program () in
+  let cands = Static.candidates p in
+  checki "two candidates" 2 (Array.length cands);
+  checks "first is the mul" "mulsd f0, f0 -> f1" cands.(0).Static.disasm;
+  checki "addr" 0 cands.(0).Static.addr;
+  checks "module" "m" cands.(0).Static.module_name
+
+let test_static_tree () =
+  let p = valid_program () in
+  match Static.tree p with
+  | [ Static.Module ("m", funcs) ] ->
+      checki "two funcs with candidates" 2 (List.length funcs);
+      let insns = List.concat_map Static.node_insns funcs in
+      checki "two leaf insns" 2 (List.length insns)
+  | _ -> Alcotest.fail "expected a single module"
+
+let test_static_tree_omits_empty () =
+  (* main's second block has no candidates and must not appear *)
+  let p = valid_program () in
+  let rec blocks = function
+    | Static.Block (l, _) -> [ l ]
+    | Static.Module (_, cs) | Static.Func (_, _, cs) -> List.concat_map blocks cs
+    | Static.Insn _ -> []
+  in
+  let labels = List.concat_map blocks (Static.tree p) in
+  checkb "label 3 omitted" false (List.mem 3 labels)
+
+let test_static_counts () =
+  let p = valid_program () in
+  checki "max addr" 3 (Static.max_addr p);
+  checki "insn count" 4 (Static.insn_count p)
+
+let test_node_name () =
+  Alcotest.(check string) "module" "MODULE m"
+    (Static.node_name (Static.Module ("m", [])));
+  Alcotest.(check string) "func" "FUNC03 spmv"
+    (Static.node_name (Static.Func (2, "spmv", [])))
+
+let suite =
+  [
+    ("validate ok", `Quick, test_validate_ok);
+    ("validate: bad freg", `Quick, test_validate_bad_freg);
+    ("validate: bad ireg", `Quick, test_validate_bad_ireg);
+    ("validate: bad branch target", `Quick, test_validate_bad_target);
+    ("validate: duplicate label", `Quick, test_validate_dup_label);
+    ("validate: duplicate address", `Quick, test_validate_dup_addr);
+    ("validate: call arity", `Quick, test_validate_bad_call_arity);
+    ("validate: unknown callee", `Quick, test_validate_bad_callee);
+    ("validate: bad entry", `Quick, test_validate_bad_entry);
+    ("validate: bad main", `Quick, test_validate_bad_main);
+    ("validate_exn", `Quick, test_validate_exn);
+    ("mnemonics", `Quick, test_mnemonics);
+    ("disasm format", `Quick, test_disasm_format);
+    ("is_candidate", `Quick, test_is_candidate);
+    ("is_snippet_op", `Quick, test_is_snippet_op);
+    ("def/use sets", `Quick, test_def_use);
+    ("find_func", `Quick, test_find_func);
+    ("pp_program", `Quick, test_pp_program);
+    ("static: candidates", `Quick, test_static_candidates);
+    ("static: tree", `Quick, test_static_tree);
+    ("static: tree omits empty blocks", `Quick, test_static_tree_omits_empty);
+    ("static: counts", `Quick, test_static_counts);
+    ("static: node names", `Quick, test_node_name);
+  ]

@@ -1,0 +1,264 @@
+(* Tests for the benchmark kernels: host-reference bit-for-bit equivalence,
+   verification behaviour, instrumentation equivalences, and per-kernel
+   numerical character. Class W keeps the suite fast; one class-A spot
+   check runs as a slow test. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let all_w () =
+  [
+    Nas_ep.make Kernel.W;
+    Nas_cg.make Kernel.W;
+    Nas_ft.make Kernel.W;
+    Nas_mg.make Kernel.W;
+    Nas_bt.make Kernel.W;
+    Nas_lu.make Kernel.W;
+    Nas_sp.make Kernel.W;
+  ]
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)) a b
+
+let per_kernel name f () = List.iter (fun k -> f k) (all_w ()) |> fun () -> ignore name
+
+let test_reference_bit_for_bit =
+  per_kernel "ref" (fun k ->
+      if not (Kernel.check_reference k) then
+        Alcotest.failf "%s: native run differs from host reference" k.Kernel.name)
+
+let test_native_verifies =
+  per_kernel "verify" (fun k ->
+      let out, _ = Kernel.run_native k in
+      if not (k.Kernel.verify out) then Alcotest.failf "%s: native run fails its own verification" k.Kernel.name)
+
+let test_verify_rejects_garbage =
+  per_kernel "garbage" (fun k ->
+      let garbage = Array.map (fun v -> v +. 1.0) k.Kernel.reference in
+      if k.Kernel.verify garbage then Alcotest.failf "%s: verification accepts garbage" k.Kernel.name)
+
+let test_all_double_instrumented_identical =
+  per_kernel "all-double" (fun k ->
+      let native, _ = Kernel.run_native k in
+      let out, _ = Kernel.run_patched ~config:Config.empty k in
+      if not (bits_equal native out) then
+        Alcotest.failf "%s: all-double instrumentation changed the output" k.Kernel.name)
+
+let test_converted_single_runs =
+  per_kernel "converted" (fun k ->
+      let native, _ = Kernel.run_native k in
+      let out, _ = Kernel.run_converted k in
+      (* single output is finite and different (rounding visible) except
+         where outputs are integers-in-float (counts) *)
+      Array.iter
+        (fun v -> if Float.is_nan v then Alcotest.failf "%s: NaN in single output" k.Kernel.name)
+        out;
+      if bits_equal native out then
+        Alcotest.failf "%s: single conversion had no effect at all" k.Kernel.name)
+
+let test_candidates_nonempty =
+  per_kernel "candidates" (fun k ->
+      let n = Array.length (Static.candidates k.Kernel.program) in
+      if n < 10 then Alcotest.failf "%s: only %d candidates" k.Kernel.name n)
+
+let test_programs_validate =
+  per_kernel "validate" (fun k ->
+      match Ir.validate k.Kernel.program with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s: %s" k.Kernel.name (String.concat "; " es))
+
+let test_comm_models =
+  per_kernel "comm" (fun k ->
+      let net = Mpi_model.default_net in
+      let c1 = k.Kernel.comm_bytes ~ranks:1 net in
+      let c8 = k.Kernel.comm_bytes ~ranks:8 net in
+      if c1 <> 0.0 then Alcotest.failf "%s: nonzero comm at 1 rank" k.Kernel.name;
+      if c8 <= 0.0 then Alcotest.failf "%s: no comm at 8 ranks" k.Kernel.name)
+
+(* --- kernel-specific behaviour --- *)
+
+let test_ep_rng_host_matches () =
+  (* the FP-based LCG produces the NAS sequence property: values in (0,1) *)
+  let x = ref 271828183.0 in
+  for _ = 1 to 1000 do
+    let x', u = Nas_ep.randlc !x 1220703125.0 in
+    x := x';
+    if not (u > 0.0 && u < 1.0) then Alcotest.failf "randlc out of range: %g" u
+  done
+
+let test_ep_ignore_hint () =
+  let k = Nas_ep.make Kernel.W in
+  checkb "randlc hinted" true
+    (not (Config.is_empty k.Kernel.hints))
+
+let test_ep_rng_breaks_in_single () =
+  (* replacing the RNG with single precision destroys the results — the
+     reason the ignore flag exists *)
+  let k = Nas_ep.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  let cfg = Config.set_func Config.empty "randlc" Config.Single in
+  let outs, _ = Kernel.run_patched ~config:cfg k in
+  checkb "wildly wrong" true (Stats.rel_err_inf outs out > 1e-3)
+
+let test_cg_zeta_sensitive () =
+  let k = Nas_cg.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  let outs, _ = Kernel.run_converted k in
+  (* zeta moves far beyond the 1e-12 verification window in single *)
+  checkb "zeta shifts" true (Float.abs (outs.(0) -. out.(0)) > 1e-10)
+
+let test_ft_checksum_not_dc () =
+  (* regression: the checksum must not cover all residues mod m (which
+     would collapse it to the DC coefficient and hide all sensitivity) *)
+  let sz = Nas_ft.sizes Kernel.W in
+  checkb "samples < m" true (Nas_ft.checksum_samples sz.Nas_ft.m < sz.Nas_ft.m)
+
+let test_mg_partial_replacement () =
+  let k = Nas_mg.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  (* the zero-fill helper in single is exact and stays within tolerance *)
+  let cfg = Config.set_func Config.empty "zero" Config.Single in
+  let o, _ = Kernel.run_patched ~config:cfg k in
+  checkb "zero-fill tolerable" true (k.Kernel.verify o);
+  (* the whole module in single is not *)
+  let tree = Static.tree k.Kernel.program in
+  let cfg_all =
+    List.fold_left (fun acc n -> Bfs.force_single ~base:Config.empty acc n) Config.empty tree
+  in
+  let oa, _ = Kernel.run_patched ~config:cfg_all k in
+  checkb "all-single rejected" false (k.Kernel.verify oa);
+  ignore out
+
+let test_bt_solution_accuracy () =
+  let k = Nas_bt.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  (* block Thomas on a dominant system: near machine precision *)
+  checkb "double accurate" true (Stats.rel_err_inf out k.Kernel.reference < 1e-12)
+
+let test_lu_converges () =
+  let k = Nas_lu.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  let rnorm = out.(Array.length out - 1) in
+  checkb "residual dropped" true (rnorm < 1.0)
+
+let test_sp_exact_solve () =
+  let k = Nas_sp.make Kernel.W in
+  let out, _ = Kernel.run_native k in
+  let sz = Nas_sp.sizes Kernel.W in
+  ignore sz;
+  checkb "double solves" true (k.Kernel.verify out)
+
+let test_amg_reference () =
+  let k = Amg_kernel.make () in
+  checkb "bit-for-bit" true (Kernel.check_reference k);
+  let out, _ = Kernel.run_native k in
+  checkb "converged" true (k.Kernel.verify out);
+  checkb "within budget" true
+    (Amg_kernel.iterations out < Amg_kernel.default_sizes.Amg_kernel.maxiter)
+
+let test_amg_single_still_converges () =
+  (* the paper's §3.2 headline: the whole kernel tolerates single precision
+     because the adaptive iteration corrects roundoff *)
+  let k = Amg_kernel.make () in
+  let tree = Static.tree k.Kernel.program in
+  let cfg =
+    List.fold_left (fun acc n -> Bfs.force_single ~base:Config.empty acc n) Config.empty tree
+  in
+  let out, _ = Kernel.run_patched ~config:cfg k in
+  checkb "verifies in single" true (k.Kernel.verify out)
+
+let test_amg_converted_cheaper () =
+  let k = Amg_kernel.make () in
+  let _, nvm = Kernel.run_native k in
+  let _, cvm = Kernel.run_converted k in
+  let params = { Cost.default with Cost.bandwidth = 0.22 } in
+  let nat = Cost.of_run ~params nvm in
+  let conv = Cost.of_run ~params ~fmem_bytes:4.0 cvm in
+  let speedup = nat.Cost.time_cycles /. conv.Cost.time_cycles in
+  checkb "meaningful speedup" true (speedup > 1.5 && speedup < 3.0)
+
+let test_class_a_spot_check () =
+  (* one slower sanity pass on class A *)
+  List.iter
+    (fun k ->
+      if not (Kernel.check_reference k) then
+        Alcotest.failf "%s: class A reference mismatch" k.Kernel.name)
+    [ Nas_cg.make Kernel.A; Nas_ft.make Kernel.A; Nas_sp.make Kernel.A ]
+
+let test_sparse_gen () =
+  let a = Sparse_gen.random_spd ~seed:11 ~n:50 ~extras_per_row:3 in
+  Alcotest.(check int) "rowptr length" 51 (Array.length a.Sparse_gen.rowptr);
+  (* symmetric and diagonally dominant *)
+  for i = 0 to 49 do
+    let diag = ref 0.0 and off = ref 0.0 in
+    for k = a.Sparse_gen.rowptr.(i) to a.Sparse_gen.rowptr.(i + 1) - 1 do
+      if a.Sparse_gen.col.(k) = i then diag := a.Sparse_gen.value.(k)
+      else off := !off +. Float.abs a.Sparse_gen.value.(k)
+    done;
+    if !diag <= !off then Alcotest.failf "row %d not dominant" i
+  done;
+  (* symmetry: entry (i,j) = entry (j,i) via spmv against basis vectors *)
+  let x = Array.make 50 0.0 in
+  x.(3) <- 1.0;
+  let y3 = Array.make 50 0.0 in
+  Sparse_gen.spmv a x y3;
+  x.(3) <- 0.0;
+  x.(7) <- 1.0;
+  let y7 = Array.make 50 0.0 in
+  Sparse_gen.spmv a x y7;
+  checkb "symmetric" true (Float.abs (y3.(7) -. y7.(3)) < 1e-15)
+
+let suite =
+  [
+    ("host reference bit-for-bit (all, W)", `Quick, test_reference_bit_for_bit);
+    ("native verifies (all, W)", `Quick, test_native_verifies);
+    ("verify rejects garbage (all, W)", `Quick, test_verify_rejects_garbage);
+    ("all-double instrumentation identical (all, W)", `Quick, test_all_double_instrumented_identical);
+    ("converted single runs (all, W)", `Quick, test_converted_single_runs);
+    ("candidates nonempty (all, W)", `Quick, test_candidates_nonempty);
+    ("programs validate (all, W)", `Quick, test_programs_validate);
+    ("comm models (all, W)", `Quick, test_comm_models);
+    ("ep: randlc in range", `Quick, test_ep_rng_host_matches);
+    ("ep: ignore hint present", `Quick, test_ep_ignore_hint);
+    ("ep: RNG breaks in single", `Quick, test_ep_rng_breaks_in_single);
+    ("cg: zeta sensitive", `Quick, test_cg_zeta_sensitive);
+    ("ft: checksum not DC", `Quick, test_ft_checksum_not_dc);
+    ("mg: partial replacement", `Quick, test_mg_partial_replacement);
+    ("bt: double accuracy", `Quick, test_bt_solution_accuracy);
+    ("lu: converges", `Quick, test_lu_converges);
+    ("sp: solves", `Quick, test_sp_exact_solve);
+    ("amg: reference + adaptive verify", `Quick, test_amg_reference);
+    ("amg: whole kernel single", `Quick, test_amg_single_still_converges);
+    ("amg: converted speedup", `Quick, test_amg_converted_cheaper);
+    ("class A spot check", `Slow, test_class_a_spot_check);
+    ("sparse generator", `Quick, test_sparse_gen);
+  ]
+
+let test_class_c_reference () =
+  (* the overhead experiments run class C; its host mirror must hold too *)
+  List.iter
+    (fun k ->
+      if not (Kernel.check_reference k) then
+        Alcotest.failf "%s: class C reference mismatch" k.Kernel.name)
+    [ Nas_ep.make Kernel.C; Nas_mg.make Kernel.C ]
+
+let test_profile_counts_stable_under_patching () =
+  (* dynamic replacement percentages are computed from a native profile;
+     this is valid because candidate instructions keep their addresses and
+     execution counts under patching *)
+  let k = Nas_cg.make Kernel.W in
+  let _, nvm = Kernel.run_native k in
+  let cfg = Config.set_func Config.empty "dot" Config.Single in
+  let _, pvm = Kernel.run_patched ~config:cfg k in
+  Array.iter
+    (fun (info : Static.insn_info) ->
+      if nvm.Vm.counts.(info.Static.addr) <> pvm.Vm.counts.(info.Static.addr) then
+        Alcotest.failf "candidate 0x%x count changed under patching" info.Static.addr)
+    (Static.candidates k.Kernel.program)
+
+let suite =
+  suite
+  @ [
+      ("class C references (slow)", `Slow, test_class_c_reference);
+      ("profile counts stable under patching", `Quick, test_profile_counts_stable_under_patching);
+    ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "craft"
+    [
+      ("util", Test_util.suite);
+      ("fpbits", Test_fpbits.suite);
+      ("ir", Test_ir.suite);
+      ("builder", Test_builder.suite);
+      ("asm", Test_asm.suite);
+      ("packed", Test_packed.suite);
+      ("vm", Test_vm.suite);
+      ("vm-properties", Test_vm_props.suite);
+      ("config", Test_config.suite);
+      ("instrument", Test_instrument.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("cancellation", Test_cancellation.suite);
+      ("search", Test_search.suite);
+      ("strategies", Test_strategies.suite);
+      ("kernels", Test_kernels.suite);
+      ("superlu", Test_superlu.suite);
+      ("analysis", Test_analysis.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,149 @@
+(* Tests for packed (two-lane) values: semantics, patching of packed
+   instructions with per-lane flag fixing, dataflow, assembler, and the
+   SIMD cost advantage. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let float_bits =
+  Alcotest.testable
+    (fun ppf x -> Format.fprintf ppf "%h" x)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+(* out[0..1] = (x0, x1) * (y0, y1) + (z0, z1), packed *)
+let packed_program () =
+  let t = Builder.create () in
+  let base = Builder.alloc_f t 8 in
+  let main =
+    Builder.func t ~module_:"pk" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let x = Builder.loadfp b (Builder.at base) in
+        let y = Builder.loadfp b (Builder.at (base + 2)) in
+        let z = Builder.loadfp b (Builder.at (base + 4)) in
+        let r = Builder.faddp b (Builder.fmulp b x y) z in
+        Builder.storefp b (Builder.at (base + 6)) r)
+  in
+  (Builder.program t ~main, base)
+
+let input = [| 1.5; 2.5; 0.1; 0.2; 3.0; 4.0 |]
+
+let run ?(checked = false) ?(smode = Vm.Flagged) prog base =
+  let vm = Vm.create ~checked ~smode prog in
+  Vm.write_f vm base input;
+  Vm.run vm;
+  (Vm.get_f_value vm (base + 6), Vm.get_f_value vm (base + 7))
+
+let test_packed_semantics () =
+  let prog, base = packed_program () in
+  let l0, l1 = run prog base in
+  Alcotest.check float_bits "lane 0" ((1.5 *. 0.1) +. 3.0) l0;
+  Alcotest.check float_bits "lane 1" ((2.5 *. 0.2) +. 4.0) l1
+
+let test_packed_mnemonics () =
+  Alcotest.(check string) "addpd" "addpd" (Ir.mnemonic (Fbinp (D, Add, 0, 2, 4)));
+  Alcotest.(check string) "mulps" "mulps" (Ir.mnemonic (Fbinp (S, Mul, 0, 2, 4)));
+  Alcotest.(check (list int)) "defs both lanes" [ 0; 1 ] (Ir.defined_fregs (Fbinp (D, Add, 0, 2, 4)));
+  Alcotest.(check (list int)) "uses both lanes" [ 2; 3; 4; 5 ] (Ir.used_fregs (Fbinp (D, Add, 0, 2, 4)))
+
+let test_packed_validation () =
+  (* lane 1 out of the register file must be rejected *)
+  let f : Ir.func =
+    {
+      fid = 0;
+      fname = "main";
+      module_name = "m";
+      n_fargs = 0;
+      n_iargs = 0;
+      ret_fregs = [||];
+      ret_iregs = [||];
+      n_fregs = 5;
+      n_iregs = 1;
+      entry = 0;
+      blocks = [| { label = 1; instrs = [| { addr = 0; op = Fbinp (D, Add, 4, 0, 2) } |]; term = Ret } |];
+    }
+  in
+  let p : Ir.program =
+    { funcs = [| f |]; main = 0; fheap_size = 1; iheap_size = 1; modules = [| "m" |] }
+  in
+  checkb "rejected" true (match Ir.validate p with Error _ -> true | Ok () -> false)
+
+let test_packed_all_double_identity () =
+  let prog, base = packed_program () in
+  let native = run prog base in
+  let patched = Patcher.patch prog Config.empty in
+  checkb "bit-for-bit" true (native = run ~checked:true patched base)
+
+let test_packed_single_vs_manual () =
+  let prog, base = packed_program () in
+  let cfg = Config.set_module Config.empty "pk" Config.Single in
+  let instrumented = run ~checked:true (Patcher.patch prog cfg) base in
+  let manual = run ~checked:true ~smode:Vm.Plain (To_single.convert prog) base in
+  checkb "equal" true (instrumented = manual);
+  (* and single rounding is visible *)
+  checkb "differs from double" true (instrumented <> run prog base)
+
+let test_packed_flags_both_lanes () =
+  (* after a single packed op, both lanes carry the replacement flag
+     ("fix flags in any packed outputs") *)
+  let prog, base = packed_program () in
+  let cfg = Config.set_module Config.empty "pk" Config.Single in
+  let patched = Patcher.patch prog cfg in
+  let vm = Vm.create ~checked:true patched in
+  Vm.write_f vm base input;
+  Vm.run vm;
+  checkb "lane 0 flagged in memory" true (Replaced.is_replaced (Vm.get_f vm (base + 6)));
+  checkb "lane 1 flagged in memory" true (Replaced.is_replaced (Vm.get_f vm (base + 7)))
+
+let test_packed_dataflow_equivalence () =
+  let prog, base = packed_program () in
+  let cfg = Config.set_module Config.empty "pk" Config.Single in
+  let plain = run ~checked:true (Patcher.patch prog cfg) base in
+  let opt = run ~checked:true (Patcher.patch ~dataflow:true prog cfg) base in
+  checkb "equivalent" true (plain = opt)
+
+let test_packed_asm_roundtrip () =
+  let prog, _ = packed_program () in
+  let text = Format.asprintf "%a" Ir.pp_program prog in
+  let prog2 = Asm.parse_exn text in
+  Alcotest.(check string) "roundtrip" text (Format.asprintf "%a" Ir.pp_program prog2)
+
+let test_packed_cost_advantage () =
+  (* packed version of a stream kernel costs fewer compute cycles than the
+     scalar version of the same math *)
+  let build packed =
+    let t = Builder.create () in
+    let n = 64 in
+    let x = Builder.alloc_f t n in
+    let y = Builder.alloc_f t n in
+    let main =
+      Builder.func t ~module_:"s" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+          if packed then
+            Builder.for_range b 0 (n / 2) (fun i ->
+                let i2 = Builder.imulc b i 2 in
+                let v = Builder.loadfp b (Builder.idx x i2) in
+                let w = Builder.fmulp b v v in
+                Builder.storefp b (Builder.idx y i2) w)
+          else
+            Builder.for_range b 0 n (fun i ->
+                let v = Builder.loadf b (Builder.idx x i) in
+                Builder.storef b (Builder.idx y i) (Builder.fmul b v v)))
+    in
+    Builder.program t ~main
+  in
+  let cost packed =
+    let vm = Vm.create (build packed) in
+    Vm.run vm;
+    (Cost.of_run vm).Cost.cycles
+  in
+  checkb "packed cheaper" true (cost true < cost false)
+
+let suite =
+  [
+    ("packed semantics", `Quick, test_packed_semantics);
+    ("packed mnemonics and def/use", `Quick, test_packed_mnemonics);
+    ("packed validation", `Quick, test_packed_validation);
+    ("packed all-double identity", `Quick, test_packed_all_double_identity);
+    ("packed single vs manual", `Quick, test_packed_single_vs_manual);
+    ("packed flags on both lanes", `Quick, test_packed_flags_both_lanes);
+    ("packed dataflow equivalence", `Quick, test_packed_dataflow_equivalence);
+    ("packed asm roundtrip", `Quick, test_packed_asm_roundtrip);
+    ("packed cost advantage", `Quick, test_packed_cost_advantage);
+  ]

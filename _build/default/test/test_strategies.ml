@@ -1,0 +1,88 @@
+(* Tests for the alternative search strategies. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* the known-answer synthetic from the BFS tests *)
+let synthetic ~n_ops ~poison =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t n_ops in
+  let main =
+    Builder.func t ~module_:"syn" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for k = 0 to n_ops - 1 do
+          let c = Builder.fconst b (if List.mem k poison then 0.1 else 0.5) in
+          let v = Builder.fadd b c c in
+          Builder.storef b (Builder.at (out + k)) v
+        done)
+  in
+  let program = Builder.program t ~main in
+  let reference = Array.init n_ops (fun k -> if List.mem k poison then 0.2 else 1.0) in
+  Bfs.Target.make program
+    ~setup:(fun _ -> ())
+    ~output:(fun vm -> Vm.read_f vm out n_ops)
+    ~verify:(fun res -> res = reference)
+
+let test_delta_debug_finds_answer () =
+  let target = synthetic ~n_ops:10 ~poison:[ 3; 7 ] in
+  let r = Strategies.delta_debug target in
+  checkb "passes" true r.Strategies.final_pass;
+  (* exactly the benign 8 chains * 2 insns are single *)
+  checki "replaced" 16 r.Strategies.static_replaced;
+  checki "candidates" 20 r.Strategies.candidates
+
+let test_delta_debug_all_pass () =
+  let target = synthetic ~n_ops:6 ~poison:[] in
+  let r = Strategies.delta_debug target in
+  checkb "passes" true r.Strategies.final_pass;
+  checki "everything" 12 r.Strategies.static_replaced;
+  (* first test (everything single) already passes *)
+  checki "one test" 1 r.Strategies.tested
+
+let test_delta_debug_none_pass () =
+  let target = synthetic ~n_ops:4 ~poison:[ 0; 1; 2; 3 ] in
+  let r = Strategies.delta_debug target in
+  checkb "passes" true r.Strategies.final_pass;
+  (* only the exact constants could survive; the adds all fail *)
+  checkb "few replaced" true (r.Strategies.static_replaced <= 4)
+
+let test_greedy_always_passes () =
+  let target = synthetic ~n_ops:8 ~poison:[ 2 ] in
+  let r = Strategies.greedy_grow target in
+  checkb "passes" true r.Strategies.final_pass;
+  checki "one test per candidate" r.Strategies.candidates r.Strategies.tested;
+  checki "all benign kept" 14 r.Strategies.static_replaced
+
+let test_budget_respected () =
+  let target = synthetic ~n_ops:16 ~poison:[ 1; 5; 9 ] in
+  let r = Strategies.delta_debug ~max_tests:5 target in
+  checkb "still returns a passing config" true r.Strategies.final_pass;
+  checkb "budget respected" true (r.Strategies.tested <= 6)
+
+let test_base_hints_respected () =
+  let k = Nas_ep.make Kernel.W in
+  let r = Strategies.greedy_grow ~base:k.Kernel.hints (Kernel.target k) in
+  (* ignored RNG instructions are not in the universe *)
+  checkb "universe excludes ignored" true
+    (r.Strategies.candidates < Array.length (Static.candidates k.Kernel.program))
+
+let test_agrees_with_bfs_on_kernel () =
+  (* both strategies find passing configurations for mg.W, where the BFS
+     union fails — the strategies trade tests for composability *)
+  let k = Nas_mg.make Kernel.W in
+  let t = Kernel.target k in
+  let bfs = Bfs.search t in
+  let dd = Strategies.delta_debug t in
+  checkb "bfs union fails here" false bfs.Bfs.final_pass;
+  checkb "ddmax passes" true dd.Strategies.final_pass;
+  checkb "ddmax found replacements" true (dd.Strategies.static_replaced > 0)
+
+let suite =
+  [
+    ("delta_debug finds the answer", `Quick, test_delta_debug_finds_answer);
+    ("delta_debug: all pass", `Quick, test_delta_debug_all_pass);
+    ("delta_debug: none pass", `Quick, test_delta_debug_none_pass);
+    ("greedy always passes", `Quick, test_greedy_always_passes);
+    ("budget respected", `Quick, test_budget_respected);
+    ("base hints respected", `Quick, test_base_hints_respected);
+    ("strategies vs bfs on mg.W", `Quick, test_agrees_with_bfs_on_kernel);
+  ]

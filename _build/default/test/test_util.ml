@@ -1,0 +1,123 @@
+(* Tests for the deterministic PRNG and the statistics helpers. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+let qt ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then Alcotest.fail "streams diverge"
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different" false (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  checkb "copy continues identically" true (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  checkb "independent" false (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_uniform_range =
+  qt "uniform in [0,1)" QCheck2.Gen.int (fun seed ->
+      let r = Rng.create seed in
+      let u = Rng.uniform r in
+      u >= 0.0 && u < 1.0)
+
+let test_int_range =
+  qt "int in range"
+    QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let v = Rng.int r n in
+      v >= 0 && v < n)
+
+let test_uniform_mean () =
+  let r = Rng.create 9 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform r
+  done;
+  checkb "mean near 0.5" true (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let r = Rng.create 10 in
+  let n = 20000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian r in
+    sum := !sum +. g;
+    sq := !sq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = !sq /. float_of_int n in
+  checkb "mean near 0" true (Float.abs mean < 0.05);
+  checkb "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  checkb "same multiset" true (sorted = a);
+  checkb "actually moved" false (b = a)
+
+let test_stats_basics () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "variance" 1.0 (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  checkf "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  checkf "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  checkf "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 2.0 |] in
+  checkf "min" (-1.0) lo;
+  checkf "max" 3.0 hi
+
+let test_stats_norms () =
+  checkf "norm2" 5.0 (Stats.norm2 [| 3.0; 4.0 |]);
+  checkf "norm_inf" 4.0 (Stats.norm_inf [| 3.0; -4.0 |]);
+  checkf "dot" 11.0 (Stats.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  checkf "rel_err_inf" 0.25 (Stats.rel_err_inf [| 1.0; 3.0 |] [| 1.0; 4.0 |]);
+  checkf "percent" 25.0 (Stats.percent 1.0 4.0);
+  checkf "percent of zero" 0.0 (Stats.percent 1.0 0.0)
+
+let test_stats_edge_cases () =
+  checkf "mean empty" 0.0 (Stats.mean [||]);
+  checkf "variance singleton" 0.0 (Stats.variance [| 5.0 |]);
+  checkb "median empty raises" true
+    (try
+       ignore (Stats.median [||]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "dot mismatch raises" true
+    (try
+       ignore (Stats.dot [| 1.0 |] [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng split", `Quick, test_rng_split_independent);
+    test_uniform_range;
+    test_int_range;
+    ("uniform mean", `Quick, test_uniform_mean);
+    ("gaussian moments", `Quick, test_gaussian_moments);
+    ("shuffle permutes", `Quick, test_shuffle_permutes);
+    ("stats basics", `Quick, test_stats_basics);
+    ("stats norms", `Quick, test_stats_norms);
+    ("stats edge cases", `Quick, test_stats_edge_cases);
+  ]

@@ -1,0 +1,317 @@
+(* Tests for the VM: bit-level instruction semantics in both precisions and
+   both single-value modes, the checked-mode invariants, traps, counters. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let float_bits =
+  Alcotest.testable
+    (fun ppf x -> Format.fprintf ppf "%h" x)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+(* One-block, one-function programs executing [ops] over heap slots. *)
+let prog_of_ops ?(n_fregs = 8) ?(n_iregs = 8) ?(fheap = 8) ?(iheap = 8) ops : Ir.program =
+  let instrs = Array.of_list (List.mapi (fun i op -> { Ir.addr = i; op }) ops) in
+  let f : Ir.func =
+    {
+      fid = 0;
+      fname = "main";
+      module_name = "m";
+      n_fargs = 0;
+      n_iargs = 0;
+      ret_fregs = [||];
+      ret_iregs = [||];
+      n_fregs;
+      n_iregs;
+      entry = 0;
+      blocks = [| { label = 1; instrs; term = Ret } |];
+    }
+  in
+  Ir.validate_exn
+    { funcs = [| f |]; main = 0; fheap_size = fheap; iheap_size = iheap; modules = [| "m" |] }
+
+let slot k : Ir.mem = { base = None; index = None; scale = 1; offset = k }
+
+let run ?checked ?smode ?(poke = fun _ -> ()) ops =
+  let vm = Vm.create ?checked ?smode (prog_of_ops ops) in
+  poke vm;
+  Vm.run vm;
+  vm
+
+(* load slots 0,1 into f0,f1; apply op into f2; store to slot 2 *)
+let binop_harness ?checked ?smode ~x ~y op =
+  let vm =
+    run ?checked ?smode
+      ~poke:(fun vm ->
+        Vm.set_f vm 0 x;
+        Vm.set_f vm 1 y)
+      [ Fload (0, slot 0); Fload (1, slot 1); op; Fstore (slot 2, 2) ]
+  in
+  Vm.get_f vm 2
+
+let test_fbin_d () =
+  let t o = binop_harness ~x:7.5 ~y:2.5 (Ir.Fbin (D, o, 2, 0, 1)) in
+  Alcotest.check float_bits "add" 10.0 (t Add);
+  Alcotest.check float_bits "sub" 5.0 (t Sub);
+  Alcotest.check float_bits "mul" 18.75 (t Mul);
+  Alcotest.check float_bits "div" 3.0 (t Div);
+  Alcotest.check float_bits "min" 2.5 (t Min);
+  Alcotest.check float_bits "max" 7.5 (t Max)
+
+let test_fbin_s_flagged () =
+  (* flagged single ops consume and produce replaced encodings *)
+  let x = Replaced.downcast 0.1 and y = Replaced.downcast 0.2 in
+  let r = binop_harness ~checked:true ~x ~y (Ir.Fbin (S, Add, 2, 0, 1)) in
+  checkb "replaced result" true (Replaced.is_replaced r);
+  Alcotest.check float_bits "binary32 sum" (F32.add (F32.round 0.1) (F32.round 0.2))
+    (Replaced.upcast r)
+
+let test_fbin_s_plain () =
+  let x = F32.round 0.1 and y = F32.round 0.2 in
+  let r = binop_harness ~checked:true ~smode:Vm.Plain ~x ~y (Ir.Fbin (S, Add, 2, 0, 1)) in
+  checkb "plain result" false (Replaced.is_replaced r);
+  Alcotest.check float_bits "binary32 sum" (F32.add x y) r
+
+let test_funop_flibm () =
+  let t ?smode op =
+    let vm =
+      run ?smode
+        ~poke:(fun vm -> Vm.set_f vm 0 2.25)
+        [ Fload (0, slot 0); op; Fstore (slot 2, 1) ]
+    in
+    Vm.get_f vm 2
+  in
+  Alcotest.check float_bits "sqrtsd" 1.5 (t (Ir.Funop (D, Sqrt, 1, 0)));
+  Alcotest.check float_bits "negsd" (-2.25) (t (Ir.Funop (D, Neg, 1, 0)));
+  Alcotest.check float_bits "sinsd" (sin 2.25) (t (Ir.Flibm (D, Sin, 1, 0)));
+  Alcotest.check float_bits "logsd" (log 2.25) (t (Ir.Flibm (D, Log, 1, 0)));
+  Alcotest.check float_bits "sqrtss plain" 1.5 (t ~smode:Vm.Plain (Ir.Funop (S, Sqrt, 1, 0)))
+
+let test_fcmp () =
+  let t ?(x = 1.0) ?(y = 2.0) c =
+    let vm =
+      run
+        ~poke:(fun vm ->
+          Vm.set_f vm 0 x;
+          Vm.set_f vm 1 y)
+        [ Fload (0, slot 0); Fload (1, slot 1); Fcmp (D, c, 0, 0, 1); Istore (slot 0, 0) ]
+    in
+    Vm.get_i vm 0
+  in
+  checki "lt" 1 (t Lt);
+  checki "gt" 0 (t Gt);
+  checki "le" 1 (t Le);
+  checki "eq" 0 (t Eq);
+  checki "ne" 1 (t Ne);
+  checki "eq same" 1 (t ~y:1.0 Eq);
+  (* NaN compares false *)
+  checki "nan lt" 0 (t ~x:Float.nan Lt);
+  checki "nan eq" 0 (t ~x:Float.nan ~y:Float.nan Eq)
+
+let test_fconst_modes () =
+  let t ?smode prec =
+    let vm = run ?smode [ Fconst (prec, 0, 0.1); Fstore (slot 0, 0) ] in
+    Vm.get_f vm 0
+  in
+  Alcotest.check float_bits "double" 0.1 (t Ir.D);
+  checkb "single flagged" true (Replaced.is_replaced (t Ir.S));
+  Alcotest.check float_bits "single plain" (F32.round 0.1) (t ~smode:Vm.Plain Ir.S)
+
+let test_cvt () =
+  let vm =
+    run
+      [
+        Iconst (0, 7);
+        Fcvt_i2f (D, 0, 0);
+        Fstore (slot 0, 0);
+        Fconst (D, 1, -3.9);
+        Fcvt_f2i (D, 1, 1);
+        Istore (slot 0, 1);
+      ]
+  in
+  Alcotest.check float_bits "i2f" 7.0 (Vm.get_f vm 0);
+  checki "f2i truncates toward zero" (-3) (Vm.get_i vm 0)
+
+let test_mov_preserves_patterns () =
+  (* Fmov and Fload/Fstore must move replaced encodings untouched *)
+  let r = Replaced.downcast Float.pi in
+  let vm =
+    run
+      ~poke:(fun vm -> Vm.set_f vm 0 r)
+      [ Fload (0, slot 0); Fmov (1, 0); Fstore (slot 1, 1) ]
+  in
+  Alcotest.check float_bits "pattern preserved" r (Vm.get_f vm 1)
+
+let test_int_semantics () =
+  let vm =
+    run
+      [
+        Iconst (0, -17);
+        Iconst (1, 5);
+        Ibin (Idiv, 2, 0, 1);
+        Istore (slot 0, 2);
+        Ibin (Irem, 3, 0, 1);
+        Istore (slot 1, 3);
+        Iconst (4, -8);
+        Ibin (Ishr, 5, 4, 1);
+        Istore (slot 2, 5);
+      ]
+  in
+  checki "div truncates" (-3) (Vm.get_i vm 0);
+  checki "rem sign" (-2) (Vm.get_i vm 1);
+  checki "asr" (-1) (Vm.get_i vm 2)
+
+let expect_trap ?checked ?smode ?poke ops =
+  match run ?checked ?smode ?poke ops with
+  | exception Vm.Trap _ -> ()
+  | _vm -> Alcotest.fail "expected Vm.Trap"
+
+let test_trap_replaced_into_double () =
+  expect_trap ~checked:true
+    ~poke:(fun vm -> Vm.set_f vm 0 (Replaced.downcast 1.0))
+    [ Fload (0, slot 0); Fconst (D, 1, 1.0); Fbin (D, Add, 2, 0, 1) ]
+
+let test_trap_plain_into_single () =
+  expect_trap ~checked:true
+    ~poke:(fun vm -> Vm.set_f vm 0 1.0)
+    [ Fload (0, slot 0); Fconst (S, 1, 1.0); Fbin (S, Add, 2, 0, 1) ]
+
+let test_trap_replaced_in_plain_binary () =
+  expect_trap ~checked:true ~smode:Vm.Plain
+    ~poke:(fun vm -> Vm.set_f vm 0 (Replaced.downcast 1.0))
+    [ Fload (0, slot 0); Fconst (S, 1, 1.0); Fbin (S, Add, 2, 0, 1) ]
+
+let test_unchecked_propagates_nan () =
+  (* without checking, a replaced value reaching a D op poisons it with NaN *)
+  let vm =
+    run ~checked:false
+      ~poke:(fun vm -> Vm.set_f vm 0 (Replaced.downcast 1.0))
+      [ Fload (0, slot 0); Fconst (D, 1, 1.0); Fbin (D, Add, 2, 0, 1); Fstore (slot 1, 2) ]
+  in
+  checkb "NaN result" true (Float.is_nan (Vm.get_f vm 1))
+
+let test_trap_div_zero () =
+  expect_trap [ Iconst (0, 1); Iconst (1, 0); Ibin (Idiv, 2, 0, 1) ]
+
+let test_trap_oob () =
+  expect_trap [ Iconst (0, 1000); Fconst (D, 0, 1.0); Fstore ({ base = Some 0; index = None; scale = 1; offset = 0 }, 0) ];
+  expect_trap [ Iconst (0, -1); Fload (0, { base = Some 0; index = None; scale = 1; offset = 0 }) ]
+
+let test_trap_upcast_plain () =
+  expect_trap ~poke:(fun vm -> Vm.set_f vm 0 1.0) [ Fload (0, slot 0); Fupcast (1, 0) ]
+
+let test_snippet_ops () =
+  let vm =
+    run
+      ~poke:(fun vm ->
+        Vm.set_f vm 0 Float.pi;
+        Vm.set_f vm 1 (Replaced.downcast 2.5))
+      [
+        Fload (0, slot 0);
+        Fload (1, slot 1);
+        Ftestflag (0, 0);
+        Istore (slot 0, 0);
+        Ftestflag (1, 1);
+        Istore (slot 1, 1);
+        Fdowncast (2, 0);
+        Fstore (slot 2, 2);
+        Fupcast (3, 1);
+        Fstore (slot 3, 3);
+      ]
+  in
+  checki "plain not flagged" 0 (Vm.get_i vm 0);
+  checki "replaced flagged" 1 (Vm.get_i vm 1);
+  Alcotest.check float_bits "downcast" (Replaced.downcast Float.pi) (Vm.get_f vm 2);
+  Alcotest.check float_bits "upcast" 2.5 (Vm.get_f vm 3)
+
+let test_step_limit () =
+  (* an infinite loop must hit the Limit guard, not hang *)
+  let f : Ir.func =
+    {
+      fid = 0;
+      fname = "main";
+      module_name = "m";
+      n_fargs = 0;
+      n_iargs = 0;
+      ret_fregs = [||];
+      ret_iregs = [||];
+      n_fregs = 1;
+      n_iregs = 1;
+      entry = 0;
+      blocks = [| { label = 1; instrs = [||]; term = Jmp 0 } |];
+    }
+  in
+  let p : Ir.program =
+    { funcs = [| f |]; main = 0; fheap_size = 1; iheap_size = 1; modules = [| "m" |] }
+  in
+  let vm = Vm.create ~max_steps:1000 p in
+  checkb "limit raised" true (match Vm.run vm with exception Vm.Limit _ -> true | () -> false)
+
+let test_counters () =
+  let vm =
+    run [ Fconst (D, 0, 1.0); Fconst (D, 1, 2.0); Fbin (D, Add, 2, 0, 1); Fstore (slot 0, 2) ]
+  in
+  checki "each once" 1 vm.Vm.counts.(0);
+  checki "add once" 1 vm.Vm.counts.(2);
+  checki "block once" 1 vm.Vm.bcounts.(1);
+  checki "fp ops" 3 (Vm.fp_ops_executed vm)
+
+let test_counters_loop () =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t 1 in
+  let main =
+    Builder.func t ~module_:"m" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        let acc = Builder.freshf b in
+        Builder.setf b acc (Builder.fconst b 0.0);
+        Builder.for_range b 0 10 (fun _ ->
+            Builder.setf b acc (Builder.fadd b acc (Builder.fconst b 1.0)));
+        Builder.storef b (Builder.at out) acc)
+  in
+  let prog = Builder.program t ~main in
+  let vm = Vm.create prog in
+  Vm.run vm;
+  Alcotest.check float_bits "sum" 10.0 (Vm.get_f_value vm out);
+  (* the in-loop add executed 10 times *)
+  let add_addr =
+    Array.to_list (Static.candidates prog)
+    |> List.find_map (fun (i : Static.insn_info) ->
+           if String.length i.disasm >= 5 && String.sub i.disasm 0 5 = "addsd" then Some i.addr
+           else None)
+    |> Option.get
+  in
+  checki "loop count" 10 vm.Vm.counts.(add_addr)
+
+let test_heap_accessors () =
+  let vm = run [] in
+  Vm.write_f vm 0 [| 1.0; 2.0; 3.0 |];
+  Vm.write_i vm 0 [| 7; 8 |];
+  Alcotest.(check (array (float 0.0))) "read_f" [| 1.0; 2.0; 3.0 |] (Vm.read_f vm 0 3);
+  checki "get_i" 8 (Vm.get_i vm 1);
+  Vm.set_f vm 0 (Replaced.downcast 0.5);
+  Alcotest.check float_bits "get_f raw" (Replaced.downcast 0.5) (Vm.get_f vm 0);
+  Alcotest.check float_bits "get_f_value coerced" (F32.round 0.5) (Vm.get_f_value vm 0)
+
+let suite =
+  [
+    ("fbin double", `Quick, test_fbin_d);
+    ("fbin single flagged", `Quick, test_fbin_s_flagged);
+    ("fbin single plain", `Quick, test_fbin_s_plain);
+    ("funop/flibm", `Quick, test_funop_flibm);
+    ("fcmp", `Quick, test_fcmp);
+    ("fconst modes", `Quick, test_fconst_modes);
+    ("conversions", `Quick, test_cvt);
+    ("moves preserve patterns", `Quick, test_mov_preserves_patterns);
+    ("integer semantics", `Quick, test_int_semantics);
+    ("trap: replaced into double", `Quick, test_trap_replaced_into_double);
+    ("trap: plain into single", `Quick, test_trap_plain_into_single);
+    ("trap: replaced in plain binary", `Quick, test_trap_replaced_in_plain_binary);
+    ("unchecked propagates NaN", `Quick, test_unchecked_propagates_nan);
+    ("trap: division by zero", `Quick, test_trap_div_zero);
+    ("trap: out of bounds", `Quick, test_trap_oob);
+    ("trap: upcast of plain", `Quick, test_trap_upcast_plain);
+    ("snippet ops", `Quick, test_snippet_ops);
+    ("step limit", `Quick, test_step_limit);
+    ("counters", `Quick, test_counters);
+    ("counters in loops", `Quick, test_counters_loop);
+    ("heap accessors", `Quick, test_heap_accessors);
+  ]

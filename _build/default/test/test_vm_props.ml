@@ -1,0 +1,130 @@
+(* Property tests: the VM's arithmetic must agree bit-for-bit with the host
+   (double precision) and with the emulated binary32 (single precision),
+   over random operands. *)
+
+let qt ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let finite_float =
+  QCheck2.Gen.map
+    (fun (frac, exp, sign) ->
+      let m = Float.of_int frac /. 1e9 in
+      let v = ldexp m exp in
+      if sign then -.v else v)
+    QCheck2.Gen.(triple (int_bound 1_000_000_000) (int_range (-40) 40) bool)
+
+let pair_gen = QCheck2.Gen.pair finite_float finite_float
+
+let slot k : Ir.mem = { base = None; index = None; scale = 1; offset = k }
+
+let run_binop prec op x y =
+  let instrs =
+    [|
+      { Ir.addr = 0; op = Ir.Fload (0, slot 0) };
+      { Ir.addr = 1; op = Ir.Fload (1, slot 1) };
+      { Ir.addr = 2; op = Ir.Fbin (prec, op, 2, 0, 1) };
+      { Ir.addr = 3; op = Ir.Fstore (slot 2, 2) };
+    |]
+  in
+  let f : Ir.func =
+    {
+      fid = 0;
+      fname = "main";
+      module_name = "m";
+      n_fargs = 0;
+      n_iargs = 0;
+      ret_fregs = [||];
+      ret_iregs = [||];
+      n_fregs = 3;
+      n_iregs = 1;
+      entry = 0;
+      blocks = [| { label = 1; instrs; term = Ret } |];
+    }
+  in
+  let p : Ir.program =
+    { funcs = [| f |]; main = 0; fheap_size = 4; iheap_size = 1; modules = [| "m" |] }
+  in
+  let vm = Vm.create ~smode:Vm.Plain p in
+  Vm.set_f vm 0 x;
+  Vm.set_f vm 1 y;
+  Vm.run vm;
+  Vm.get_f vm 2
+
+let same a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  || (Float.is_nan a && Float.is_nan b)
+
+let binop_d name op host =
+  qt ("double " ^ name ^ " matches host") pair_gen (fun (x, y) ->
+      same (run_binop Ir.D op x y) (host x y))
+
+let binop_s name op hostf32 =
+  qt ("single " ^ name ^ " matches F32") pair_gen (fun (x, y) ->
+      let x = F32.round x and y = F32.round y in
+      same (run_binop Ir.S op x y) (hostf32 x y))
+
+let prop_packed_matches_scalar =
+  qt "packed lanes match scalar ops"
+    QCheck2.Gen.(pair pair_gen pair_gen)
+    (fun ((a0, a1), (b0, b1)) ->
+      let t = Builder.create () in
+      let base = Builder.alloc_f t 8 in
+      let main =
+        Builder.func t ~module_:"m" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+            let p = Builder.loadfp b (Builder.at base) in
+            let q = Builder.loadfp b (Builder.at (base + 2)) in
+            Builder.storefp b (Builder.at (base + 4)) (Builder.fmulp b p q);
+            let x = Builder.loadf b (Builder.at base) in
+            let y = Builder.loadf b (Builder.at (base + 2)) in
+            Builder.storef b (Builder.at (base + 6)) (Builder.fmul b x y);
+            let x1 = Builder.loadf b (Builder.at (base + 1)) in
+            let y1 = Builder.loadf b (Builder.at (base + 3)) in
+            Builder.storef b (Builder.at (base + 7)) (Builder.fmul b x1 y1))
+      in
+      let prog = Builder.program t ~main in
+      let vm = Vm.create prog in
+      Vm.write_f vm base [| a0; a1; b0; b1 |];
+      Vm.run vm;
+      same (Vm.get_f vm (base + 4)) (Vm.get_f vm (base + 6))
+      && same (Vm.get_f vm (base + 5)) (Vm.get_f vm (base + 7)))
+
+let prop_addressing =
+  qt "indexed addressing = base + i*scale"
+    QCheck2.Gen.(pair (int_bound 7) (int_bound 3))
+    (fun (i, scale_exp) ->
+      let scale = 1 lsl scale_exp in
+      if (i * scale) + 1 > 64 then true
+      else begin
+        let t = Builder.create () in
+        let arr = Builder.alloc_f t 64 in
+        let out = Builder.alloc_f t 1 in
+        let main =
+          Builder.func t ~module_:"m" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+              let iv = Builder.iconst b i in
+              Builder.storef b (Builder.at out)
+                (Builder.loadf b (Builder.idx_scaled arr iv scale)))
+        in
+        let prog = Builder.program t ~main in
+        let vm = Vm.create prog in
+        for k = 0 to 63 do
+          Vm.set_f vm (arr + k) (float_of_int k)
+        done;
+        Vm.run vm;
+        Vm.get_f vm out = float_of_int (i * scale)
+      end)
+
+let suite =
+  [
+    binop_d "add" Ir.Add ( +. );
+    binop_d "sub" Ir.Sub ( -. );
+    binop_d "mul" Ir.Mul ( *. );
+    binop_d "div" Ir.Div ( /. );
+    binop_d "min" Ir.Min Float.min;
+    binop_d "max" Ir.Max Float.max;
+    binop_s "add" Ir.Add F32.add;
+    binop_s "sub" Ir.Sub F32.sub;
+    binop_s "mul" Ir.Mul F32.mul;
+    binop_s "div" Ir.Div F32.div;
+    prop_packed_matches_scalar;
+    prop_addressing;
+  ]
