@@ -133,15 +133,81 @@ let strategy_arg =
   let doc = "Search strategy: bfs (the paper's), ddmax, or greedy." in
   Arg.(value & opt string "bfs" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append every evaluation verdict to $(docv) (flushed per record), making the \
+           campaign crash-safe. Without $(b,--resume) the file is truncated first.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay the journal before searching: already-tested configurations are served \
+           from it and an interrupted campaign continues instead of restarting. Requires \
+           $(b,--journal).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget per evaluation for flaky verdicts (trap, step-timeout, crash), \
+           with deterministic exponential backoff.")
+
+let eval_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "eval-steps" ] ~docv:"N"
+        ~doc:
+          "Per-evaluation VM step budget; a configuration exceeding it is classified as a \
+           step-timeout instead of hanging the search (default 2e9).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the deterministic fault injector around every evaluation, e.g. \
+           $(b,seed=7,rate=0.2,modes=trap+hang+bitflip,transient) — a demo that the \
+           harness contains every failure mode.")
+
 let search_cmd =
-  let run name cls workers out strategy =
+  let run name cls workers out strategy journal_path resume retries eval_steps inject =
     with_kernel name cls (fun k ->
-        match strategy with
+        if resume && journal_path = None then begin
+          prerr_endline "craft: --resume requires --journal FILE";
+          exit 1
+        end;
+        let faults =
+          Option.map
+            (fun text ->
+              Faults.create
+                (or_die (Result.map_error (fun e -> "--inject: " ^ e) (Faults.parse text))))
+            inject
+        in
+        let harness, target =
+          (* silent injected corruption forges verification failures, so
+             retries extend to fail-verify whenever the injector is armed *)
+          Harness.wrap_target ~retries ~retry_fail_verify:(faults <> None)
+            (Kernel.target ?eval_steps ?faults k)
+        in
+        let journal =
+          Option.map (fun p -> Journal.create ~resume ~path:p k.Kernel.program) journal_path
+        in
+        let target =
+          match journal with Some j -> Journal.wrap_target j ~harness target | None -> target
+        in
+        (match strategy with
         | "bfs" -> (
             let options = { Bfs.default_options with workers; base = k.Kernel.hints } in
-            let rec_ =
-              Analysis.recommend_target ~options (Kernel.target k) ~setup:k.Kernel.setup
-            in
+            let rec_ = Analysis.recommend_target ~options target ~setup:k.Kernel.setup in
             Format.printf "%a@." Analysis.pp_summary rec_;
             match out with
             | Some path ->
@@ -154,7 +220,7 @@ let search_cmd =
             let f =
               if String.equal s "ddmax" then Strategies.delta_debug else Strategies.greedy_grow
             in
-            let r = f ~base:k.Kernel.hints (Kernel.target k) in
+            let r = f ~base:k.Kernel.hints target in
             Format.printf
               "strategy %s: tested %d configurations, replaced %d of %d candidates (%s)@." s
               r.Strategies.tested r.Strategies.static_replaced r.Strategies.candidates
@@ -168,12 +234,25 @@ let search_cmd =
             | None -> print_string (Tree_view.render k.Kernel.program r.Strategies.final))
         | s ->
             prerr_endline ("craft: unknown strategy " ^ s);
-            exit 1)
+            exit 1);
+        Format.printf "%s@." (Harness.report harness);
+        (match faults with
+        | Some inj -> Format.printf "injected faults fired: %d@." (Faults.injected inj)
+        | None -> ());
+        match journal with
+        | Some j ->
+            Format.printf "journal %s: %d replayed, %d hit(s), %d fresh, %d record(s)@."
+              (Journal.path j) (Journal.replayed j) (Journal.hits j) (Journal.fresh j)
+              (Journal.entries j);
+            Journal.close j
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Run the automatic mixed-precision search and print the recommendation")
-    Term.(const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg)
+    Term.(
+      const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
+      $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg)
 
 let cancel_cmd =
   let run name cls =

@@ -191,6 +191,34 @@ let parse (p : Ir.program) text =
     lines;
   match !error with Some e -> Error e | None -> Ok !result
 
+(* FNV-1a over the effective flag of every candidate, so two configurations
+   that resolve to the same per-instruction decisions share a digest — exactly
+   the equivalence the evaluation memoizer needs. *)
+let digest (p : Ir.program) t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c = h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001b3L in
+  Array.iter
+    (fun (info : Static.insn_info) ->
+      mix info.addr;
+      mix (Char.code (flag_char (effective t info))))
+    (Static.candidates p);
+  Printf.sprintf "%016Lx" !h
+
+let summarize t =
+  let buf = Buffer.create 128 in
+  let add fmt =
+    Format.kasprintf
+      (fun s ->
+        if Buffer.length buf > 0 then Buffer.add_string buf "; ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  SMap.iter (fun m f -> add "%c MODULE: %s" (flag_char f) m) t.modules;
+  SMap.iter (fun n f -> add "%c FUNC: %s()" (flag_char f) n) t.funcs;
+  IMap.iter (fun l f -> add "%c BBLK%02d" (flag_char f) l) t.blocks;
+  IMap.iter (fun a f -> add "%c INSN: 0x%06x" (flag_char f) a) t.insns;
+  if Buffer.length buf = 0 then "(all-double)" else Buffer.contents buf
+
 let stats p t =
   let s = ref 0 and d = ref 0 and i = ref 0 in
   Array.iter

@@ -61,6 +61,17 @@ val parse : Ir.program -> string -> (t, string) result
     unknown structures are an error. [parse p (print p c)] observationally
     equals [c] (same effective flag on every candidate). *)
 
+val digest : Ir.program -> t -> string
+(** Stable 16-hex-digit fingerprint of the configuration's {e effective}
+    per-candidate flags. Two configurations with the same observable
+    behaviour under [effective] share a digest, which is what the
+    evaluation journal keys on. *)
+
+val summarize : t -> string
+(** One-line rendering of the explicitly flagged structures in the Fig. 3
+    token style, e.g. ["s MODULE: cg; s INSN: 0x00001f"]; ["(all-double)"]
+    for the empty configuration. *)
+
 val stats : Ir.program -> t -> int * int * int
 (** [(singles, doubles, ignores)] over the program's candidate
     instructions, using effective flags. *)

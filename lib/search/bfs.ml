@@ -2,16 +2,27 @@ module Target = struct
   type t = {
     program : Ir.program;
     eval : Config.t -> bool;
+    raw_eval : Config.t -> bool;
     profile : unit -> int array;
   }
 
-  let make program ~setup ~output ~verify =
-    let eval cfg =
+  let make ?eval_steps ?faults program ~setup ~output ~verify =
+    let raw_eval cfg =
       let patched = Patcher.patch program cfg in
-      let vm = Vm.create ~checked:true patched in
+      let vm = Vm.create ~checked:true ?max_steps:eval_steps patched in
       setup vm;
-      match Vm.run vm with
-      | () -> verify (output vm)
+      (match faults with
+      | None -> Vm.run vm
+      | Some inj ->
+          let key = Config.digest program cfg in
+          Faults.arm inj ~key vm;
+          Vm.run vm;
+          Faults.finish inj ~key vm);
+      verify (output vm)
+    in
+    let eval cfg =
+      match raw_eval cfg with
+      | ok -> ok
       | exception Vm.Trap _ -> false
       | exception Vm.Limit _ -> false
     in
@@ -21,7 +32,7 @@ module Target = struct
       Vm.run vm;
       vm.counts
     in
-    { program; eval; profile }
+    { program; eval; raw_eval; profile }
 end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level
@@ -139,12 +150,16 @@ let search ?(options = default_options) (target : Target.t) =
   in
   let cfg_of_item it = List.fold_left (fun acc n -> force_single ~base acc n) base it.nodes in
   let tested = ref 0 in
+  (* An evaluation must never abort the campaign: any exception escaping
+     [target.eval] (a crashing verify routine, an unclassified injected
+     fault, ...) is this one configuration's failure, not the search's. *)
+  let contained_eval cfg = try target.eval cfg with _ -> false in
   let eval_items items =
     tested := !tested + List.length items;
     match items with
-    | [ it ] -> [ (it, target.eval (cfg_of_item it)) ]
+    | [ it ] -> [ (it, contained_eval (cfg_of_item it)) ]
     | _ when options.workers <= 1 ->
-        List.map (fun it -> (it, target.eval (cfg_of_item it))) items
+        List.map (fun it -> (it, contained_eval (cfg_of_item it))) items
     | _ ->
         let doms =
           List.map
@@ -153,7 +168,11 @@ let search ?(options = default_options) (target : Target.t) =
               (it, Domain.spawn (fun () -> target.eval cfg)))
             items
         in
-        List.map (fun (it, d) -> (it, Domain.join d)) doms
+        (* join defensively: a domain that died re-raises here, and one
+           item's failure must not kill the whole wave *)
+        List.map
+          (fun (it, d) -> (it, try Domain.join d with _ -> false))
+          doms
   in
   let passing = ref [] in
   (* Seed the queue with one configuration per module. *)
@@ -213,7 +232,7 @@ let search ?(options = default_options) (target : Target.t) =
   let passing_nodes = List.rev !passing in
   let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
   incr tested;
-  let final_pass = target.eval final in
+  let final_pass = contained_eval final in
   say "FINAL union of %d passing structures: %s" (List.length passing_nodes)
     (if final_pass then "pass" else "fail");
   let final, final_pass =
@@ -231,7 +250,7 @@ let search ?(options = default_options) (target : Target.t) =
         (fun node ->
           let trial = force_single ~base !acc node in
           incr tested;
-          if target.eval trial then begin
+          if contained_eval trial then begin
             acc := trial;
             say "COMPOSE keep %s" (Static.node_name node)
           end

@@ -17,7 +17,10 @@
 
     Configuration evaluations are independent full program runs; with
     [workers > 1] they are dispatched to OCaml domains in deterministic
-    waves. *)
+    waves. Waves are joined defensively: an exception escaping one item's
+    evaluation (on a domain or inline) is contained and counted as that
+    item's failure — a single broken evaluation can no longer abort the
+    campaign. *)
 
 module Target : sig
   type t = {
@@ -25,12 +28,19 @@ module Target : sig
     eval : Config.t -> bool;
         (** patch + run + verify one configuration. Must be thread-safe
             (evaluations run on domains) and must treat VM traps as
-            failure. Use {!make_eval} unless custom behaviour is needed. *)
+            failure. Use {!make} unless custom behaviour is needed. *)
+    raw_eval : Config.t -> bool;
+        (** same evaluation, but failures {e raise} ({!Vm.Trap},
+            {!Vm.Limit}, or anything a broken evaluator throws) instead of
+            folding into [false]. This is what {!Harness.make} classifies
+            into verdicts; [eval] is the legacy contained view of it. *)
     profile : unit -> int array;
         (** address-indexed dynamic execution counts from one native run *)
   }
 
   val make :
+    ?eval_steps:int ->
+    ?faults:Faults.t ->
     Ir.program ->
     setup:(Vm.t -> unit) ->
     output:(Vm.t -> float array) ->
@@ -39,7 +49,10 @@ module Target : sig
   (** Standard target: [eval cfg] patches the program with [cfg], runs it
       checked with [setup] applied, reads [output] (coerced) and applies
       [verify]; any VM trap or step-limit blowout counts as verification
-      failure. *)
+      failure. [eval_steps] caps the VM step budget of each evaluation
+      (default 2e9) — a configuration that loops or merely exceeds it is a
+      step-timeout, not a stuck campaign. [faults] arms the deterministic
+      fault injector around every evaluation (never around [profile]). *)
 end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level

@@ -1,0 +1,199 @@
+type verdict =
+  | Pass
+  | Fail_verify
+  | Trapped of int * string
+  | Step_timeout
+  | Crashed of string
+
+let verdict_label = function
+  | Pass -> "pass"
+  | Fail_verify -> "fail"
+  | Trapped _ -> "trap"
+  | Step_timeout -> "timeout"
+  | Crashed _ -> "crash"
+
+(* percent-escape the characters the journal format reserves *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '|' | ':' | '\t' | '\n' | '\r' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then None
+      else
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h * 16) + l));
+            go (i + 3)
+        | _ -> None
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Fail_verify -> "fail"
+  | Trapped (addr, reason) -> Printf.sprintf "trap:0x%06x:%s" addr (escape reason)
+  | Step_timeout -> "timeout"
+  | Crashed msg -> "crash:" ^ escape msg
+
+let verdict_of_string s =
+  let payload_after prefix =
+    let p = String.length prefix in
+    if String.length s >= p && String.sub s 0 p = prefix then
+      Some (String.sub s p (String.length s - p))
+    else None
+  in
+  match s with
+  | "pass" -> Some Pass
+  | "fail" -> Some Fail_verify
+  | "timeout" -> Some Step_timeout
+  | _ -> (
+      match payload_after "trap:" with
+      | Some rest -> (
+          match String.index_opt rest ':' with
+          | None -> None
+          | Some i -> (
+              let addr = String.sub rest 0 i in
+              let reason = String.sub rest (i + 1) (String.length rest - i - 1) in
+              match (int_of_string_opt addr, unescape reason) with
+              | Some a, Some r -> Some (Trapped (a, r))
+              | _ -> None))
+      | None -> (
+          match payload_after "crash:" with
+          | Some msg -> Option.map (fun m -> Crashed m) (unescape msg)
+          | None -> None))
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Fail_verify -> Format.pp_print_string ppf "fail-verify"
+  | Trapped (addr, reason) -> Format.fprintf ppf "trapped@0x%06x (%s)" addr reason
+  | Step_timeout -> Format.pp_print_string ppf "step-timeout"
+  | Crashed msg -> Format.fprintf ppf "crashed (%s)" msg
+
+let is_flaky = function
+  | Trapped _ | Step_timeout | Crashed _ -> true
+  | Pass | Fail_verify -> false
+
+let classify f =
+  match f () with
+  | true -> Pass
+  | false -> Fail_verify
+  | exception Vm.Trap (addr, reason) -> Trapped (addr, reason)
+  | exception Vm.Limit _ -> Step_timeout
+  | exception Stack_overflow -> Crashed "stack overflow"
+  | exception Out_of_memory -> Crashed "out of memory"
+  | exception e -> Crashed (Printexc.to_string e)
+
+type counters = {
+  mutable evaluations : int;
+  mutable attempts : int;
+  mutable pass : int;
+  mutable fail_verify : int;
+  mutable trapped : int;
+  mutable timed_out : int;
+  mutable crashed : int;
+  mutable retried : int;
+  mutable backoff_units : int;
+}
+
+type t = {
+  raw : Config.t -> bool;
+  retries : int;
+  backoff : int;
+  retry_fail_verify : bool;
+  c : counters;
+  lock : Mutex.t;
+}
+
+let make ?(retries = 0) ?(backoff = 1) ?(retry_fail_verify = false) raw =
+  {
+    raw;
+    retries = max 0 retries;
+    backoff = max 0 backoff;
+    retry_fail_verify;
+    c =
+      {
+        evaluations = 0;
+        attempts = 0;
+        pass = 0;
+        fail_verify = 0;
+        trapped = 0;
+        timed_out = 0;
+        crashed = 0;
+        retried = 0;
+        backoff_units = 0;
+      };
+    lock = Mutex.create ();
+  }
+
+let counters t = t.c
+
+let tally t v =
+  Mutex.protect t.lock (fun () ->
+      t.c.attempts <- t.c.attempts + 1;
+      match v with
+      | Pass -> t.c.pass <- t.c.pass + 1
+      | Fail_verify -> t.c.fail_verify <- t.c.fail_verify + 1
+      | Trapped _ -> t.c.trapped <- t.c.trapped + 1
+      | Step_timeout -> t.c.timed_out <- t.c.timed_out + 1
+      | Crashed _ -> t.c.crashed <- t.c.crashed + 1)
+
+let wants_retry t = function
+  | Trapped _ | Step_timeout | Crashed _ -> true
+  | Fail_verify -> t.retry_fail_verify
+  | Pass -> false
+
+let eval t cfg =
+  Mutex.protect t.lock (fun () -> t.c.evaluations <- t.c.evaluations + 1);
+  let attempt_once () =
+    let v = classify (fun () -> t.raw cfg) in
+    tally t v;
+    v
+  in
+  let rec go attempt v =
+    if (not (wants_retry t v)) || attempt >= t.retries then v
+    else begin
+      (* deterministic exponential backoff, in modeled delay units — the VM
+         world has no wall clock, so the delay is accounted, not slept *)
+      Mutex.protect t.lock (fun () ->
+          t.c.retried <- t.c.retried + 1;
+          t.c.backoff_units <- t.c.backoff_units + (t.backoff * (1 lsl attempt)));
+      go (attempt + 1) (attempt_once ())
+    end
+  in
+  go 0 (attempt_once ())
+
+let eval_bool t cfg = match eval t cfg with Pass -> true | _ -> false
+
+let report t =
+  let c = t.c in
+  Printf.sprintf
+    "verdicts: pass=%d fail=%d trap=%d timeout=%d crash=%d | %d evaluations, %d attempts, %d retried, backoff %d units"
+    c.pass c.fail_verify c.trapped c.timed_out c.crashed c.evaluations c.attempts c.retried
+    c.backoff_units
+
+let wrap_target ?retries ?backoff ?retry_fail_verify (target : Bfs.Target.t) =
+  let h = make ?retries ?backoff ?retry_fail_verify target.Bfs.Target.raw_eval in
+  (h, { target with Bfs.Target.eval = (fun cfg -> eval_bool h cfg) })

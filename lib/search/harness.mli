@@ -1,0 +1,102 @@
+(** The resilient evaluation harness.
+
+    The autosearch is a long campaign of thousands of independent
+    configuration evaluations, each of which — like the instrumented
+    binaries of the real tool — can fail verification, trap, exceed its
+    step budget, or crash outright. This module turns any raising
+    evaluator (usually {!Bfs.Target.raw_eval}) into a {e total} function
+    returning a classified {!verdict}, with
+
+    - containment: no exception whatsoever escapes {!eval};
+    - bounded retries with deterministic exponential backoff for flaky
+      (infrastructure-looking) verdicts, so transient faults don't turn
+      into permanent search decisions;
+    - per-verdict counters for the end-of-campaign breakdown report.
+
+    Verdict equality of retried evaluations is deterministic because the
+    VM itself is; flakiness only enters through {!Faults} injection or a
+    genuinely non-deterministic user evaluator. *)
+
+type verdict =
+  | Pass  (** ran to completion and verified *)
+  | Fail_verify  (** ran to completion, verification rejected the output *)
+  | Trapped of int * string
+      (** the VM trapped: instrumentation-invariant violation,
+          out-of-bounds access, division by zero, injected trap ...
+          [(address, reason)] *)
+  | Step_timeout  (** the per-evaluation step budget ran out (a "hang") *)
+  | Crashed of string  (** any other exception from the evaluator *)
+
+val verdict_label : verdict -> string
+(** Short class label: ["pass"], ["fail"], ["trap"], ["timeout"],
+    ["crash"]. *)
+
+val verdict_to_string : verdict -> string
+(** Compact single-token serialization (no spaces; payloads are
+    percent-escaped), e.g. ["trap:0x00001f:injected%20fault"]. Used by the
+    {!Journal}. *)
+
+val verdict_of_string : string -> verdict option
+(** Inverse of {!verdict_to_string}; [None] on malformed input. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val is_flaky : verdict -> bool
+(** True for {!Trapped}, {!Step_timeout} and {!Crashed} — the verdicts a
+    retry might change when faults are transient. *)
+
+val classify : (unit -> bool) -> verdict
+(** Run one evaluation thunk and classify its outcome. Total: maps
+    {!Vm.Trap}/{!Vm.Limit} to their verdicts and every other exception
+    (including [Stack_overflow] and [Out_of_memory]) to {!Crashed}. *)
+
+type counters = {
+  mutable evaluations : int;  (** calls to {!eval} *)
+  mutable attempts : int;  (** underlying evaluator runs, retries included *)
+  mutable pass : int;
+  mutable fail_verify : int;
+  mutable trapped : int;
+  mutable timed_out : int;
+  mutable crashed : int;
+  mutable retried : int;  (** retry attempts performed *)
+  mutable backoff_units : int;  (** modeled backoff delay accumulated *)
+}
+(** Per-attempt verdict tallies ([pass + fail_verify + trapped + timed_out
+    + crashed = attempts]); reads are racy-but-monotone under domain
+    parallelism. *)
+
+type t
+
+val make :
+  ?retries:int ->
+  ?backoff:int ->
+  ?retry_fail_verify:bool ->
+  (Config.t -> bool) ->
+  t
+(** [make raw] wraps a raising evaluator. [retries] (default 0) bounds the
+    extra attempts granted to a flaky verdict; attempt [k]'s modeled
+    backoff delay is [backoff * 2^(k-1)] units (default base 1, recorded
+    in the counters — the VM world has no wall clock to actually sleep
+    on). [retry_fail_verify] (default false) extends retrying to
+    {!Fail_verify}, for campaigns where injected silent corruption can
+    forge verification failures. *)
+
+val eval : t -> Config.t -> verdict
+(** Total classified evaluation with retries. Never raises. *)
+
+val eval_bool : t -> Config.t -> bool
+(** [eval] folded back to the search's view: {!Pass} is [true], everything
+    else [false]. *)
+
+val counters : t -> counters
+
+val report : t -> string
+(** One-line verdict breakdown, e.g.
+    ["verdicts: pass=12 fail=30 trap=3 timeout=1 crash=0 | 46 evaluations, 47 attempts, 4 retried, backoff 7 units"]. *)
+
+val wrap_target : ?retries:int -> ?backoff:int -> ?retry_fail_verify:bool ->
+  Bfs.Target.t -> t * Bfs.Target.t
+(** Build a harness over the target's {!Bfs.Target.raw_eval} and return it
+    together with the same target whose [eval] is the harness's
+    {!eval_bool} — drop-in resilience (containment + retries + counters)
+    for {!Bfs.search} and every {!Strategies} search. *)

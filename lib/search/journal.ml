@@ -1,0 +1,131 @@
+let header = "# craft-journal v1"
+
+type t = {
+  path : string;
+  program : Ir.program;
+  memo : (string, Harness.verdict) Hashtbl.t;
+  oc : out_channel;
+  mutable seq : int;  (* tests-so-far column of the next record *)
+  mutable replayed : int;
+  mutable hits : int;
+  mutable fresh : int;
+  lock : Mutex.t;
+}
+
+(* One record per line; anything that does not parse — malformed, or the
+   truncated half-record a crash leaves at the end of the file — is
+   silently dropped. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || (String.length line > 0 && line.[0] = '#') then None
+  else begin
+    let left =
+      match String.index_opt line '|' with
+      | Some i -> String.trim (String.sub line 0 i)
+      | None -> line
+    in
+    match String.split_on_char ' ' left |> List.filter (fun s -> s <> "") with
+    | [ digest; verdict; seq ] when String.length digest = 16 -> (
+        match (Harness.verdict_of_string verdict, int_of_string_opt seq) with
+        | Some v, Some _ -> Some (digest, v)
+        | _ -> None)
+    | _ -> None
+  end
+
+let read_records path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some r -> records := r :: !records
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !records
+  end
+
+let load ~path (_ : Ir.program) = read_records path
+
+let create ?(resume = false) ~path program =
+  let records = if resume then read_records path else [] in
+  let memo = Hashtbl.create 256 in
+  List.iter (fun (d, v) -> if not (Hashtbl.mem memo d) then Hashtbl.add memo d v) records;
+  let fresh_file = (not resume) || not (Sys.file_exists path) in
+  let flags =
+    if resume then [ Open_wronly; Open_append; Open_creat ]
+    else [ Open_wronly; Open_trunc; Open_creat ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  if fresh_file then begin
+    output_string oc (header ^ "\n");
+    flush oc
+  end;
+  {
+    path;
+    program;
+    memo;
+    oc;
+    seq = Hashtbl.length memo;
+    replayed = Hashtbl.length memo;
+    hits = 0;
+    fresh = 0;
+    lock = Mutex.create ();
+  }
+
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+let path t = t.path
+let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.memo)
+let replayed t = t.replayed
+let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let fresh t = Mutex.protect t.lock (fun () -> t.fresh)
+
+let lookup_key t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.memo key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None -> None)
+
+let record_key t key ~summary verdict =
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.memo key) then begin
+        Hashtbl.add t.memo key verdict;
+        t.seq <- t.seq + 1;
+        t.fresh <- t.fresh + 1;
+        Printf.fprintf t.oc "%s %s %d | %s\n" key
+          (Harness.verdict_to_string verdict)
+          t.seq summary;
+        (* flush per record: a crash loses at most the line being written *)
+        flush t.oc
+      end)
+
+let summary_of cfg =
+  let s = Config.summarize cfg in
+  if String.length s <= 160 then s else String.sub s 0 157 ^ "..."
+
+let lookup t cfg = lookup_key t (Config.digest t.program cfg)
+
+let record t cfg verdict =
+  record_key t (Config.digest t.program cfg) ~summary:(summary_of cfg) verdict
+
+let wrap t f cfg =
+  let key = Config.digest t.program cfg in
+  match lookup_key t key with
+  | Some v -> v
+  | None ->
+      let v = f cfg in
+      record_key t key ~summary:(summary_of cfg) v;
+      v
+
+let wrap_target t ~harness (target : Bfs.Target.t) =
+  let eval cfg =
+    match wrap t (Harness.eval harness) cfg with
+    | Harness.Pass -> true
+    | _ -> false
+  in
+  { target with Bfs.Target.eval }

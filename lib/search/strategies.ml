@@ -6,6 +6,12 @@ type result = {
   candidates : int;
 }
 
+(* Strategy searches are campaigns too: one evaluation blowing up (crashing
+   verify routine, unclassified injected fault) is that configuration's
+   failure, never the search's. *)
+let contained_eval (target : Bfs.Target.t) cfg =
+  try target.Bfs.Target.eval cfg with _ -> false
+
 let universe base (target : Bfs.Target.t) =
   Array.to_list (Static.candidates target.Bfs.Target.program)
   |> List.filter (fun info -> Config.effective base info = Config.Double)
@@ -30,7 +36,7 @@ let delta_debug ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.
   let tested = ref 0 in
   let eval insns =
     incr tested;
-    target.Bfs.Target.eval (config_of base insns)
+    contained_eval target (config_of base insns)
   in
   let chunks g xs =
     let n = List.length xs in
@@ -119,7 +125,7 @@ let greedy_grow ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.
       if !tested < max_tests then begin
         incr tested;
         let trial = info :: !active in
-        if target.Bfs.Target.eval (config_of base trial) then active := trial
+        if contained_eval target (config_of base trial) then active := trial
       end)
     ordered;
   mk_result base ~tested:!tested ~pass:true !active n_candidates

@@ -8,7 +8,13 @@
     until a passing configuration emerges; then grow it greedily. Compared
     to the structural BFS it ignores program structure entirely and works
     on the flat instruction list — often fewer tests when most of the
-    program is replaceable, more when failures are scattered. *)
+    program is replaceable, more when failures are scattered.
+
+    Both strategies contain their evaluations: an exception escaping
+    [target.eval] counts as that configuration failing, never as the
+    search aborting. Wrap the target with {!Harness.wrap_target} (and
+    {!Journal.wrap_target}) for classified verdicts, retries and
+    checkpoint/resume. *)
 
 type result = {
   final : Config.t;

@@ -13,6 +13,8 @@ type t = {
   smode : smode;
   max_steps : int;
   mutable steps : int;
+  mutable ran : bool;
+  mutable hook : (t -> int -> unit) option;
 }
 
 let max_addr_of (p : Ir.program) = Static.max_addr p
@@ -34,6 +36,8 @@ let create ?(checked = false) ?(smode = Flagged) ?(max_steps = 2_000_000_000) pr
     smode;
     max_steps;
     steps = 0;
+    ran = false;
+    hook = None;
   }
 
 let is_replaced = Replaced.is_replaced
@@ -145,6 +149,11 @@ let ibin addr (o : Ir.ibinop) x y =
   | Imin -> if x <= y then x else y
 
 let run t =
+  if t.ran then
+    invalid_arg
+      "Vm.run: this state has already executed (counters and heaps reflect \
+       the previous run); create a fresh VM per run";
+  t.ran <- true;
   let prog = t.prog in
   let fheap = t.fheap and iheap = t.iheap in
   let nf = Array.length fheap and ni = Array.length iheap in
@@ -164,6 +173,7 @@ let run t =
     in
     let step ({ addr; op } : Ir.instr) =
       counts.(addr) <- counts.(addr) + 1;
+      (match t.hook with Some h -> h t addr | None -> ());
       match op with
       | Fbin (D, o, d, a, b) -> fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b))
       | Fbin (S, o, d, a, b) ->

@@ -38,6 +38,11 @@ type t = {
   smode : smode;
   max_steps : int;
   mutable steps : int;
+  mutable ran : bool;  (** set by {!run}; a state executes at most once *)
+  mutable hook : (t -> int -> unit) option;
+      (** observation/fault-injection hook, called with the state and the
+          instruction address before every executed instruction; may raise
+          (e.g. {!Trap}) or mutate the state ({!Faults} uses both) *)
 }
 
 val create : ?checked:bool -> ?smode:smode -> ?max_steps:int -> Ir.program -> t
@@ -48,7 +53,9 @@ val create : ?checked:bool -> ?smode:smode -> ?max_steps:int -> Ir.program -> t
 
 val run : t -> unit
 (** Execute from [main]. The state's counters and heaps reflect the run
-    afterwards; [run] can be called once per state. *)
+    afterwards; [run] can be called once per state — a second call raises
+    [Invalid_argument] instead of silently accumulating counts into the
+    previous run's state. *)
 
 val get_f : t -> int -> float
 (** Raw pattern at a float-heap slot (may be a replaced encoding). *)

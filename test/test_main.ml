@@ -14,6 +14,7 @@ let () =
       ("dataflow", Test_dataflow.suite);
       ("cancellation", Test_cancellation.suite);
       ("search", Test_search.suite);
+      ("harness", Test_harness.suite);
       ("strategies", Test_strategies.suite);
       ("kernels", Test_kernels.suite);
       ("superlu", Test_superlu.suite);
