@@ -502,6 +502,65 @@ let cancel () =
       Nas_sp.make Kernel.W;
     ]
 
+(* ------------------------------------------------------- worker pool *)
+
+(* Throughput of the supervised worker pool vs the serial evaluator on one
+   NAS kernel search campaign. Emits BENCH_pool.json next to the other
+   BENCH artifacts. *)
+let pool_bench () =
+  section "Supervised worker pool: search throughput (evals/sec)";
+  let k = Nas_cg.make Kernel.W in
+  let campaign ~jobs =
+    let pool =
+      if jobs <= 1 then None
+      else Some (Pool.create ~options:{ Pool.default_options with workers = jobs } ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let res =
+      Bfs.search
+        ~options:{ Bfs.default_options with workers = jobs; base = k.Kernel.hints; pool }
+        (Kernel.target k)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Option.iter Pool.shutdown pool;
+    (res.Bfs.tested, dt, float_of_int res.Bfs.tested /. Float.max 1e-9 dt)
+  in
+  let serial_tested, serial_dt, serial_eps = campaign ~jobs:1 in
+  Format.printf "(%d core(s) available — parallel speedup is bounded by that)@."
+    (Domain.recommended_domain_count ());
+  Format.printf "%-12s %8s %10s %12s %9s@." "variant" "evals" "wall (s)" "evals/sec"
+    "speedup";
+  Format.printf "%-12s %8d %10.3f %12.1f %8.2fX@." "serial" serial_tested serial_dt
+    serial_eps 1.0;
+  let rows =
+    List.map
+      (fun jobs ->
+        let tested, dt, eps = campaign ~jobs in
+        Format.printf "%-12s %8d %10.3f %12.1f %8.2fX@."
+          (Printf.sprintf "pool -j %d" jobs)
+          tested dt eps (eps /. serial_eps);
+        (jobs, tested, dt, eps))
+      [ 1; 2; 4 ]
+  in
+  let oc = open_out "BENCH_pool.json" in
+  Printf.fprintf oc "{\n  \"kernel\": \"%s\",\n  \"cores\": %d,\n" k.Kernel.name
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"serial\": { \"evals\": %d, \"seconds\": %.6f, \"evals_per_sec\": %.2f },\n"
+    serial_tested serial_dt serial_eps;
+  Printf.fprintf oc "  \"pool\": [\n";
+  List.iteri
+    (fun i (jobs, tested, dt, eps) ->
+      Printf.fprintf oc
+        "    { \"workers\": %d, \"evals\": %d, \"seconds\": %.6f, \"evals_per_sec\": \
+         %.2f, \"speedup\": %.3f }%s\n"
+        jobs tested dt eps (eps /. serial_eps)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_pool.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -577,6 +636,7 @@ let sections =
     ("cancel", cancel);
     ("strategies", strategies);
     ("packed", packed);
+    ("pool", pool_bench);
     ("micro", microbench);
   ]
 

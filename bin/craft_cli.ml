@@ -178,11 +178,40 @@ let inject_arg =
            $(b,seed=7,rate=0.2,modes=trap+hang+bitflip,transient) — a demo that the \
            harness contains every failure mode.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Per-evaluation wall-clock deadline, enforced by the worker-pool supervisor on \
+           top of the VM step budget. A late evaluation is first cancelled cooperatively \
+           (classified as a timeout); a worker that stays hung is abandoned and replaced.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Atomically snapshot the live BFS state (work queue, passing set, counters) to \
+           $(docv) at every wave boundary. With $(b,--resume), restore from it and \
+           restart mid-level instead of replaying the whole journal.")
+
+let quarantine_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "quarantine-after" ] ~docv:"N"
+        ~doc:
+          "Quarantine a configuration with a crash verdict after it has killed $(docv) \
+           evaluation workers, instead of retrying it forever (default 2).")
+
 let search_cmd =
-  let run name cls workers out strategy journal_path resume retries eval_steps inject =
+  let run name cls workers out strategy journal_path resume retries eval_steps inject
+      deadline checkpoint_path quarantine_after =
     with_kernel name cls (fun k ->
-        if resume && journal_path = None then begin
-          prerr_endline "craft: --resume requires --journal FILE";
+        if resume && journal_path = None && checkpoint_path = None then begin
+          prerr_endline "craft: --resume requires --journal FILE or --checkpoint FILE";
           exit 1
         end;
         let faults =
@@ -204,10 +233,39 @@ let search_cmd =
         let target =
           match journal with Some j -> Journal.wrap_target j ~harness target | None -> target
         in
+        (* The supervised pool is staffed whenever parallelism or a deadline
+           asks for it; the CLI owns it (Bfs/Strategies only borrow it). *)
+        let pool =
+          if workers > 1 || deadline <> None then
+            Some
+              (Pool.create
+                 ~options:
+                   {
+                     Pool.default_options with
+                     workers = max 1 workers;
+                     deadline;
+                     quarantine_after;
+                   }
+                 ~log:(fun s -> prerr_endline ("craft: pool: " ^ s))
+                 ())
+          else None
+        in
+        let checkpoint =
+          Option.map
+            (fun path ->
+              Bfs.checkpoint ~resume
+                ~save_counters:(fun () -> Harness.counters_list harness)
+                ~restore_counters:(Harness.restore_counters harness) path)
+            checkpoint_path
+        in
+        let snapshots = ref 0 in
         (match strategy with
         | "bfs" -> (
-            let options = { Bfs.default_options with workers; base = k.Kernel.hints } in
+            let options =
+              { Bfs.default_options with workers; base = k.Kernel.hints; pool; checkpoint }
+            in
             let rec_ = Analysis.recommend_target ~options target ~setup:k.Kernel.setup in
+            snapshots := rec_.Analysis.result.Bfs.snapshots;
             Format.printf "%a@." Analysis.pp_summary rec_;
             match out with
             | Some path ->
@@ -220,7 +278,7 @@ let search_cmd =
             let f =
               if String.equal s "ddmax" then Strategies.delta_debug else Strategies.greedy_grow
             in
-            let r = f ~base:k.Kernel.hints target in
+            let r = f ?pool ~base:k.Kernel.hints target in
             Format.printf
               "strategy %s: tested %d configurations, replaced %d of %d candidates (%s)@." s
               r.Strategies.tested r.Strategies.static_replaced r.Strategies.candidates
@@ -236,6 +294,14 @@ let search_cmd =
             prerr_endline ("craft: unknown strategy " ^ s);
             exit 1);
         Format.printf "%s@." (Harness.report harness);
+        (match pool with
+        | Some p ->
+            Format.printf "supervisor: %s@." (Pool.report p);
+            Pool.shutdown p
+        | None -> ());
+        (match checkpoint_path with
+        | Some path -> Format.printf "checkpoint %s: %d snapshot(s) written@." path !snapshots
+        | None -> ());
         (match faults with
         | Some inj -> Format.printf "injected faults fired: %d@." (Faults.injected inj)
         | None -> ());
@@ -252,7 +318,8 @@ let search_cmd =
        ~doc:"Run the automatic mixed-precision search and print the recommendation")
     Term.(
       const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
-      $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg)
+      $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg $ deadline_arg
+      $ checkpoint_arg $ quarantine_arg)
 
 let cancel_cmd =
   let run name cls =

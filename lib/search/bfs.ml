@@ -1,3 +1,5 @@
+exception Aborted
+
 module Target = struct
   type t = {
     program : Ir.program;
@@ -37,6 +39,18 @@ end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level
 
+type checkpoint_opts = {
+  path : string;
+  every : int;
+  resume : bool;
+  save_counters : unit -> (string * int) list;
+  restore_counters : (string * int) list -> unit;
+}
+
+let checkpoint ?(every = 1) ?(resume = false) ?(save_counters = fun () -> [])
+    ?(restore_counters = ignore) path =
+  { path; every = max 1 every; resume; save_counters; restore_counters }
+
 type options = {
   stop_at : granularity;
   binary_split : bool;
@@ -45,6 +59,8 @@ type options = {
   workers : int;
   second_phase : bool;
   base : Config.t;
+  pool : Pool.t option;
+  checkpoint : checkpoint_opts option;
 }
 
 let default_options =
@@ -56,6 +72,8 @@ let default_options =
     workers = 1;
     second_phase = false;
     base = Config.empty;
+    pool = None;
+    checkpoint = None;
   }
 
 type result = {
@@ -68,6 +86,8 @@ type result = {
   dynamic_pct : float;
   passing_nodes : Static.node list;
   log : string list;
+  supervisor : Pool.stats option;
+  snapshots : int;
 }
 
 let rank = function Module_level -> 0 | Func_level -> 1 | Block_level -> 2 | Insn_level -> 3
@@ -150,35 +170,136 @@ let search ?(options = default_options) (target : Target.t) =
   in
   let cfg_of_item it = List.fold_left (fun acc n -> force_single ~base acc n) base it.nodes in
   let tested = ref 0 in
+  let passing = ref [] in
+  let snapshots = ref 0 in
   (* An evaluation must never abort the campaign: any exception escaping
-     [target.eval] (a crashing verify routine, an unclassified injected
-     fault, ...) is this one configuration's failure, not the search's. *)
-  let contained_eval cfg = try target.eval cfg with _ -> false in
+     [target.eval] (a crashing verify routine, OOM, a stack overflow, ...)
+     is this one configuration's classified failure, not the search's.
+     Only the deliberate [Aborted] control exception passes through — it
+     IS the campaign dying (kill simulation / operator interrupt). *)
+  let eval_verdict cfg =
+    match target.eval cfg with
+    | true -> Verdict.Pass
+    | false -> Verdict.Fail_verify
+    | exception Aborted -> raise Aborted
+    | exception e -> Verdict.classify_exn e
+  in
+  let contained_eval cfg = eval_verdict cfg = Verdict.Pass in
+  (* The worker pool supervises parallel waves. A caller-supplied pool is
+     reused (and left running); otherwise a transient one is staffed for
+     this campaign when [workers > 1] asks for parallelism. *)
+  let transient_pool =
+    match (options.pool, options.workers) with
+    | Some _, _ | None, 1 -> None
+    | None, w when w <= 1 -> None
+    | None, w ->
+        Some
+          (Pool.create
+             ~options:{ Pool.default_options with workers = w }
+             ())
+  in
+  let pool = match options.pool with Some p -> Some p | None -> transient_pool in
+  let drain_pool () =
+    match pool with
+    | None -> ()
+    | Some p -> List.iter (fun e -> say "POOL %s" e) (Pool.drain_events p)
+  in
   let eval_items items =
     tested := !tested + List.length items;
-    match items with
-    | [ it ] -> [ (it, contained_eval (cfg_of_item it)) ]
-    | _ when options.workers <= 1 ->
-        List.map (fun it -> (it, contained_eval (cfg_of_item it))) items
-    | _ ->
-        let doms =
+    match (items, pool) with
+    | [ it ], None -> [ (it, eval_verdict (cfg_of_item it)) ]
+    | _, None -> List.map (fun it -> (it, eval_verdict (cfg_of_item it))) items
+    | _, Some p ->
+        let thunks =
           List.map
             (fun it ->
               let cfg = cfg_of_item it in
-              (it, Domain.spawn (fun () -> target.eval cfg)))
+              fun () -> eval_verdict cfg)
             items
         in
-        (* join defensively: a domain that died re-raises here, and one
-           item's failure must not kill the whole wave *)
-        List.map
-          (fun (it, d) -> (it, try Domain.join d with _ -> false))
-          doms
+        List.combine items (Pool.run p thunks)
   in
-  let passing = ref [] in
-  (* Seed the queue with one configuration per module. *)
-  List.iter
-    (fun node -> if live_insns node <> [] then push (mk [ node ]))
-    (Static.tree target.program);
+  (* ----------------------------------------------------------- checkpoint *)
+  let save_snapshot () =
+    match options.checkpoint with
+    | None -> ()
+    | Some ck ->
+        let entry it =
+          {
+            Checkpoint.seq = it.seq;
+            weight = it.weight;
+            nodes = List.map Checkpoint.node_id it.nodes;
+          }
+        in
+        Checkpoint.save ~path:ck.path
+          {
+            Checkpoint.key = Checkpoint.program_key target.program;
+            tested = !tested;
+            next_seq = !seq;
+            queue = List.map entry !queue;
+            passing = List.map Checkpoint.node_id (List.rev !passing);
+            counters = ck.save_counters ();
+            log = List.rev !log;
+          };
+        incr snapshots
+  in
+  let restored =
+    match options.checkpoint with
+    | Some ck when ck.resume -> (
+        match Checkpoint.load ~path:ck.path with
+        | Error msg ->
+            say "CHECKPOINT not resumed: %s" msg;
+            false
+        | Ok snap when snap.Checkpoint.key <> Checkpoint.program_key target.program ->
+            say "CHECKPOINT not resumed: written by a different program (key %s)"
+              snap.Checkpoint.key;
+            false
+        | Ok snap -> (
+            let resolve_all ids =
+              List.fold_left
+                (fun acc id ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok nodes -> (
+                      match Checkpoint.resolve target.program id with
+                      | Ok n -> Ok (n :: nodes)
+                      | Error _ as e -> e))
+                (Ok []) ids
+              |> Result.map List.rev
+            in
+            let entries =
+              List.fold_left
+                (fun acc (e : Checkpoint.entry) ->
+                  match acc with
+                  | Error _ as err -> err
+                  | Ok items -> (
+                      match resolve_all e.Checkpoint.nodes with
+                      | Ok nodes ->
+                          Ok ({ nodes; weight = e.weight; seq = e.seq } :: items)
+                      | Error _ as err -> err))
+                (Ok []) snap.Checkpoint.queue
+            in
+            match (entries, resolve_all snap.Checkpoint.passing) with
+            | Error msg, _ | _, Error msg ->
+                say "CHECKPOINT not resumed: %s" msg;
+                false
+            | Ok items, Ok passed ->
+                log := List.rev snap.Checkpoint.log;
+                queue := items;
+                passing := List.rev passed;
+                tested := snap.Checkpoint.tested;
+                seq := snap.Checkpoint.next_seq;
+                ck.restore_counters snap.Checkpoint.counters;
+                say "RESUME from checkpoint: %d tested, %d queued, %d passing"
+                  snap.Checkpoint.tested (List.length items) (List.length passed);
+                true))
+    | _ -> false
+  in
+  if not restored then
+    (* Seed the queue with one configuration per module. *)
+    List.iter
+      (fun node -> if live_insns node <> [] then push (mk [ node ]))
+      (Static.tree target.program);
   let halves xs =
     let n = List.length xs in
     let rec split k = function
@@ -213,75 +334,98 @@ let search ?(options = default_options) (target : Target.t) =
         end
         else List.iter (fun n -> push (mk [ n ])) nodes
   in
-  while !queue <> [] do
-    let batch = pop_batch (max 1 options.workers) in
-    let results = eval_items batch in
-    List.iter
-      (fun (it, pass) ->
-        let names = String.concat " + " (List.map Static.node_name it.nodes) in
-        if pass then begin
-          say "PASS %s (weight %d)" names it.weight;
-          passing := it.nodes @ !passing
-        end
-        else begin
-          say "FAIL %s (weight %d)" names it.weight;
-          descend it
-        end)
-      results
-  done;
-  let passing_nodes = List.rev !passing in
-  let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
-  incr tested;
-  let final_pass = contained_eval final in
-  say "FINAL union of %d passing structures: %s" (List.length passing_nodes)
-    (if final_pass then "pass" else "fail");
-  let final, final_pass =
-    if final_pass || not options.second_phase then (final, final_pass)
-    else begin
-      (* Greedy composition: add individually-passing structures heaviest
-         first, keeping only those that compose into a passing whole. *)
-      let units =
-        List.sort
-          (fun a b -> compare (weight_of [ b ]) (weight_of [ a ]))
-          passing_nodes
-      in
-      let acc = ref base in
+  let finish () =
+    let passing_nodes = List.rev !passing in
+    let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
+    incr tested;
+    let final_pass = contained_eval final in
+    say "FINAL union of %d passing structures: %s" (List.length passing_nodes)
+      (if final_pass then "pass" else "fail");
+    let final, final_pass =
+      if final_pass || not options.second_phase then (final, final_pass)
+      else begin
+        (* Greedy composition: add individually-passing structures heaviest
+           first, keeping only those that compose into a passing whole. *)
+        let units =
+          List.sort
+            (fun a b -> compare (weight_of [ b ]) (weight_of [ a ]))
+            passing_nodes
+        in
+        let acc = ref base in
+        List.iter
+          (fun node ->
+            let trial = force_single ~base !acc node in
+            incr tested;
+            if contained_eval trial then begin
+              acc := trial;
+              say "COMPOSE keep %s" (Static.node_name node)
+            end
+            else say "COMPOSE drop %s" (Static.node_name node))
+          units;
+        (!acc, true)
+      end
+    in
+    let static_replaced =
+      List.length
+        (List.filter (fun info -> Config.effective final info = Config.Single) universe)
+    in
+    (* the dynamic denominator counts every FP candidate execution, including
+       Ignore-flagged instructions: ignored work is floating-point work that
+       was not replaced *)
+    let dyn_num, dyn_den =
+      Array.fold_left
+        (fun (num, den) (info : Static.insn_info) ->
+          let c = counts.(info.addr) in
+          ( (if Config.effective final info = Config.Single then num + c else num),
+            den + c ))
+        (0, 0)
+        (Static.candidates target.program)
+    in
+    drain_pool ();
+    {
+      final;
+      final_pass;
+      candidates = n_candidates;
+      tested = !tested;
+      static_replaced;
+      static_pct = Stats.percent (float_of_int static_replaced) (float_of_int n_candidates);
+      dynamic_pct = Stats.percent (float_of_int dyn_num) (float_of_int dyn_den);
+      passing_nodes;
+      log = List.rev !log;
+      supervisor = Option.map Pool.stats pool;
+      snapshots = !snapshots;
+    }
+  in
+  let run () =
+    let wave = ref 0 in
+    while !queue <> [] do
+      let batch = pop_batch (max 1 options.workers) in
+      let results = eval_items batch in
       List.iter
-        (fun node ->
-          let trial = force_single ~base !acc node in
-          incr tested;
-          if contained_eval trial then begin
-            acc := trial;
-            say "COMPOSE keep %s" (Static.node_name node)
-          end
-          else say "COMPOSE drop %s" (Static.node_name node))
-        units;
-      (!acc, true)
-    end
+        (fun (it, verdict) ->
+          let names = String.concat " + " (List.map Static.node_name it.nodes) in
+          match verdict with
+          | Verdict.Pass ->
+              say "PASS %s (weight %d)" names it.weight;
+              passing := it.nodes @ !passing
+          | v ->
+              say "%s %s (weight %d)"
+                (String.uppercase_ascii (Verdict.verdict_label v))
+                names it.weight;
+              descend it)
+        results;
+      drain_pool ();
+      incr wave;
+      (* snapshots happen only at wave boundaries: results of the whole wave
+         are folded in and the descent is queued, so the saved queue +
+         passing set are exactly the campaign's resumable state *)
+      (match options.checkpoint with
+      | Some ck when !wave mod ck.every = 0 -> save_snapshot ()
+      | _ -> ())
+    done;
+    save_snapshot ();
+    finish ()
   in
-  let static_replaced =
-    List.length (List.filter (fun info -> Config.effective final info = Config.Single) universe)
-  in
-  (* the dynamic denominator counts every FP candidate execution, including
-     Ignore-flagged instructions: ignored work is floating-point work that
-     was not replaced *)
-  let dyn_num, dyn_den =
-    Array.fold_left
-      (fun (num, den) (info : Static.insn_info) ->
-        let c = counts.(info.addr) in
-        ( (if Config.effective final info = Config.Single then num + c else num),
-          den + c ))
-      (0, 0)
-      (Static.candidates target.program)
-  in
-  {
-    final;
-    final_pass;
-    candidates = n_candidates;
-    tested = !tested;
-    static_replaced;
-    static_pct = Stats.percent (float_of_int static_replaced) (float_of_int n_candidates);
-    dynamic_pct = Stats.percent (float_of_int dyn_num) (float_of_int dyn_den);
-    passing_nodes;
-    log = List.rev !log;
-  }
+  match transient_pool with
+  | None -> run ()
+  | Some p -> Fun.protect ~finally:(fun () -> Pool.shutdown p) run

@@ -15,12 +15,25 @@
       work item by the dynamic execution count of the instructions it
       covers, and the work queue is processed heaviest-first.
 
-    Configuration evaluations are independent full program runs; with
-    [workers > 1] they are dispatched to OCaml domains in deterministic
-    waves. Waves are joined defensively: an exception escaping one item's
-    evaluation (on a domain or inline) is contained and counted as that
-    item's failure — a single broken evaluation can no longer abort the
-    campaign. *)
+    Configuration evaluations are independent full program runs. With
+    [workers > 1] they are dispatched in deterministic waves to a
+    supervised {!Pool} of long-lived worker domains — either one the
+    caller supplies (shared with {!Strategies}, carrying a wall-clock
+    deadline) or a transient one staffed for this campaign. Every
+    evaluation is classified through {!Verdict.classify}: a trap, step
+    blowout, out-of-memory or stack overflow is that one item's TRAP /
+    TIMEOUT / CRASH verdict in the log, never the campaign's death.
+
+    With [checkpoint] set, the live search state (work queue, passing
+    set, test counter, caller counters, narration log) is atomically
+    snapshotted at wave boundaries; a later run with [resume] restarts
+    mid-level from the snapshot instead of replaying the whole campaign
+    through the {!Journal}. *)
+
+exception Aborted
+(** The one exception evaluation containment re-raises: raising it from an
+    evaluator simulates the campaign being killed (tests, operator
+    interrupt). Everything else is classified per-item. *)
 
 module Target : sig
   type t = {
@@ -57,6 +70,27 @@ end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level
 
+type checkpoint_opts = {
+  path : string;  (** snapshot file ([path ^ ".tmp"] is the scratch name) *)
+  every : int;  (** snapshot every [every] waves (clamped to ≥ 1) *)
+  resume : bool;  (** restore from [path] before searching, if valid *)
+  save_counters : unit -> (string * int) list;
+      (** caller state persisted with each snapshot (e.g.
+          {!Harness.counters_list}) *)
+  restore_counters : (string * int) list -> unit;
+      (** inverse hook on resume (e.g. {!Harness.restore_counters}) *)
+}
+
+val checkpoint :
+  ?every:int ->
+  ?resume:bool ->
+  ?save_counters:(unit -> (string * int) list) ->
+  ?restore_counters:((string * int) list -> unit) ->
+  string ->
+  checkpoint_opts
+(** [checkpoint path] with defaults: snapshot every wave, no resume, no
+    caller counters. *)
+
 type options = {
   stop_at : granularity;  (** coarsest terminal level of the descent *)
   binary_split : bool;
@@ -70,11 +104,17 @@ type options = {
   base : Config.t;
       (** pre-seeded flags (e.g. [Ignore] hints on RNG routines); ignored
           instructions are excluded from the candidate universe *)
+  pool : Pool.t option;
+      (** evaluate waves on this supervised worker pool (caller keeps
+          ownership — the search never shuts it down). [None] with
+          [workers > 1] staffs a transient deadline-less pool for the
+          campaign. *)
+  checkpoint : checkpoint_opts option;
 }
 
 val default_options : options
 (** Instruction-level descent, both optimizations on, threshold 4, 1
-    worker, no second phase, empty base. *)
+    worker, no second phase, empty base, no pool, no checkpoint. *)
 
 type result = {
   final : Config.t;  (** union of every individually-passing replacement *)
@@ -88,9 +128,13 @@ type result = {
           executions, including [Ignore]-flagged instructions *)
   passing_nodes : Static.node list;  (** structures that passed as a whole *)
   log : string list;  (** chronological search narration *)
+  supervisor : Pool.stats option;
+      (** pool supervision tallies, when a pool evaluated the waves *)
+  snapshots : int;  (** checkpoints written during the campaign *)
 }
 
 val search : ?options:options -> Target.t -> result
+(** Raises only {!Aborted} (and only if an evaluator raises it). *)
 
 val force_single : base:Config.t -> Config.t -> Static.node -> Config.t
 (** [force_single ~base cfg node] marks [node] single in [cfg] — at the

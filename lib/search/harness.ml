@@ -1,110 +1,20 @@
-type verdict =
+(* The verdict taxonomy, its serialization and the total classifier now
+   live in {!Verdict}, below {!Pool} and {!Bfs}; re-export them here with
+   type equations so existing [Harness.Pass] etc. keep working. *)
+
+type verdict = Verdict.verdict =
   | Pass
   | Fail_verify
   | Trapped of int * string
   | Step_timeout
   | Crashed of string
 
-let verdict_label = function
-  | Pass -> "pass"
-  | Fail_verify -> "fail"
-  | Trapped _ -> "trap"
-  | Step_timeout -> "timeout"
-  | Crashed _ -> "crash"
-
-(* percent-escape the characters the journal format reserves *)
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '%' | '|' | ':' | '\t' | '\n' | '\r' ->
-          Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let unescape s =
-  let buf = Buffer.create (String.length s) in
-  let n = String.length s in
-  let hex c =
-    match c with
-    | '0' .. '9' -> Some (Char.code c - Char.code '0')
-    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
-    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
-    | _ -> None
-  in
-  let rec go i =
-    if i >= n then Some (Buffer.contents buf)
-    else if s.[i] = '%' then
-      if i + 2 >= n then None
-      else
-        match (hex s.[i + 1], hex s.[i + 2]) with
-        | Some h, Some l ->
-            Buffer.add_char buf (Char.chr ((h * 16) + l));
-            go (i + 3)
-        | _ -> None
-    else begin
-      Buffer.add_char buf s.[i];
-      go (i + 1)
-    end
-  in
-  go 0
-
-let verdict_to_string = function
-  | Pass -> "pass"
-  | Fail_verify -> "fail"
-  | Trapped (addr, reason) -> Printf.sprintf "trap:0x%06x:%s" addr (escape reason)
-  | Step_timeout -> "timeout"
-  | Crashed msg -> "crash:" ^ escape msg
-
-let verdict_of_string s =
-  let payload_after prefix =
-    let p = String.length prefix in
-    if String.length s >= p && String.sub s 0 p = prefix then
-      Some (String.sub s p (String.length s - p))
-    else None
-  in
-  match s with
-  | "pass" -> Some Pass
-  | "fail" -> Some Fail_verify
-  | "timeout" -> Some Step_timeout
-  | _ -> (
-      match payload_after "trap:" with
-      | Some rest -> (
-          match String.index_opt rest ':' with
-          | None -> None
-          | Some i -> (
-              let addr = String.sub rest 0 i in
-              let reason = String.sub rest (i + 1) (String.length rest - i - 1) in
-              match (int_of_string_opt addr, unescape reason) with
-              | Some a, Some r -> Some (Trapped (a, r))
-              | _ -> None))
-      | None -> (
-          match payload_after "crash:" with
-          | Some msg -> Option.map (fun m -> Crashed m) (unescape msg)
-          | None -> None))
-
-let pp_verdict ppf = function
-  | Pass -> Format.pp_print_string ppf "pass"
-  | Fail_verify -> Format.pp_print_string ppf "fail-verify"
-  | Trapped (addr, reason) -> Format.fprintf ppf "trapped@0x%06x (%s)" addr reason
-  | Step_timeout -> Format.pp_print_string ppf "step-timeout"
-  | Crashed msg -> Format.fprintf ppf "crashed (%s)" msg
-
-let is_flaky = function
-  | Trapped _ | Step_timeout | Crashed _ -> true
-  | Pass | Fail_verify -> false
-
-let classify f =
-  match f () with
-  | true -> Pass
-  | false -> Fail_verify
-  | exception Vm.Trap (addr, reason) -> Trapped (addr, reason)
-  | exception Vm.Limit _ -> Step_timeout
-  | exception Stack_overflow -> Crashed "stack overflow"
-  | exception Out_of_memory -> Crashed "out of memory"
-  | exception e -> Crashed (Printexc.to_string e)
+let verdict_label = Verdict.verdict_label
+let verdict_to_string = Verdict.verdict_to_string
+let verdict_of_string = Verdict.verdict_of_string
+let pp_verdict = Verdict.pp_verdict
+let is_flaky = Verdict.is_flaky
+let classify = Verdict.classify
 
 type counters = {
   mutable evaluations : int;
@@ -150,6 +60,37 @@ let make ?(retries = 0) ?(backoff = 1) ?(retry_fail_verify = false) raw =
 
 let counters t = t.c
 
+let counters_list t =
+  Mutex.protect t.lock (fun () ->
+      [
+        ("evaluations", t.c.evaluations);
+        ("attempts", t.c.attempts);
+        ("pass", t.c.pass);
+        ("fail_verify", t.c.fail_verify);
+        ("trapped", t.c.trapped);
+        ("timed_out", t.c.timed_out);
+        ("crashed", t.c.crashed);
+        ("retried", t.c.retried);
+        ("backoff_units", t.c.backoff_units);
+      ])
+
+let restore_counters t kvs =
+  Mutex.protect t.lock (fun () ->
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | "evaluations" -> t.c.evaluations <- v
+          | "attempts" -> t.c.attempts <- v
+          | "pass" -> t.c.pass <- v
+          | "fail_verify" -> t.c.fail_verify <- v
+          | "trapped" -> t.c.trapped <- v
+          | "timed_out" -> t.c.timed_out <- v
+          | "crashed" -> t.c.crashed <- v
+          | "retried" -> t.c.retried <- v
+          | "backoff_units" -> t.c.backoff_units <- v
+          | _ -> ())
+        kvs)
+
 let tally t v =
   Mutex.protect t.lock (fun () ->
       t.c.attempts <- t.c.attempts + 1;
@@ -165,6 +106,17 @@ let wants_retry t = function
   | Fail_verify -> t.retry_fail_verify
   | Pass -> false
 
+(* Ceiling on a single modeled backoff delay: 2^20 units. Exponential
+   backoff doubles per attempt, and [1 lsl attempt] overflows to garbage
+   (or 0) past attempt 62 — a harness configured with a large retry budget
+   must saturate, not wrap. *)
+let max_backoff_unit = 1 lsl 20
+
+let backoff_delay ~base attempt =
+  if base = 0 then 0
+  else if attempt >= 20 || base >= max_backoff_unit then max_backoff_unit
+  else min max_backoff_unit (base lsl attempt)
+
 let eval t cfg =
   Mutex.protect t.lock (fun () -> t.c.evaluations <- t.c.evaluations + 1);
   let attempt_once () =
@@ -176,10 +128,11 @@ let eval t cfg =
     if (not (wants_retry t v)) || attempt >= t.retries then v
     else begin
       (* deterministic exponential backoff, in modeled delay units — the VM
-         world has no wall clock, so the delay is accounted, not slept *)
+         world has no wall clock, so the delay is accounted, not slept;
+         each delay saturates at [max_backoff_unit] *)
       Mutex.protect t.lock (fun () ->
           t.c.retried <- t.c.retried + 1;
-          t.c.backoff_units <- t.c.backoff_units + (t.backoff * (1 lsl attempt)));
+          t.c.backoff_units <- t.c.backoff_units + backoff_delay ~base:t.backoff attempt);
       go (attempt + 1) (attempt_once ())
     end
   in

@@ -13,18 +13,24 @@
       into permanent search decisions;
     - per-verdict counters for the end-of-campaign breakdown report.
 
+    The verdict taxonomy itself lives in {!Verdict} (so {!Pool} and
+    {!Bfs} can classify without a dependency cycle); this module
+    re-exports it unchanged.
+
     Verdict equality of retried evaluations is deterministic because the
     VM itself is; flakiness only enters through {!Faults} injection or a
     genuinely non-deterministic user evaluator. *)
 
-type verdict =
+type verdict = Verdict.verdict =
   | Pass  (** ran to completion and verified *)
   | Fail_verify  (** ran to completion, verification rejected the output *)
   | Trapped of int * string
       (** the VM trapped: instrumentation-invariant violation,
           out-of-bounds access, division by zero, injected trap ...
           [(address, reason)] *)
-  | Step_timeout  (** the per-evaluation step budget ran out (a "hang") *)
+  | Step_timeout
+      (** the per-evaluation step budget ran out, or the supervisor's
+          wall-clock deadline cancelled the run *)
   | Crashed of string  (** any other exception from the evaluator *)
 
 val verdict_label : verdict -> string
@@ -47,8 +53,9 @@ val is_flaky : verdict -> bool
 
 val classify : (unit -> bool) -> verdict
 (** Run one evaluation thunk and classify its outcome. Total: maps
-    {!Vm.Trap}/{!Vm.Limit} to their verdicts and every other exception
-    (including [Stack_overflow] and [Out_of_memory]) to {!Crashed}. *)
+    {!Vm.Trap}/{!Vm.Limit}/{!Vm.Deadline} to their verdicts and every
+    other exception (including [Stack_overflow] and [Out_of_memory]) to
+    {!Crashed}. *)
 
 type counters = {
   mutable evaluations : int;  (** calls to {!eval} *)
@@ -77,9 +84,15 @@ val make :
     extra attempts granted to a flaky verdict; attempt [k]'s modeled
     backoff delay is [backoff * 2^(k-1)] units (default base 1, recorded
     in the counters — the VM world has no wall clock to actually sleep
-    on). [retry_fail_verify] (default false) extends retrying to
-    {!Fail_verify}, for campaigns where injected silent corruption can
-    forge verification failures. *)
+    on), saturating at {!max_backoff_unit} per delay so large retry
+    budgets can't overflow the accounting. [retry_fail_verify] (default
+    false) extends retrying to {!Fail_verify}, for campaigns where
+    injected silent corruption can forge verification failures. *)
+
+val max_backoff_unit : int
+(** Ceiling on one modeled backoff delay ([2^20] units). Exponential
+    backoff saturates here instead of overflowing [1 lsl attempt] on
+    large retry counts. *)
 
 val eval : t -> Config.t -> verdict
 (** Total classified evaluation with retries. Never raises. *)
@@ -89,6 +102,15 @@ val eval_bool : t -> Config.t -> bool
     else [false]. *)
 
 val counters : t -> counters
+
+val counters_list : t -> (string * int) list
+(** Snapshot of the counters as an association list — the form
+    {!Checkpoint} persists and {!restore_counters} accepts. *)
+
+val restore_counters : t -> (string * int) list -> unit
+(** Overwrite the named counters from a {!counters_list} snapshot
+    (unknown names are ignored), so a resumed campaign's end-of-run
+    report continues from where the killed one stopped. *)
 
 val report : t -> string
 (** One-line verdict breakdown, e.g.

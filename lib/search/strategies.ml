@@ -8,9 +8,15 @@ type result = {
 
 (* Strategy searches are campaigns too: one evaluation blowing up (crashing
    verify routine, unclassified injected fault) is that configuration's
-   failure, never the search's. *)
-let contained_eval (target : Bfs.Target.t) cfg =
-  try target.Bfs.Target.eval cfg with _ -> false
+   failure, never the search's. With a pool, the (sequential) evaluations
+   additionally run under its supervision — wall-clock deadline, hung-worker
+   abandonment, quarantine — via [Pool.run_one]. *)
+let contained_eval ?pool (target : Bfs.Target.t) cfg =
+  let thunk () = Verdict.classify (fun () -> target.Bfs.Target.eval cfg) in
+  let verdict =
+    match pool with None -> thunk () | Some p -> Pool.run_one p thunk
+  in
+  verdict = Verdict.Pass
 
 let universe base (target : Bfs.Target.t) =
   Array.to_list (Static.candidates target.Bfs.Target.program)
@@ -30,13 +36,14 @@ let mk_result base ~tested ~pass active n_candidates =
     candidates = n_candidates;
   }
 
-let delta_debug ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.t) =
+let delta_debug ?pool ?(base = Config.empty) ?(max_tests = 2000)
+    (target : Bfs.Target.t) =
   let all = universe base target in
   let n_candidates = List.length all in
   let tested = ref 0 in
   let eval insns =
     incr tested;
-    contained_eval target (config_of base insns)
+    contained_eval ?pool target (config_of base insns)
   in
   let chunks g xs =
     let n = List.length xs in
@@ -108,7 +115,8 @@ let delta_debug ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.
     mk_result base ~tested:!tested ~pass:true !active n_candidates
   end
 
-let greedy_grow ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.t) =
+let greedy_grow ?pool ?(base = Config.empty) ?(max_tests = 2000)
+    (target : Bfs.Target.t) =
   let all = universe base target in
   let n_candidates = List.length all in
   let counts = target.Bfs.Target.profile () in
@@ -125,7 +133,7 @@ let greedy_grow ?(base = Config.empty) ?(max_tests = 2000) (target : Bfs.Target.
       if !tested < max_tests then begin
         incr tested;
         let trial = info :: !active in
-        if contained_eval target (config_of base trial) then active := trial
+        if contained_eval ?pool target (config_of base trial) then active := trial
       end)
     ordered;
   mk_result base ~tested:!tested ~pass:true !active n_candidates

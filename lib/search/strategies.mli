@@ -14,7 +14,11 @@
     [target.eval] counts as that configuration failing, never as the
     search aborting. Wrap the target with {!Harness.wrap_target} (and
     {!Journal.wrap_target}) for classified verdicts, retries and
-    checkpoint/resume. *)
+    checkpoint/resume. Pass [?pool] to additionally put every evaluation
+    under {!Pool} supervision (wall-clock deadline, hung-evaluation
+    abandonment) — the strategies stay sequential, but a hung or dying
+    evaluation can no longer freeze them. The caller keeps pool
+    ownership. *)
 
 type result = {
   final : Config.t;
@@ -24,11 +28,13 @@ type result = {
   candidates : int;
 }
 
-val delta_debug : ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+val delta_debug :
+  ?pool:Pool.t -> ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
 (** [max_tests] (default 2000) bounds the budget; the best passing
     configuration found so far is returned when it is exhausted. *)
 
-val greedy_grow : ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+val greedy_grow :
+  ?pool:Pool.t -> ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
 (** A simple hill-climbing baseline: instructions are considered one at a
     time in descending profile weight; each is kept single if the
     configuration so far still passes. Always returns a passing

@@ -1,5 +1,6 @@
 exception Trap of int * string
 exception Limit of int
+exception Deadline of float
 
 type smode = Flagged | Plain
 
@@ -16,6 +17,22 @@ type t = {
   mutable ran : bool;
   mutable hook : (t -> int -> unit) option;
 }
+
+(* Domain-local watchdog: a supervisor (Search.Pool's monitor) installs a
+   callback on the worker domain before it evaluates, and every VM created on
+   that domain drives it per executed instruction — the same observation
+   point as [hook], but ambient, because the supervised VM is created deep
+   inside the evaluation closure where the supervisor cannot reach. The
+   callback doubles as a heartbeat (progress evidence) and a cancellation
+   point (it may raise, typically {!Deadline}). *)
+let watchdog_key : (t -> int -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_watchdog w f =
+  let cell = Domain.DLS.get watchdog_key in
+  let saved = !cell in
+  cell := Some w;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 let max_addr_of (p : Ir.program) = Static.max_addr p
 
@@ -154,6 +171,9 @@ let run t =
       "Vm.run: this state has already executed (counters and heaps reflect \
        the previous run); create a fresh VM per run";
   t.ran <- true;
+  (* fetched once per run: installation happens before the evaluation starts,
+     and cancellation is signalled through state the callback itself reads *)
+  let watchdog = !(Domain.DLS.get watchdog_key) in
   let prog = t.prog in
   let fheap = t.fheap and iheap = t.iheap in
   let nf = Array.length fheap and ni = Array.length iheap in
@@ -174,6 +194,7 @@ let run t =
     let step ({ addr; op } : Ir.instr) =
       counts.(addr) <- counts.(addr) + 1;
       (match t.hook with Some h -> h t addr | None -> ());
+      (match watchdog with Some w -> w t addr | None -> ());
       match op with
       | Fbin (D, o, d, a, b) -> fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b))
       | Fbin (S, o, d, a, b) ->

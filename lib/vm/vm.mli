@@ -22,6 +22,11 @@ exception Trap of int * string
 exception Limit of int
 (** Raised when the step budget is exhausted (argument: the budget). *)
 
+exception Deadline of float
+(** Raised by a supervisor's {!with_watchdog} callback when an evaluation
+    exceeds its wall-clock deadline (argument: the deadline in seconds).
+    Classified as a timeout by {!Harness.classify}. *)
+
 type smode =
   | Flagged  (** instrumented binaries: [S] ops read/write replaced encodings *)
   | Plain
@@ -56,6 +61,16 @@ val run : t -> unit
     afterwards; [run] can be called once per state — a second call raises
     [Invalid_argument] instead of silently accumulating counts into the
     previous run's state. *)
+
+val with_watchdog : (t -> int -> unit) -> (unit -> 'a) -> 'a
+(** [with_watchdog w f] runs [f] with [w] installed as the calling domain's
+    watchdog: every VM executing on this domain during [f] calls
+    [w vm addr] once per instruction, at the same observation point as
+    [hook] but without needing access to the VM value (supervised VMs are
+    created deep inside evaluation closures). The watchdog is the
+    supervision channel of {!Pool}: it publishes heartbeats and raises
+    {!Deadline} when the monitor flags the task as over-deadline. Nests and
+    restores the previous watchdog on exit (even by exception). *)
 
 val get_f : t -> int -> float
 (** Raw pattern at a float-heap slot (may be a replaced encoding). *)

@@ -370,14 +370,96 @@ let test_journal_resume_skips_everything () =
         (Config.digest prog second.Bfs.final);
       Journal.close j2)
 
+(* ------------------------------------------------- backoff clamp *)
+
+let test_backoff_clamped_at_ceiling () =
+  (* a large retry budget with a huge base must saturate each modeled delay
+     at the documented ceiling instead of overflowing [1 lsl attempt] *)
+  let h = Harness.make ~retries:80 ~backoff:max_int (fun _ -> raise (Vm.Limit 1)) in
+  Alcotest.check verdict_t "still timeout" Harness.Step_timeout
+    (Harness.eval h Config.empty);
+  let c = Harness.counters h in
+  checki "all retries performed" 80 c.Harness.retried;
+  checkb "accumulator did not wrap negative" true (c.Harness.backoff_units > 0);
+  checki "every delay saturates at the ceiling" (80 * Harness.max_backoff_unit)
+    c.Harness.backoff_units;
+  (* small bases below the ceiling still follow the exponential curve *)
+  let h' = Harness.make ~retries:3 ~backoff:2 (fun _ -> raise (Vm.Limit 1)) in
+  ignore (Harness.eval h' Config.empty);
+  checki "unclamped region unchanged" 14 (Harness.counters h').Harness.backoff_units
+
+(* ------------------------------------------------- serialization fuzz *)
+
+let test_verdict_roundtrip_fuzz =
+  let payload =
+    QCheck2.Gen.(
+      string_size
+        ~gen:
+          (oneofl
+             [ '%'; ':'; ' '; '|'; '\t'; '\n'; '\r'; 'a'; 'Z'; '0'; '('; '"'; '\\' ])
+        (int_bound 30))
+  in
+  let gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          return Harness.Pass;
+          return Harness.Fail_verify;
+          return Harness.Step_timeout;
+          map (fun (a, s) -> Harness.Trapped (abs a, s)) (pair small_nat payload);
+          map (fun s -> Harness.Crashed s) payload;
+        ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"verdict roundtrip survives hostile payloads" gen
+       (fun v ->
+         let s = Harness.verdict_to_string v in
+         (* single journal-field token: no reserved separator leaks through *)
+         (not (String.exists (fun c -> c = ' ' || c = '|' || c = '\n' || c = '\t') s))
+         && Harness.verdict_of_string s = Some v))
+
+let test_journal_trailing_corruption_fuzz =
+  let gen =
+    QCheck2.Gen.(pair (int_bound 1000) (string_size ~gen:(char_range '\x00' '\x7e') (int_bound 48)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"journal tolerates corrupted trailing records" gen
+       (fun (seed, junk) ->
+         with_temp_journal (fun path ->
+             let prog, _ = synthetic ~n_ops:4 ~poison:[ 1 ] () in
+             let cands = Static.candidates prog in
+             let cfg1 = Config.set_insn Config.empty cands.(0).Static.addr Config.Single in
+             let crash = Harness.Crashed "odd: 100% | x\ty" in
+             let j = Journal.create ~path prog in
+             Journal.record j Config.empty Harness.Pass;
+             Journal.record j cfg1 crash;
+             Journal.close j;
+             (* simulate a crash mid-append: garbage / a truncated half-record
+                after the intact prefix *)
+             let oc = open_out_gen [ Open_append ] 0o644 path in
+             if seed mod 3 = 0 then output_string oc "\n";
+             output_string oc junk;
+             close_out oc;
+             let j2 = Journal.create ~resume:true ~path prog in
+             let ok =
+               Journal.replayed j2 >= 2
+               && Journal.lookup j2 Config.empty = Some Harness.Pass
+               && Journal.lookup j2 cfg1 = Some crash
+             in
+             Journal.close j2;
+             ok)))
+
 let suite =
   [
     ("verdict classification", `Quick, test_classification);
     ("counters tally per attempt", `Quick, test_counters_tally);
     ("retry recovers a transient fault", `Quick, test_retry_recovers_transient);
     ("deterministic exponential backoff", `Quick, test_backoff_deterministic);
+    ("backoff clamps at the ceiling", `Quick, test_backoff_clamped_at_ceiling);
     ("retry_fail_verify is opt-in", `Quick, test_retry_fail_verify_opt_in);
     ("verdict string roundtrip", `Quick, test_verdict_string_roundtrip);
+    test_verdict_roundtrip_fuzz;
+    test_journal_trailing_corruption_fuzz;
     ("fault spec parse roundtrip", `Quick, test_fault_spec_roundtrip);
     ("no injected fault escapes the harness", `Quick, test_no_injected_fault_escapes);
     ("search survives 100% fault rate", `Quick, test_search_survives_total_hostility);

@@ -15,6 +15,8 @@ let () =
       ("cancellation", Test_cancellation.suite);
       ("search", Test_search.suite);
       ("harness", Test_harness.suite);
+      ("pool", Test_pool.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("strategies", Test_strategies.suite);
       ("kernels", Test_kernels.suite);
       ("superlu", Test_superlu.suite);

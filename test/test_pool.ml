@@ -1,0 +1,312 @@
+(* Tests for the supervised evaluation worker pool: ordering, wall-clock
+   deadlines over genuinely non-terminating tasks, worker-death restarts,
+   poison-task quarantine, degradation to serial, and the cooperative
+   VM-watchdog cancellation path. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let verdict_t = Alcotest.testable Verdict.pp_verdict ( = )
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let with_pool ?options ?log f =
+  let p = Pool.create ?options ?log () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* A task that never returns and never touches the VM: the step budget and
+   the cooperative watchdog are both blind to it, so only the wall-clock
+   monitor's abandon-after-grace tier can resolve it. The zombie worker
+   keeps sleeping and dies with the test process. *)
+let hang () =
+  while true do
+    Unix.sleepf 0.005
+  done;
+  assert false
+
+(* ------------------------------------------------- ordering *)
+
+let test_results_in_submission_order () =
+  with_pool ~options:{ Pool.default_options with workers = 3 } (fun p ->
+      let thunks =
+        List.init 20 (fun i () ->
+            (* stagger completions so submission order <> completion order *)
+            Unix.sleepf (float_of_int ((i * 7) mod 5) *. 0.002);
+            Verdict.Trapped (i, "tag"))
+      in
+      let out = Pool.run p thunks in
+      List.iteri
+        (fun i v -> Alcotest.check verdict_t "order" (Verdict.Trapped (i, "tag")) v)
+        out;
+      let s = Pool.stats p in
+      checki "all completed" 20 s.Pool.completed;
+      checki "no deaths" 0 s.Pool.worker_deaths)
+
+let test_reusable_across_waves () =
+  with_pool ~options:{ Pool.default_options with workers = 2 } (fun p ->
+      for _ = 1 to 5 do
+        let out = Pool.run p (List.init 4 (fun _ () -> Verdict.Pass)) in
+        checkb "wave all pass" true (List.for_all (( = ) Verdict.Pass) out)
+      done;
+      checki "20 tasks over one pool" 20 (Pool.stats p).Pool.tasks)
+
+(* ------------------------------------------------- deadlines *)
+
+let test_nonterminating_task_times_out () =
+  let t0 = Unix.gettimeofday () in
+  with_pool
+    ~options:
+      {
+        Pool.default_options with
+        workers = 2;
+        deadline = Some 0.1;
+        grace = 0.1;
+        poll_interval = 0.005;
+      }
+    (fun p ->
+      let thunks =
+        [
+          (fun () -> Verdict.Pass);
+          (fun () -> hang ());
+          (fun () -> Verdict.Fail_verify);
+          (fun () -> Verdict.Pass);
+        ]
+      in
+      let out = Pool.run p thunks in
+      (* the hung task resolves as a timeout; every other item still
+         completes — the campaign is never frozen *)
+      Alcotest.check (Alcotest.list verdict_t) "verdicts"
+        [ Verdict.Pass; Verdict.Step_timeout; Verdict.Fail_verify; Verdict.Pass ]
+        out;
+      let s = Pool.stats p in
+      checkb "deadline miss recorded" true (s.Pool.deadline_misses >= 1);
+      checkb "worker abandoned" true (s.Pool.abandoned >= 1);
+      checkb "replacement staffed" true (s.Pool.restarts >= 1);
+      checkb "events narrated" true (Pool.drain_events p <> []));
+  checkb "completed within deadline + grace (not hung forever)" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
+let test_cooperative_vm_cancel () =
+  (* A VM program that runs far past the deadline: the monitor's first tier
+     (cancel flag -> per-insn watchdog -> Vm.Deadline) must stop it without
+     ever reaching the abandon tier. *)
+  let t = Builder.create () in
+  let cell = Builder.alloc_f t 1 in
+  let main =
+    Builder.func t ~module_:"spin" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        Builder.for_range b 0 50_000_000 (fun _ ->
+            let v = Builder.loadf b (Builder.at cell) in
+            Builder.storef b (Builder.at cell) (Builder.fadd b v v)))
+  in
+  let prog = Builder.program t ~main in
+  with_pool
+    ~options:
+      {
+        Pool.default_options with
+        workers = 1;
+        deadline = Some 0.05;
+        grace = 30.0 (* far away: only the cooperative tier may fire *);
+        poll_interval = 0.005;
+      }
+    (fun p ->
+      let v =
+        Pool.run_one p (fun () ->
+            Verdict.classify (fun () ->
+                let vm = Vm.create prog in
+                Vm.run vm;
+                true))
+      in
+      Alcotest.check verdict_t "cancelled cooperatively" Verdict.Step_timeout v;
+      let s = Pool.stats p in
+      checkb "deadline miss recorded" true (s.Pool.deadline_misses >= 1);
+      checki "never abandoned" 0 s.Pool.abandoned;
+      checki "no worker lost" 0 s.Pool.worker_deaths)
+
+(* ------------------------------------------------- worker deaths *)
+
+let test_worker_death_restart_and_quarantine () =
+  with_pool
+    ~options:{ Pool.default_options with workers = 2; quarantine_after = 2 }
+    (fun p ->
+      let out =
+        Pool.run p
+          [
+            (fun () -> Verdict.Pass);
+            (fun () -> failwith "evaluator blew past containment");
+            (fun () -> Verdict.Pass);
+          ]
+      in
+      (match out with
+      | [ a; b; c ] ->
+          Alcotest.check verdict_t "first" Verdict.Pass a;
+          Alcotest.check verdict_t "third" Verdict.Pass c;
+          (match b with
+          | Verdict.Crashed msg ->
+              checkb "quarantine reason recorded" true
+                (String.length msg > 0
+                && has_substring ~sub:"quarantined" msg)
+          | v -> Alcotest.failf "expected quarantine crash, got %a" Verdict.pp_verdict v)
+      | _ -> Alcotest.fail "wrong arity");
+      let s = Pool.stats p in
+      (* the poison task killed quarantine_after workers, each restarted *)
+      checki "worker deaths" 2 s.Pool.worker_deaths;
+      checki "restarts" 2 s.Pool.restarts;
+      checki "quarantined" 1 s.Pool.quarantined;
+      checkb "pool still healthy" true (not (Pool.degraded p)))
+
+let test_quarantine_after_one () =
+  with_pool
+    ~options:{ Pool.default_options with workers = 1; quarantine_after = 1 }
+    (fun p ->
+      (match Pool.run_one p (fun () -> raise Not_found) with
+      | Verdict.Crashed _ -> ()
+      | v -> Alcotest.failf "expected crash, got %a" Verdict.pp_verdict v);
+      let s = Pool.stats p in
+      checki "one death" 1 s.Pool.worker_deaths;
+      checki "quarantined immediately" 1 s.Pool.quarantined)
+
+let test_collapse_degrades_to_serial () =
+  let events = ref [] in
+  with_pool
+    ~options:
+      {
+        Pool.default_options with
+        workers = 1;
+        quarantine_after = 2;
+        max_worker_loss = 1;
+      }
+    ~log:(fun s -> events := s :: !events)
+    (fun p ->
+      let out =
+        Pool.run p
+          (List.init 6 (fun i () ->
+               if i < 3 then failwith "killer" else Verdict.Pass))
+      in
+      checki "every task resolved" 6 (List.length out);
+      checkb "well-behaved tasks still pass" true
+        (List.exists (( = ) Verdict.Pass) out);
+      checkb "killers resolved as crashes" true
+        (List.exists (function Verdict.Crashed _ -> true | _ -> false) out);
+      checkb "pool degraded" true (Pool.degraded p);
+      let s = Pool.stats p in
+      checkb "inline serial execution took over" true (s.Pool.inline_runs > 0);
+      checkb "degradation logged" true
+        (List.exists (fun e -> has_substring ~sub:"degrading" e) !events);
+      (* a degraded pool keeps accepting and finishing work *)
+      Alcotest.check verdict_t "still serves" Verdict.Pass
+        (Pool.run_one p (fun () -> Verdict.Pass)))
+
+(* ------------------------------------------------- Bfs integration *)
+
+let test_bfs_campaign_survives_hung_evaluator () =
+  (* acceptance: a deliberately non-terminating evaluator (infinite loop
+     OUTSIDE the VM step budget) on one configuration; the supervised
+     campaign completes, records a timeout verdict for it, and finishes
+     the remaining items *)
+  let _, target = Test_harness.synthetic ~n_ops:6 ~poison:[ 1 ] () in
+  let hung = Atomic.make false in
+  let hostile =
+    {
+      target with
+      Bfs.Target.eval =
+        (fun cfg ->
+          if not (Atomic.exchange hung true) then hang ()
+          else target.Bfs.Target.eval cfg);
+    }
+  in
+  with_pool
+    ~options:
+      {
+        Pool.default_options with
+        workers = 2;
+        deadline = Some 0.1;
+        grace = 0.1;
+        poll_interval = 0.005;
+      }
+    (fun p ->
+      let res =
+        Bfs.search ~options:{ Bfs.default_options with workers = 2; pool = Some p } hostile
+      in
+      checkb "campaign completed" true (res.Bfs.tested > 0);
+      checkb "timeout verdict in the narration" true
+        (List.exists
+           (fun l -> has_prefix ~prefix:"TIMEOUT" l)
+           res.Bfs.log);
+      match res.Bfs.supervisor with
+      | None -> Alcotest.fail "supervised campaign must report pool stats"
+      | Some s ->
+          checkb "abandoned the hung worker" true (s.Pool.abandoned >= 1);
+          checkb "rest of the campaign completed" true
+            (s.Pool.completed >= res.Bfs.tested - 1))
+
+let test_bfs_transient_pool_classifies_crashes () =
+  (* no caller pool: workers > 1 staffs a transient one; a hostile evaluator
+     raising arbitrary exceptions yields CRASH verdicts per item, and the
+     transient pool is shut down by the search itself *)
+  let _, target = Test_harness.synthetic ~n_ops:6 ~poison:[] () in
+  let hostile =
+    { target with Bfs.Target.eval = (fun _ -> failwith "dead evaluator") }
+  in
+  let res = Bfs.search ~options:{ Bfs.default_options with workers = 3 } hostile in
+  checkb "search completes" true (res.Bfs.tested > 0);
+  checki "nothing passes" 0 res.Bfs.static_replaced;
+  checkb "crashes classified in the narration" true
+    (List.exists (fun l -> has_prefix ~prefix:"CRASH" l) res.Bfs.log);
+  (match res.Bfs.supervisor with
+  | None -> Alcotest.fail "transient pool must report stats"
+  | Some s -> checki "no worker death from a contained crash" 0 s.Pool.worker_deaths)
+
+let test_bfs_oom_and_stack_overflow_are_crash_verdicts () =
+  (* satellite: OOM / Stack_overflow from an evaluation surface as Crashed
+     verdicts (per-item), not as silent failures or campaign aborts *)
+  let _, target = Test_harness.synthetic ~n_ops:4 ~poison:[] () in
+  let n = Atomic.make 0 in
+  let hostile =
+    {
+      target with
+      Bfs.Target.eval =
+        (fun cfg ->
+          match Atomic.fetch_and_add n 1 with
+          | 0 -> raise Stack_overflow
+          | 1 -> raise Out_of_memory
+          | _ -> target.Bfs.Target.eval cfg);
+    }
+  in
+  let res = Bfs.search ~options:{ Bfs.default_options with workers = 2 } hostile in
+  checkb "campaign completed" true (res.Bfs.tested > 2);
+  checki "two crash verdicts" 2
+    (List.length
+       (List.filter (fun l -> has_prefix ~prefix:"CRASH" l) res.Bfs.log))
+
+let test_strategies_under_pool () =
+  let _, target = Test_harness.synthetic ~n_ops:6 ~poison:[ 2 ] () in
+  let plain = Strategies.greedy_grow target in
+  with_pool ~options:{ Pool.default_options with workers = 2 } (fun p ->
+      let pooled = Strategies.greedy_grow ~pool:p target in
+      checki "same replacements" plain.Strategies.static_replaced
+        pooled.Strategies.static_replaced;
+      checki "same test count" plain.Strategies.tested pooled.Strategies.tested;
+      checki "every test supervised" pooled.Strategies.tested (Pool.stats p).Pool.tasks)
+
+let suite =
+  [
+    ("results in submission order", `Quick, test_results_in_submission_order);
+    ("one pool serves many waves", `Quick, test_reusable_across_waves);
+    ("non-terminating task times out", `Quick, test_nonterminating_task_times_out);
+    ("cooperative VM cancel", `Quick, test_cooperative_vm_cancel);
+    ("worker death, restart, quarantine", `Quick, test_worker_death_restart_and_quarantine);
+    ("quarantine-after-1", `Quick, test_quarantine_after_one);
+    ("pool collapse degrades to serial", `Quick, test_collapse_degrades_to_serial);
+    ("bfs campaign survives a hung evaluator", `Quick, test_bfs_campaign_survives_hung_evaluator);
+    ("bfs transient pool classifies crashes", `Quick, test_bfs_transient_pool_classifies_crashes);
+    ( "oom and stack overflow become crash verdicts",
+      `Quick,
+      test_bfs_oom_and_stack_overflow_are_crash_verdicts );
+    ("strategies run under pool supervision", `Quick, test_strategies_under_pool);
+  ]
