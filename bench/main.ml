@@ -561,6 +561,113 @@ let pool_bench () =
   close_out oc;
   Format.printf "(written to BENCH_pool.json)@."
 
+(* ---------------------------------------------------- shadow guidance *)
+
+(* Evaluation count and modeled campaign wall-clock of shadow-guided vs
+   unguided BFS on NAS CG and MG, plus the tracer's overhead over a plain
+   native run. Emits BENCH_shadow.json. *)
+let shadow_bench () =
+  section "Shadow-guided search: evaluations saved (NAS CG and MG)";
+  let prune_bound = 1e-1 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row k =
+    let prog = k.Kernel.program in
+    let (), t_plain =
+      time (fun () ->
+          let vm = Vm.create prog in
+          k.Kernel.setup vm;
+          Vm.run vm)
+    in
+    let tracer =
+      Shadow_tracer.create ~config:(Shadow_tracer.all_single ~base:k.Kernel.hints prog) prog
+    in
+    let (), t_traced =
+      time (fun () -> ignore (Shadow_tracer.trace tracer ~setup:k.Kernel.setup))
+    in
+    let report = Shadow_report.make ~base:k.Kernel.hints prog tracer in
+    (* modeled per-evaluation cost: one instrumented run (every evaluation
+       of the campaign runs the patched binary once) *)
+    let eval_cost =
+      let patched = Patcher.patch prog k.Kernel.hints in
+      let vm = Vm.create ~checked:true patched in
+      k.Kernel.setup vm;
+      Vm.run vm;
+      Cost.of_run vm
+    in
+    (* modeled conversion speedup of a final configuration (Vm.Cost) *)
+    let native_cost =
+      let vm = Vm.create prog in
+      k.Kernel.setup vm;
+      Vm.run vm;
+      Cost.of_run vm
+    in
+    let speedup_of cfg =
+      let vm = Vm.create ~smode:Vm.Plain (To_single.convert_config prog cfg) in
+      k.Kernel.setup vm;
+      Vm.run vm;
+      native_cost.Cost.time_cycles /. (Cost.of_run ~fmem_bytes:4.0 vm).Cost.time_cycles
+    in
+    let campaign ~shadow =
+      let options =
+        { Bfs.default_options with base = k.Kernel.hints; shadow }
+      in
+      time (fun () -> Bfs.search ~options (Kernel.target k))
+    in
+    let unguided, wall_u = campaign ~shadow:None in
+    let guided, wall_s =
+      campaign ~shadow:(Some (Bfs.shadow ~prune_above:prune_bound report))
+    in
+    let saved =
+      100.0 *. (1.0 -. (float_of_int guided.Bfs.tested /. float_of_int unguided.Bfs.tested))
+    in
+    Format.printf
+      "%-6s tracer %.1fx (%.3fs -> %.3fs)  evals %d -> %d (%d pruned, %.1f%% saved)@."
+      k.Kernel.name
+      (t_traced /. Float.max 1e-9 t_plain)
+      t_plain t_traced unguided.Bfs.tested guided.Bfs.tested guided.Bfs.pruned saved;
+    Format.printf
+      "       modeled campaign %.3fs -> %.3fs (%.3fs/eval); final speedup %.3fX -> %.3fX \
+       (static %.1f%% -> %.1f%%)@."
+      (float_of_int unguided.Bfs.tested *. eval_cost.Cost.seconds)
+      (float_of_int guided.Bfs.tested *. eval_cost.Cost.seconds)
+      eval_cost.Cost.seconds
+      (speedup_of unguided.Bfs.final)
+      (speedup_of guided.Bfs.final) unguided.Bfs.static_pct guided.Bfs.static_pct;
+    Printf.sprintf
+      "    { \"kernel\": \"%s\",\n\
+      \      \"tracer\": { \"plain_seconds\": %.6f, \"traced_seconds\": %.6f, \
+       \"overhead_x\": %.3f },\n\
+      \      \"modeled_eval_seconds\": %.6f,\n\
+      \      \"unguided\": { \"evals\": %d, \"wall_seconds\": %.6f, \
+       \"modeled_campaign_seconds\": %.6f, \"static_pct\": %.2f, \"final_speedup\": %.4f \
+       },\n\
+      \      \"shadow\": { \"evals\": %d, \"pruned\": %d, \"wall_seconds\": %.6f, \
+       \"modeled_campaign_seconds\": %.6f, \"static_pct\": %.2f, \"final_speedup\": %.4f \
+       },\n\
+      \      \"evals_saved_pct\": %.2f }" k.Kernel.name t_plain t_traced
+      (t_traced /. Float.max 1e-9 t_plain)
+      eval_cost.Cost.seconds unguided.Bfs.tested wall_u
+      (float_of_int unguided.Bfs.tested *. eval_cost.Cost.seconds)
+      unguided.Bfs.static_pct
+      (speedup_of unguided.Bfs.final)
+      guided.Bfs.tested guided.Bfs.pruned wall_s
+      (float_of_int guided.Bfs.tested *. eval_cost.Cost.seconds)
+      guided.Bfs.static_pct
+      (speedup_of guided.Bfs.final)
+      saved
+  in
+  let rows = List.map row [ Nas_cg.make Kernel.W; Nas_mg.make Kernel.W ] in
+  let oc = open_out "BENCH_shadow.json" in
+  Printf.fprintf oc
+    "{\n  \"threshold\": %.1e,\n  \"prune_bound\": %.1e,\n  \"kernels\": [\n%s\n  ]\n}\n"
+    Shadow_report.default_threshold prune_bound (String.concat ",\n" rows);
+  close_out oc;
+  Format.printf "(written to BENCH_shadow.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -637,6 +744,7 @@ let sections =
     ("strategies", strategies);
     ("packed", packed);
     ("pool", pool_bench);
+    ("shadow", shadow_bench);
     ("micro", microbench);
   ]
 

@@ -206,9 +206,40 @@ let quarantine_arg =
           "Quarantine a configuration with a crash verdict after it has killed $(docv) \
            evaluation workers, instead of retrying it forever (default 2).")
 
+let shadow_flag =
+  Arg.(
+    value & flag
+    & info [ "shadow" ]
+        ~doc:
+          "Run a shadow-value precision analysis (one traced native run) first and use it \
+           to guide the search: seed the passing set with the predicted configuration, \
+           reorder the frontier by predicted tolerance, and prune candidates whose \
+           predicted divergence exceeds the $(b,--shadow-prune) bound. Every pruned \
+           candidate is logged (and journaled as a $(i,pruned) verdict with \
+           $(b,--journal)), never dropped silently. BFS strategy only.")
+
+let shadow_threshold_arg =
+  Arg.(
+    value
+    & opt float Shadow_report.default_threshold
+    & info [ "shadow-threshold" ] ~docv:"REL"
+        ~doc:
+          "Worst-case relative divergence below which a structure is predicted to survive \
+           in single precision (default 1e-8).")
+
+let shadow_prune_arg =
+  Arg.(
+    value & opt float 1e-1
+    & info [ "shadow-prune" ] ~docv:"BOUND"
+        ~doc:
+          "Hard divergence bound for shadow pruning: candidates predicted to diverge \
+           beyond $(docv) are skipped (journaled as $(i,pruned)) instead of evaluated. \
+           Candidates with observed control-flow flips are never pruned. A value <= 0 \
+           disables pruning (default 1e-1).")
+
 let search_cmd =
   let run name cls workers out strategy journal_path resume retries eval_steps inject
-      deadline checkpoint_path quarantine_after =
+      deadline checkpoint_path quarantine_after use_shadow shadow_threshold shadow_prune =
     with_kernel name cls (fun k ->
         if resume && journal_path = None && checkpoint_path = None then begin
           prerr_endline "craft: --resume requires --journal FILE or --checkpoint FILE";
@@ -232,6 +263,32 @@ let search_cmd =
         in
         let target =
           match journal with Some j -> Journal.wrap_target j ~harness target | None -> target
+        in
+        let shadow_opts =
+          if not use_shadow then None
+          else begin
+            if strategy <> "bfs" then
+              prerr_endline "craft: note: --shadow only guides the bfs strategy";
+            let tracer =
+              Shadow_tracer.create
+                ~config:(Shadow_tracer.all_single ~base:k.Kernel.hints k.Kernel.program)
+                k.Kernel.program
+            in
+            let (_ : Vm.t) = Shadow_tracer.trace tracer ~setup:k.Kernel.setup in
+            let report =
+              Shadow_report.make ~threshold:shadow_threshold ~base:k.Kernel.hints
+                k.Kernel.program tracer
+            in
+            let on_pruned cfg div =
+              match journal with
+              | Some j ->
+                  Journal.record j cfg
+                    (Verdict.Pruned (Printf.sprintf "shadow predicted divergence %.3e" div))
+              | None -> ()
+            in
+            let prune_above = if shadow_prune > 0.0 then Some shadow_prune else None in
+            Some (Bfs.shadow ?prune_above ~on_pruned report)
+          end
         in
         (* The supervised pool is staffed whenever parallelism or a deadline
            asks for it; the CLI owns it (Bfs/Strategies only borrow it). *)
@@ -262,11 +319,21 @@ let search_cmd =
         (match strategy with
         | "bfs" -> (
             let options =
-              { Bfs.default_options with workers; base = k.Kernel.hints; pool; checkpoint }
+              {
+                Bfs.default_options with
+                workers;
+                base = k.Kernel.hints;
+                pool;
+                checkpoint;
+                shadow = shadow_opts;
+              }
             in
             let rec_ = Analysis.recommend_target ~options target ~setup:k.Kernel.setup in
             snapshots := rec_.Analysis.result.Bfs.snapshots;
             Format.printf "%a@." Analysis.pp_summary rec_;
+            if use_shadow then
+              Format.printf "shadow: pruned %d candidate evaluation(s)@."
+                rec_.Analysis.result.Bfs.pruned;
             match out with
             | Some path ->
                 let oc = open_out path in
@@ -319,7 +386,57 @@ let search_cmd =
     Term.(
       const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
       $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg $ deadline_arg
-      $ checkpoint_arg $ quarantine_arg)
+      $ checkpoint_arg $ quarantine_arg $ shadow_flag $ shadow_threshold_arg
+      $ shadow_prune_arg)
+
+let shadow_cmd =
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float Shadow_report.default_threshold
+      & info [ "t"; "threshold" ] ~docv:"REL"
+          ~doc:"Divergence threshold below which a structure is predicted single.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also export the analysis as JSON to $(docv).")
+  in
+  let run name cls threshold json_out =
+    with_kernel name cls (fun k ->
+        let prog = k.Kernel.program in
+        (* plain native run first, for the tracer-overhead figure *)
+        let t0 = Unix.gettimeofday () in
+        let plain = Vm.create prog in
+        k.Kernel.setup plain;
+        Vm.run plain;
+        let t1 = Unix.gettimeofday () in
+        let tracer =
+          Shadow_tracer.create ~config:(Shadow_tracer.all_single ~base:k.Kernel.hints prog) prog
+        in
+        let (_ : Vm.t) = Shadow_tracer.trace tracer ~setup:k.Kernel.setup in
+        let t2 = Unix.gettimeofday () in
+        let report = Shadow_report.make ~threshold ~base:k.Kernel.hints prog tracer in
+        print_string (Shadow_report.render report);
+        Format.printf "observations: %d; tracer overhead %.1fx (plain %.3fs, traced %.3fs)@."
+          (Shadow_tracer.observations tracer)
+          ((t2 -. t1) /. Float.max (t1 -. t0) 1e-9)
+          (t1 -. t0) (t2 -. t1);
+        match json_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Shadow_report.to_json report);
+            close_out oc;
+            Format.printf "JSON written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "shadow"
+       ~doc:
+         "Run the shadow-value precision analysis on a benchmark and print the annotated \
+          structure tree (predicted-single structures marked 's')")
+    Term.(const run $ bench_arg $ class_arg $ threshold_arg $ json_arg)
 
 let cancel_cmd =
   let run name cls =
@@ -400,6 +517,7 @@ let main =
       view_cmd;
       patch_cmd;
       search_cmd;
+      shadow_cmd;
       cancel_cmd;
       assemble_cmd;
       asm_run_cmd;

@@ -51,6 +51,18 @@ let checkpoint ?(every = 1) ?(resume = false) ?(save_counters = fun () -> [])
     ?(restore_counters = ignore) path =
   { path; every = max 1 every; resume; save_counters; restore_counters }
 
+type shadow_opts = {
+  report : Shadow_report.t;
+  seed_predicted : bool;
+  reorder : bool;
+  prune_above : float option;
+  on_pruned : Config.t -> float -> unit;
+}
+
+let shadow ?(seed_predicted = true) ?(reorder = true) ?prune_above
+    ?(on_pruned = fun _ _ -> ()) report =
+  { report; seed_predicted; reorder; prune_above; on_pruned }
+
 type options = {
   stop_at : granularity;
   binary_split : bool;
@@ -61,6 +73,7 @@ type options = {
   base : Config.t;
   pool : Pool.t option;
   checkpoint : checkpoint_opts option;
+  shadow : shadow_opts option;
 }
 
 let default_options =
@@ -74,6 +87,7 @@ let default_options =
     base = Config.empty;
     pool = None;
     checkpoint = None;
+    shadow = None;
   }
 
 type result = {
@@ -88,6 +102,7 @@ type result = {
   log : string list;
   supervisor : Pool.stats option;
   snapshots : int;
+  pruned : int;
 }
 
 let rank = function Module_level -> 0 | Func_level -> 1 | Block_level -> 2 | Insn_level -> 3
@@ -119,7 +134,10 @@ let force_single ~base cfg node =
         else Config.set_insn acc info.Static.addr Config.Single)
       cfg (Static.node_insns node)
 
-type item = { nodes : Static.node list; weight : int; seq : int }
+type item = { nodes : Static.node list; weight : int; seq : int; score : float }
+(* [score] is the shadow-predicted divergence of flipping exactly these
+   nodes to single (infinity when a control-flow flip was observed inside);
+   0 when the search runs without shadow guidance *)
 
 let search ?(options = default_options) (target : Target.t) =
   let counts = target.profile () in
@@ -143,16 +161,44 @@ let search ?(options = default_options) (target : Target.t) =
     |> List.filter (fun info -> Config.effective base info <> Config.Ignore)
   in
   let n_candidates = List.length universe in
+  (* shadow-predicted divergence of an item's node set: the worst observed
+     per-instruction divergence, or infinity when any contained instruction
+     flipped a comparison/conversion outcome (its prediction — and that of
+     everything data-dependent — is unreliable, so such items are never
+     pruned and sort last under reordering) *)
+  let shadow_score nodes =
+    match options.shadow with
+    | None -> 0.0
+    | Some s ->
+        List.fold_left
+          (fun acc n ->
+            List.fold_left
+              (fun acc (i : Static.insn_info) ->
+                if Shadow_report.flips_at s.report i.addr > 0 then infinity
+                else Float.max acc (Shadow_report.max_rel_at s.report i.addr))
+              acc (live_insns n))
+          0.0 nodes
+  in
+  let shadow_reorder =
+    match options.shadow with Some s -> s.reorder | None -> false
+  in
   let seq = ref 0 in
   let mk nodes =
     incr seq;
-    { nodes; weight = weight_of nodes; seq = !seq }
+    { nodes; weight = weight_of nodes; seq = !seq; score = shadow_score nodes }
   in
   let queue = ref [] in
   let push it = if it.nodes <> [] then queue := it :: !queue in
   let pop_batch n =
     let cmp a b =
-      if options.prioritize then
+      if shadow_reorder then
+        (* most tolerant first: predicted divergence ascending, then the
+           profile weight (heavier = more dynamic coverage), then seq *)
+        match Float.compare a.score b.score with
+        | 0 -> (
+            match compare b.weight a.weight with 0 -> compare a.seq b.seq | c -> c)
+        | c -> c
+      else if options.prioritize then
         match compare b.weight a.weight with 0 -> compare a.seq b.seq | c -> c
       else compare a.seq b.seq
     in
@@ -275,7 +321,9 @@ let search ?(options = default_options) (target : Target.t) =
                   | Ok items -> (
                       match resolve_all e.Checkpoint.nodes with
                       | Ok nodes ->
-                          Ok ({ nodes; weight = e.weight; seq = e.seq } :: items)
+                          Ok
+                            ({ nodes; weight = e.weight; seq = e.seq; score = shadow_score nodes }
+                            :: items)
                       | Error _ as err -> err))
                 (Ok []) snap.Checkpoint.queue
             in
@@ -295,11 +343,70 @@ let search ?(options = default_options) (target : Target.t) =
                 true))
     | _ -> false
   in
-  if not restored then
+  let pruned = ref 0 in
+  let seed_default () =
     (* Seed the queue with one configuration per module. *)
     List.iter
       (fun node -> if live_insns node <> [] then push (mk [ node ]))
-      (Static.tree target.program);
+      (Static.tree target.program)
+  in
+  if not restored then begin
+    (* Shadow seeding: evaluate the predicted configuration once. If it
+       passes, its structures enter the passing set immediately and only
+       the unpredicted remainder of the tree is queued; if it fails, the
+       prediction bought nothing and the search seeds normally. *)
+    let shadow_seeded =
+      match options.shadow with
+      | Some s when s.seed_predicted -> (
+          let pred =
+            List.filter (fun n -> live_insns n <> []) (Shadow_report.predicted_nodes s.report)
+          in
+          match pred with
+          | [] ->
+              say "SHADOW seed: nothing predicted single";
+              false
+          | pred -> (
+              let cfg = List.fold_left (fun acc n -> force_single ~base acc n) base pred in
+              incr tested;
+              match eval_verdict cfg with
+              | Verdict.Pass ->
+                  say "SHADOW seed: predicted configuration passes — %d structure(s) pre-accepted"
+                    (List.length pred);
+                  passing := List.rev pred @ !passing;
+                  let module ISet = Set.Make (Int) in
+                  let pred_addrs =
+                    List.fold_left
+                      (fun acc n ->
+                        List.fold_left
+                          (fun acc (i : Static.insn_info) -> ISet.add i.addr acc)
+                          acc (live_insns n))
+                      ISet.empty pred
+                  in
+                  (* queue the not-yet-accepted remainder, descending just
+                     far enough to carve the predicted structures out *)
+                  let rec residual node =
+                    let insns = live_insns node in
+                    if insns = [] then []
+                    else if
+                      List.for_all (fun (i : Static.insn_info) -> ISet.mem i.addr pred_addrs) insns
+                    then []
+                    else if
+                      List.exists (fun (i : Static.insn_info) -> ISet.mem i.addr pred_addrs) insns
+                    then List.concat_map residual (children_of node)
+                    else [ node ]
+                  in
+                  List.iter
+                    (fun m -> List.iter (fun n -> push (mk [ n ])) (residual m))
+                    (Static.tree target.program);
+                  true
+              | v ->
+                  say "SHADOW seed: predicted configuration %s — seeding normally"
+                    (Verdict.verdict_label v);
+                  false))
+      | _ -> false
+    in
+    if not shadow_seeded then seed_default ()
+  end;
   let halves xs =
     let n = List.length xs in
     let rec split k = function
@@ -394,12 +501,37 @@ let search ?(options = default_options) (target : Target.t) =
       log = List.rev !log;
       supervisor = Option.map Pool.stats pool;
       snapshots = !snapshots;
+      pruned = !pruned;
     }
   in
   let run () =
     let wave = ref 0 in
     while !queue <> [] do
       let batch = pop_batch (max 1 options.workers) in
+      (* shadow pruning: an item whose predicted divergence exceeds the hard
+         bound is treated as a failure without spending an evaluation — the
+         skip is journaled as a [Pruned] verdict (never silent) and the item
+         still descends, so finer-grained candidates below it are never lost
+         (completeness is preserved; only the doomed aggregate evaluation is
+         saved). Items containing flips score infinity and are never pruned. *)
+      let batch =
+        match options.shadow with
+        | Some ({ prune_above = Some bound; _ } as s) ->
+            List.filter
+              (fun it ->
+                if Float.is_finite it.score && it.score > bound then begin
+                  incr pruned;
+                  let names = String.concat " + " (List.map Static.node_name it.nodes) in
+                  say "PRUNED %s (predicted divergence %.3e > bound %.3e)" names it.score
+                    bound;
+                  s.on_pruned (cfg_of_item it) it.score;
+                  descend it;
+                  false
+                end
+                else true)
+              batch
+        | _ -> batch
+      in
       let results = eval_items batch in
       List.iter
         (fun (it, verdict) ->

@@ -91,6 +91,37 @@ val checkpoint :
 (** [checkpoint path] with defaults: snapshot every wave, no resume, no
     caller counters. *)
 
+type shadow_opts = {
+  report : Shadow_report.t;  (** a finished shadow-value analysis *)
+  seed_predicted : bool;
+      (** evaluate the predicted configuration first; on pass, its
+          structures enter the passing set immediately and only the
+          unpredicted remainder of the tree is searched *)
+  reorder : bool;
+      (** order the frontier by predicted tolerance (most tolerant first)
+          instead of raw execution counts *)
+  prune_above : float option;
+      (** skip — without evaluating — items whose predicted divergence
+          exceeds this hard bound. The skip is reported through
+          [on_pruned] and the search log, and the item still descends, so
+          finer candidates below it are never lost. Items containing
+          control-flow flips are never pruned (their prediction is
+          unreliable). [None] disables pruning. *)
+  on_pruned : Config.t -> float -> unit;
+      (** called for every pruned candidate with its configuration and
+          predicted divergence — wire to {!Journal.record} with
+          [Verdict.Pruned] so pruned candidates stay visible *)
+}
+
+val shadow :
+  ?seed_predicted:bool ->
+  ?reorder:bool ->
+  ?prune_above:float ->
+  ?on_pruned:(Config.t -> float -> unit) ->
+  Shadow_report.t ->
+  shadow_opts
+(** Defaults: seed and reorder on, no pruning, no pruning callback. *)
+
 type options = {
   stop_at : granularity;  (** coarsest terminal level of the descent *)
   binary_split : bool;
@@ -110,11 +141,16 @@ type options = {
           [workers > 1] staffs a transient deadline-less pool for the
           campaign. *)
   checkpoint : checkpoint_opts option;
+  shadow : shadow_opts option;
+      (** shadow-guided mode: seed the passing set with the analysis'
+          predicted configuration, reorder the frontier by predicted
+          tolerance, and optionally prune hopeless candidates *)
 }
 
 val default_options : options
 (** Instruction-level descent, both optimizations on, threshold 4, 1
-    worker, no second phase, empty base, no pool, no checkpoint. *)
+    worker, no second phase, empty base, no pool, no checkpoint, no shadow
+    guidance. *)
 
 type result = {
   final : Config.t;  (** union of every individually-passing replacement *)
@@ -131,6 +167,9 @@ type result = {
   supervisor : Pool.stats option;
       (** pool supervision tallies, when a pool evaluated the waves *)
   snapshots : int;  (** checkpoints written during the campaign *)
+  pruned : int;
+      (** candidates skipped by shadow pruning (each one logged and
+          reported through [on_pruned], never dropped silently) *)
 }
 
 val search : ?options:options -> Target.t -> result

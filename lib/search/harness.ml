@@ -8,6 +8,7 @@ type verdict = Verdict.verdict =
   | Trapped of int * string
   | Step_timeout
   | Crashed of string
+  | Pruned of string
 
 let verdict_label = Verdict.verdict_label
 let verdict_to_string = Verdict.verdict_to_string
@@ -99,12 +100,15 @@ let tally t v =
       | Fail_verify -> t.c.fail_verify <- t.c.fail_verify + 1
       | Trapped _ -> t.c.trapped <- t.c.trapped + 1
       | Step_timeout -> t.c.timed_out <- t.c.timed_out + 1
-      | Crashed _ -> t.c.crashed <- t.c.crashed + 1)
+      | Crashed _ -> t.c.crashed <- t.c.crashed + 1
+      (* pruned candidates never reach the harness: the search skips the
+         evaluation entirely and journals the verdict itself *)
+      | Pruned _ -> ())
 
 let wants_retry t = function
   | Trapped _ | Step_timeout | Crashed _ -> true
   | Fail_verify -> t.retry_fail_verify
-  | Pass -> false
+  | Pass | Pruned _ -> false
 
 (* Ceiling on a single modeled backoff delay: 2^20 units. Exponential
    backoff doubles per attempt, and [1 lsl attempt] overflows to garbage

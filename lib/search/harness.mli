@@ -32,10 +32,14 @@ type verdict = Verdict.verdict =
       (** the per-evaluation step budget ran out, or the supervisor's
           wall-clock deadline cancelled the run *)
   | Crashed of string  (** any other exception from the evaluator *)
+  | Pruned of string
+      (** skipped without evaluation: the shadow-value analysis predicted
+          divergence above the search's hard bound (see {!Bfs.shadow});
+          journaled, never produced by the harness itself *)
 
 val verdict_label : verdict -> string
 (** Short class label: ["pass"], ["fail"], ["trap"], ["timeout"],
-    ["crash"]. *)
+    ["crash"], ["pruned"]. *)
 
 val verdict_to_string : verdict -> string
 (** Compact single-token serialization (no spaces; payloads are

@@ -4,6 +4,7 @@ type verdict =
   | Trapped of int * string
   | Step_timeout
   | Crashed of string
+  | Pruned of string
 
 let verdict_label = function
   | Pass -> "pass"
@@ -11,6 +12,7 @@ let verdict_label = function
   | Trapped _ -> "trap"
   | Step_timeout -> "timeout"
   | Crashed _ -> "crash"
+  | Pruned _ -> "pruned"
 
 (* percent-escape the characters the journal format reserves *)
 let escape s =
@@ -57,6 +59,7 @@ let verdict_to_string = function
   | Trapped (addr, reason) -> Printf.sprintf "trap:0x%06x:%s" addr (escape reason)
   | Step_timeout -> "timeout"
   | Crashed msg -> "crash:" ^ escape msg
+  | Pruned reason -> "pruned:" ^ escape reason
 
 let verdict_of_string s =
   let payload_after prefix =
@@ -83,7 +86,10 @@ let verdict_of_string s =
       | None -> (
           match payload_after "crash:" with
           | Some msg -> Option.map (fun m -> Crashed m) (unescape msg)
-          | None -> None))
+          | None -> (
+              match payload_after "pruned:" with
+              | Some reason -> Option.map (fun r -> Pruned r) (unescape reason)
+              | None -> None)))
 
 let pp_verdict ppf = function
   | Pass -> Format.pp_print_string ppf "pass"
@@ -91,10 +97,11 @@ let pp_verdict ppf = function
   | Trapped (addr, reason) -> Format.fprintf ppf "trapped@0x%06x (%s)" addr reason
   | Step_timeout -> Format.pp_print_string ppf "step-timeout"
   | Crashed msg -> Format.fprintf ppf "crashed (%s)" msg
+  | Pruned reason -> Format.fprintf ppf "pruned (%s)" reason
 
 let is_flaky = function
   | Trapped _ | Step_timeout | Crashed _ -> true
-  | Pass | Fail_verify -> false
+  | Pass | Fail_verify | Pruned _ -> false
 
 let classify_exn = function
   | Vm.Trap (addr, reason) -> Trapped (addr, reason)

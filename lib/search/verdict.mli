@@ -17,10 +17,16 @@ type verdict =
       (** the per-evaluation step budget ran out, or the supervisor's
           wall-clock deadline cancelled the run ({!Vm.Deadline}) *)
   | Crashed of string  (** any other exception from the evaluator *)
+  | Pruned of string
+      (** the candidate was never evaluated: the shadow-value analysis
+          predicted its divergence above the configured hard bound and the
+          search skipped it. Recorded in the journal so a pruned candidate
+          is always visible, never silently dropped; only produced by
+          shadow-guided search, never by {!classify}. *)
 
 val verdict_label : verdict -> string
 (** Short class label: ["pass"], ["fail"], ["trap"], ["timeout"],
-    ["crash"]. *)
+    ["crash"], ["pruned"]. *)
 
 val verdict_to_string : verdict -> string
 (** Compact single-token serialization (no spaces; payloads are

@@ -1,0 +1,438 @@
+(* Shadow-value precision tracer.
+
+   Runs alongside a native (all-double) execution through the VM's
+   per-instruction hook and maintains, for every double-precision value the
+   program manipulates — float registers of every live frame and every
+   float-heap slot — a shadow computed through the same operations but in
+   the precision a candidate configuration assigns to each instruction
+   (by default: everything single). Per-instruction accumulators record
+   how far the shadow drifts from the actual double value.
+
+   The shadow world follows the NATIVE control flow: branches, addresses
+   and loop trip counts come from the actual execution, so one profiling
+   run prices every instruction's single-precision sensitivity without
+   re-running the program per candidate. Where the shadow's control flow
+   WOULD have differed (a comparison or float->int conversion whose
+   shadow outcome disagrees), the event is counted as a "flip" — the
+   prediction for everything data-dependent on it is suspect, and the
+   aggregator treats flips as disqualifying. *)
+
+type insn_stats = {
+  mutable execs : int;
+  mutable sum_rel : float;
+  mutable max_rel : float;
+  mutable max_local : float;
+  mutable max_mag : float;
+  mutable cancels : int;
+  mutable cancel_blowups : int;
+  mutable flips : int;
+}
+
+let fresh_stats () =
+  {
+    execs = 0;
+    sum_rel = 0.0;
+    max_rel = 0.0;
+    max_local = 0.0;
+    max_mag = 0.0;
+    cancels = 0;
+    cancel_blowups = 0;
+    flips = 0;
+  }
+
+(* One shadow frame per live VM call frame. The VM allocates fresh register
+   arrays per invocation, so [fr]'s physical identity ([==] against
+   [Vm.cur_fregs]) identifies the frame across hook invocations — no
+   cooperation from the interpreter loop needed. *)
+type frame = {
+  fr : float array;  (* the VM's own register array for this frame *)
+  sfr : float array;  (* its shadow *)
+  func : Ir.func;
+  mutable pending_call : Ir.call option;
+      (* set when this frame executes a Call; consumed either when the
+         callee's frame is popped (shadow returns flow back) or at the next
+         hook in this frame (callee executed no instructions — resync the
+         return registers from the actual values) *)
+  mutable resync : int list;
+      (* registers written by the previous instruction whose shadow the
+         tracer does not model (source-level [S] ops, snippet casts):
+         refreshed from the actual registers before the next observation *)
+}
+
+type t = {
+  prog : Ir.program;
+  single_at : bool array;  (* per addr: shadow computes in binary32 here *)
+  op_at : Ir.op option array;
+  fid_at : int array;
+  stats : insn_stats array;
+  mutable sheap : float array;
+  mutable primed : bool;
+  mutable stack : frame list;  (* innermost frame first *)
+}
+
+let all_single ?(base = Config.empty) prog =
+  Array.fold_left
+    (fun cfg (info : Static.insn_info) ->
+      match Config.effective base info with
+      | Config.Ignore -> cfg
+      | Config.Single | Config.Double -> Config.set_insn cfg info.addr Config.Single)
+    base (Static.candidates prog)
+
+let create ?config (prog : Ir.program) =
+  let config = match config with Some c -> c | None -> all_single prog in
+  let n = Static.max_addr prog + 1 in
+  let single_at = Array.make n false in
+  Array.iter
+    (fun (info : Static.insn_info) ->
+      if Config.effective config info = Config.Single then single_at.(info.addr) <- true)
+    (Static.candidates prog);
+  let op_at = Array.make n None in
+  let fid_at = Array.make n (-1) in
+  Array.iteri
+    (fun fid (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun (i : Ir.instr) ->
+              op_at.(i.addr) <- Some i.op;
+              fid_at.(i.addr) <- fid)
+            b.instrs)
+        f.blocks)
+    prog.funcs;
+  {
+    prog;
+    single_at;
+    op_at;
+    fid_at;
+    stats = Array.init n (fun _ -> fresh_stats ());
+    sheap = [||];
+    primed = false;
+    stack = [];
+  }
+
+(* ---- divergence metrics ------------------------------------------------ *)
+
+(* Relative divergence of shadow [s] against actual [d]. Exact equality
+   (including equal infinities) is 0 — the property the soundness test
+   relies on: a fully-double shadow is bit-identical, never approximately
+   so. Divergences are capped so accumulators stay finite. *)
+let rel_cap = 1e12
+
+let rel s d =
+  if s = d then 0.0
+  else if Float.is_nan s && Float.is_nan d then 0.0
+  else if not (Float.is_finite s && Float.is_finite d) then infinity
+  else if d = 0.0 then Float.abs s
+  else Float.abs (s -. d) /. Float.abs d
+
+(* An addition/subtraction cancelled when the result lost at least 10
+   binary orders of magnitude against the larger operand. *)
+let cancel_bits = 10
+
+let cancelled dres mag = mag > 0.0 && Float.is_finite dres && Float.abs dres < mag *. (1.0 /. float_of_int (1 lsl cancel_bits))
+
+(* A cancellation "blowup": the result's divergence is far beyond what the
+   operands brought in — the event amplified existing rounding error. *)
+let blowup_factor = 16.0
+
+let observe t addr ~mag ~local ~s ~d ~cancel ~opdiv =
+  let st = t.stats.(addr) in
+  st.execs <- st.execs + 1;
+  let r = Float.min (rel s d) rel_cap in
+  let local = Float.min local rel_cap in
+  st.sum_rel <- st.sum_rel +. r;
+  if r > st.max_rel then st.max_rel <- r;
+  if local > st.max_local then st.max_local <- local;
+  if mag > st.max_mag then st.max_mag <- mag;
+  if cancel then begin
+    st.cancels <- st.cancels + 1;
+    if r > Float.max (blowup_factor *. opdiv) 1e-12 then
+      st.cancel_blowups <- st.cancel_blowups + 1
+  end
+
+let observe_flip t addr ~mag ~flipped =
+  let st = t.stats.(addr) in
+  st.execs <- st.execs + 1;
+  if mag > st.max_mag then st.max_mag <- mag;
+  if flipped then st.flips <- st.flips + 1
+
+(* ---- operation semantics ----------------------------------------------- *)
+
+(* Double-precision op semantics, mirroring Vm's (not exported there). *)
+let fbin_d (o : Ir.fbinop) x y =
+  match o with
+  | Add -> x +. y
+  | Sub -> x -. y
+  | Mul -> x *. y
+  | Div -> x /. y
+  | Min -> Float.min x y
+  | Max -> Float.max x y
+
+let funop_d (o : Ir.funop) x =
+  match o with Sqrt -> sqrt x | Neg -> -.x | Abs -> Float.abs x
+
+let flibm_d (o : Ir.flibm) x =
+  match o with
+  | Sin -> sin x
+  | Cos -> cos x
+  | Tan -> tan x
+  | Exp -> exp x
+  | Log -> log x
+  | Atan -> atan x
+
+(* Single-precision pipeline, mirroring Vm Plain smode and the semantics of
+   a To_single-converted binary: operands round to binary32, the operation
+   computes in emulated binary32. *)
+let fbin_s (o : Ir.fbinop) x y =
+  let x = F32.round x and y = F32.round y in
+  match o with
+  | Add -> F32.add x y
+  | Sub -> F32.sub x y
+  | Mul -> F32.mul x y
+  | Div -> F32.div x y
+  | Min -> F32.min x y
+  | Max -> F32.max x y
+
+let funop_s (o : Ir.funop) x =
+  let x = F32.round x in
+  match o with Sqrt -> F32.sqrt x | Neg -> F32.neg x | Abs -> F32.abs x
+
+let flibm_s (o : Ir.flibm) x =
+  let x = F32.round x in
+  match o with
+  | Sin -> F32.sin x
+  | Cos -> F32.cos x
+  | Tan -> F32.tan x
+  | Exp -> F32.exp x
+  | Log -> F32.log x
+  | Atan -> F32.atan x
+
+let cmp (c : Ir.cmpop) (x : float) (y : float) =
+  let b =
+    match c with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Lt -> x < y
+    | Le -> x <= y
+    | Gt -> x > y
+    | Ge -> x >= y
+  in
+  if b then 1 else 0
+
+(* ---- frame tracking ---------------------------------------------------- *)
+
+let flush_resync (frame : frame) =
+  match frame.resync with
+  | [] -> ()
+  | rs ->
+      List.iter (fun r -> frame.sfr.(r) <- frame.fr.(r)) rs;
+      frame.resync <- []
+
+(* Pop [top]: its function returned. Resync any trailing untraced writes,
+   then flow its shadow return registers into the caller's pending call. *)
+let pop_frame (top : frame) (caller : frame) =
+  flush_resync top;
+  match caller.pending_call with
+  | Some call ->
+      Array.iteri
+        (fun k r ->
+          if k < Array.length top.func.ret_fregs then
+            caller.sfr.(r) <- top.sfr.(top.func.ret_fregs.(k)))
+        call.frets;
+      caller.pending_call <- None
+  | None -> ()
+
+let push_frame t (fr : float array) addr =
+  let fid = t.fid_at.(addr) in
+  let func = t.prog.funcs.(fid) in
+  (* default shadow = the actual entry values (argument slots were blitted,
+     the rest are zeros — both exact); when the caller's pending call
+     matches, the argument slots take the caller's shadows instead *)
+  let sfr = Array.copy fr in
+  (match t.stack with
+  | { pending_call = Some call; sfr = caller_sfr; _ } :: _ when call.callee = fid ->
+      Array.iteri (fun k r -> sfr.(k) <- caller_sfr.(r)) call.fargs
+  | _ -> ());
+  t.stack <- { fr; sfr; func; pending_call = None; resync = [] } :: t.stack
+
+(* Re-point the shadow stack at the frame the VM is actually executing. *)
+let sync t (vm : Vm.t) addr =
+  let fr = vm.Vm.cur_fregs in
+  let rec unwind () =
+    match t.stack with
+    | top :: _ when top.fr == fr -> ()
+    | top :: (caller :: _ as rest) when List.exists (fun (g : frame) -> g.fr == fr) rest ->
+        t.stack <- rest;
+        pop_frame top caller;
+        unwind ()
+    | _ -> push_frame t fr addr
+  in
+  unwind ();
+  (* still in the same frame with a call pending: the callee executed no
+     instructions (the tracer never saw it) — trust the actual returns *)
+  match t.stack with
+  | ({ pending_call = Some call; _ } as top) :: _ when top.fr == fr ->
+      Array.iter (fun r -> top.sfr.(r) <- fr.(r)) call.frets;
+      top.pending_call <- None
+  | _ -> ()
+
+(* ---- per-instruction processing ---------------------------------------- *)
+
+let eaddr (ir : int array) ({ base; index; scale; offset } : Ir.mem) bound =
+  let a =
+    offset
+    + (match base with Some r -> ir.(r) | None -> 0)
+    + (match index with Some r -> ir.(r) * scale | None -> 0)
+  in
+  if a < 0 || a >= bound then None else Some a
+
+let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
+  let fr = frame.fr and sfr = frame.sfr in
+  let single = t.single_at.(addr) in
+  let defer r = frame.resync <- r :: frame.resync in
+  match op with
+  | Fbin (D, o, d, a, b) ->
+      let da = fr.(a) and db = fr.(b) in
+      let sa = sfr.(a) and sb = sfr.(b) in
+      let dres = fbin_d o da db in
+      let sres, local =
+        if single then
+          let s = fbin_s o sa sb in
+          (s, rel s (fbin_d o sa sb))
+        else (fbin_d o sa sb, 0.0)
+      in
+      sfr.(d) <- sres;
+      let mag = Float.max (Float.abs da) (Float.abs db) in
+      let opdiv = Float.max (rel sa da) (rel sb db) in
+      let cancel = (match o with Add | Sub -> cancelled dres mag | _ -> false) in
+      observe t addr ~mag ~local ~s:sres ~d:dres ~cancel ~opdiv
+  | Fbinp (D, o, d, a, b) ->
+      for lane = 0 to 1 do
+        let da = fr.(a + lane) and db = fr.(b + lane) in
+        let sa = sfr.(a + lane) and sb = sfr.(b + lane) in
+        let dres = fbin_d o da db in
+        let sres, local =
+          if single then
+            let s = fbin_s o sa sb in
+            (s, rel s (fbin_d o sa sb))
+          else (fbin_d o sa sb, 0.0)
+        in
+        sfr.(d + lane) <- sres;
+        let mag = Float.max (Float.abs da) (Float.abs db) in
+        let opdiv = Float.max (rel sa da) (rel sb db) in
+        let cancel = (match o with Add | Sub -> cancelled dres mag | _ -> false) in
+        observe t addr ~mag ~local ~s:sres ~d:dres ~cancel ~opdiv
+      done
+  | Funop (D, o, d, a) ->
+      let da = fr.(a) and sa = sfr.(a) in
+      let dres = funop_d o da in
+      let sres, local =
+        if single then
+          let s = funop_s o sa in
+          (s, rel s (funop_d o sa))
+        else (funop_d o sa, 0.0)
+      in
+      sfr.(d) <- sres;
+      observe t addr ~mag:(Float.abs da) ~local ~s:sres ~d:dres ~cancel:false
+        ~opdiv:(rel sa da)
+  | Flibm (D, o, d, a) ->
+      let da = fr.(a) and sa = sfr.(a) in
+      let dres = flibm_d o da in
+      let sres, local =
+        if single then
+          let s = flibm_s o sa in
+          (s, rel s (flibm_d o sa))
+        else (flibm_d o sa, 0.0)
+      in
+      sfr.(d) <- sres;
+      observe t addr ~mag:(Float.abs da) ~local ~s:sres ~d:dres ~cancel:false
+        ~opdiv:(rel sa da)
+  | Fcmp (D, c, d, a, b) ->
+      ignore d;
+      let actual = cmp c fr.(a) fr.(b) in
+      let shadow =
+        if single then cmp c (F32.round sfr.(a)) (F32.round sfr.(b))
+        else cmp c sfr.(a) sfr.(b)
+      in
+      observe_flip t addr
+        ~mag:(Float.max (Float.abs fr.(a)) (Float.abs fr.(b)))
+        ~flipped:(actual <> shadow)
+  | Fconst (D, d, x) ->
+      let sres = if single then F32.round x else x in
+      sfr.(d) <- sres;
+      observe t addr ~mag:(Float.abs x) ~local:(rel sres x) ~s:sres ~d:x ~cancel:false
+        ~opdiv:0.0
+  | Fcvt_i2f (D, d, a) ->
+      let x = float_of_int vm.Vm.cur_iregs.(a) in
+      let sres = if single then F32.round x else x in
+      sfr.(d) <- sres;
+      observe t addr ~mag:(Float.abs x) ~local:(rel sres x) ~s:sres ~d:x ~cancel:false
+        ~opdiv:0.0
+  | Fcvt_f2i (D, d, a) ->
+      ignore d;
+      let da = fr.(a) and sa = sfr.(a) in
+      let actual = int_of_float da in
+      let shadow = int_of_float (if single then F32.round sa else sa) in
+      observe_flip t addr ~mag:(Float.abs da) ~flipped:(actual <> shadow)
+  | Fmov (d, a) -> sfr.(d) <- sfr.(a)
+  | Fload (d, m) -> (
+      match eaddr vm.Vm.cur_iregs m (Array.length t.sheap) with
+      | Some ea -> sfr.(d) <- t.sheap.(ea)
+      | None -> () (* the VM traps on this instruction *))
+  | Fstore (m, a) -> (
+      match eaddr vm.Vm.cur_iregs m (Array.length t.sheap) with
+      | Some ea -> t.sheap.(ea) <- sfr.(a)
+      | None -> ())
+  | Call c -> frame.pending_call <- Some c
+  (* source-level single ops and snippet casts write values the shadow does
+     not model (replaced encodings); refresh from the actual register at
+     the next observation point in this frame *)
+  | Fbin (S, _, d, _, _) -> defer d
+  | Fbinp (S, _, d, _, _) ->
+      defer d;
+      defer (d + 1)
+  | Funop (S, _, d, _) -> defer d
+  | Flibm (S, _, d, _) -> defer d
+  | Fconst (S, d, _) -> defer d
+  | Fcvt_i2f (S, d, _) -> defer d
+  | Fdowncast (d, _) -> defer d
+  | Fupcast (d, _) -> defer d
+  | Fcmp (S, _, _, _, _) | Fcvt_f2i (S, _, _) -> ()
+  | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _ | Istore _ -> ()
+  | Ftestflag _ | Fexpo _ -> ()
+
+let hook t (vm : Vm.t) addr =
+  if not t.primed then begin
+    t.sheap <- Array.copy vm.Vm.fheap;
+    t.primed <- true
+  end;
+  sync t vm addr;
+  match t.stack with
+  | frame :: _ ->
+      flush_resync frame;
+      (match t.op_at.(addr) with Some op -> process t vm frame addr op | None -> ())
+  | [] -> ()
+
+let attach t vm =
+  t.sheap <- [||];
+  t.primed <- false;
+  t.stack <- [];
+  Vm.add_hook vm (fun vm addr -> hook t vm addr)
+
+let trace ?checked ?smode t ~setup =
+  let vm = Vm.create ?checked ?smode t.prog in
+  setup vm;
+  let (_ : int) = attach t vm in
+  Vm.run vm;
+  vm
+
+let stats t = t.stats
+
+let shadow_heap t =
+  (* trailing resyncs and shadow returns of frames that were live when the
+     run ended are irrelevant to the heap: stores flow through [sheap]
+     directly *)
+  t.sheap
+
+let observations t =
+  Array.fold_left (fun acc st -> acc + st.execs) 0 t.stats

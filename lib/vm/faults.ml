@@ -122,12 +122,13 @@ let arm t ~key vm =
       | Corrupt -> Mutex.protect t.lock (fun () -> Hashtbl.replace t.armed key mode)
       | _ ->
           let countdown = ref trigger in
-          vm.Vm.hook <-
-            Some
+          let hook_id = ref (-1) in
+          hook_id :=
+            Vm.add_hook vm
               (fun vm addr ->
                 decr countdown;
                 if !countdown = 0 then begin
-                  vm.Vm.hook <- None;
+                  Vm.remove_hook vm !hook_id;
                   match mode with
                   | Trap ->
                       record_fire t;

@@ -15,8 +15,19 @@ type t = {
   max_steps : int;
   mutable steps : int;
   mutable ran : bool;
-  mutable hook : (t -> int -> unit) option;
+  mutable hooks : (int * (t -> int -> unit)) list;
+  mutable next_hook_id : int;
+  mutable cur_fregs : float array;
+  mutable cur_iregs : int array;
 }
+
+let add_hook t h =
+  let id = t.next_hook_id in
+  t.next_hook_id <- id + 1;
+  t.hooks <- t.hooks @ [ (id, h) ];
+  id
+
+let remove_hook t id = t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
 
 (* Domain-local watchdog: a supervisor (Search.Pool's monitor) installs a
    callback on the worker domain before it evaluates, and every VM created on
@@ -54,7 +65,10 @@ let create ?(checked = false) ?(smode = Flagged) ?(max_steps = 2_000_000_000) pr
     max_steps;
     steps = 0;
     ran = false;
-    hook = None;
+    hooks = [];
+    next_hook_id = 0;
+    cur_fregs = [||];
+    cur_iregs = [||];
   }
 
 let is_replaced = Replaced.is_replaced
@@ -183,6 +197,10 @@ let run t =
     let ir = Array.make f.n_iregs 0 in
     Array.blit fargs 0 fr 0 (Array.length fargs);
     Array.blit iargs 0 ir 0 (Array.length iargs);
+    (* expose the active frame to hooks; each invocation's register arrays
+       are fresh, so their physical identity distinguishes call frames *)
+    t.cur_fregs <- fr;
+    t.cur_iregs <- ir;
     let eaddr addr ({ base; index; scale; offset } : Ir.mem) bound =
       let a =
         offset
@@ -193,7 +211,12 @@ let run t =
     in
     let step ({ addr; op } : Ir.instr) =
       counts.(addr) <- counts.(addr) + 1;
-      (match t.hook with Some h -> h t addr | None -> ());
+      (* installation order; the list is an immutable snapshot, so a hook
+         removing itself (Faults does) cannot disturb the iteration *)
+      (match t.hooks with
+      | [] -> ()
+      | [ (_, h) ] -> h t addr
+      | hs -> List.iter (fun (_, h) -> h t addr) hs);
       (match watchdog with Some w -> w t addr | None -> ());
       match op with
       | Fbin (D, o, d, a, b) -> fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b))
@@ -232,6 +255,8 @@ let run t =
           let fa = Array.map (fun r -> fr.(r)) fargs in
           let ia = Array.map (fun r -> ir.(r)) iargs in
           let rf, ri = exec_func g fa ia in
+          t.cur_fregs <- fr;
+          t.cur_iregs <- ir;
           Array.iteri (fun k r -> fr.(r) <- rf.(k)) frets;
           Array.iteri (fun k r -> ir.(r) <- ri.(k)) irets
       | Ftestflag (d, a) -> ir.(d) <- if is_replaced fr.(a) then 1 else 0

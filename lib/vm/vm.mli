@@ -44,11 +44,31 @@ type t = {
   max_steps : int;
   mutable steps : int;
   mutable ran : bool;  (** set by {!run}; a state executes at most once *)
-  mutable hook : (t -> int -> unit) option;
-      (** observation/fault-injection hook, called with the state and the
-          instruction address before every executed instruction; may raise
-          (e.g. {!Trap}) or mutate the state ({!Faults} uses both) *)
+  mutable hooks : (int * (t -> int -> unit)) list;
+      (** observation/fault-injection hooks with their registration ids,
+          kept in installation order; manage through {!add_hook} and
+          {!remove_hook} rather than mutating directly *)
+  mutable next_hook_id : int;
+  mutable cur_fregs : float array;
+      (** float registers of the frame currently executing — valid inside a
+          hook; each call frame allocates fresh arrays, so physical identity
+          ([==]) identifies the frame across hook invocations *)
+  mutable cur_iregs : int array;  (** integer registers of the same frame *)
 }
+
+val add_hook : t -> (t -> int -> unit) -> int
+(** Install an observation/fault-injection hook; returns a registration id
+    for {!remove_hook}. Hooks are called with the state and the instruction
+    address before every executed instruction, in installation order (the
+    fault injector armed before an observation tracer fires first, so the
+    tracer sees the faulted state the program actually executes); a hook may
+    raise (e.g. {!Trap}) or mutate the state ({!Faults} uses both).
+    Installing multiple hooks composes — the shadow tracer and the fault
+    injector stack instead of evicting each other. *)
+
+val remove_hook : t -> int -> unit
+(** Uninstall the hook registered under this id (no-op if absent). Safe to
+    call from inside the hook itself during execution. *)
 
 val create : ?checked:bool -> ?smode:smode -> ?max_steps:int -> Ir.program -> t
 (** Fresh state with zeroed heaps and counters. [checked] defaults to

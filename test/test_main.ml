@@ -21,5 +21,6 @@ let () =
       ("kernels", Test_kernels.suite);
       ("superlu", Test_superlu.suite);
       ("analysis", Test_analysis.suite);
+      ("shadow", Test_shadow.suite);
       ("fuzz", Test_fuzz.suite);
     ]
