@@ -668,6 +668,124 @@ let shadow_bench () =
   close_out oc;
   Format.printf "(written to BENCH_shadow.json)@."
 
+(* ------------------------------------------------- compiled VM backend *)
+
+(* Interp-vs-compiled: per-evaluation wall time of one checked patched run
+   (the search's unit of work), then two full BFS campaigns per kernel —
+   one per backend — checking that results are identical and reporting the
+   code cache's hit rate across the campaign. Emits BENCH_vm.json. *)
+let vm_bench () =
+  section "Closure-compiled backend: per-eval speedup and campaign wall time";
+  let kernels = fig_kernels [ Kernel.W ] in
+  let best_of reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Format.printf "per-evaluation (checked patched run, hints config, best of 3):@.";
+  Format.printf "%-8s %12s %14s %9s@." "kernel" "interp (s)" "compiled (s)" "speedup";
+  let per_eval =
+    List.map
+      (fun (k : Kernel.t) ->
+        let patched = Patcher.patch k.Kernel.program k.Kernel.hints in
+        let eval runner () =
+          let vm = Vm.create ~checked:true patched in
+          k.Kernel.setup vm;
+          runner vm
+        in
+        let cache = Compile.create_cache () in
+        (* warm both paths once: first compiled run pays the compile *)
+        eval Vm.run ();
+        eval (fun vm -> Compile.run ~cache vm) ();
+        let interp_s = best_of 3 (eval Vm.run) in
+        let compiled_s = best_of 3 (eval (fun vm -> Compile.run ~cache vm)) in
+        let speedup = interp_s /. Float.max 1e-9 compiled_s in
+        Format.printf "%-8s %12.4f %14.4f %8.2fX@." k.Kernel.name interp_s compiled_s
+          speedup;
+        (k.Kernel.name, interp_s, compiled_s, speedup))
+      kernels
+  in
+  let campaign backend (k : Kernel.t) =
+    let h, target = Harness.wrap_target (Kernel.target ~backend k) in
+    let t0 = Unix.gettimeofday () in
+    let res =
+      Bfs.search ~options:{ Bfs.default_options with base = k.Kernel.hints } target
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (res, dt, Harness.counters_list h, target.Bfs.Target.code_cache)
+  in
+  Format.printf "@.full BFS campaign per backend:@.";
+  Format.printf "%-8s %12s %14s %9s %7s %11s@." "kernel" "interp (s)" "compiled (s)"
+    "speedup" "evals" "cache hits";
+  let campaigns =
+    List.map
+      (fun (k : Kernel.t) ->
+        let ri, interp_s, vi, _ = campaign Compile.Interp k in
+        let rc, compiled_s, vc, cache = campaign Compile.Compiled k in
+        let same_final =
+          Config.digest k.Kernel.program ri.Bfs.final
+          = Config.digest k.Kernel.program rc.Bfs.final
+        in
+        let same_verdicts = vi = vc in
+        if not (same_final && same_verdicts) then begin
+          (* equivalence is the point of this section: make CI smoke runs
+             fail loudly instead of archiving a wrong JSON *)
+          Format.printf
+            "!! %s: backends disagree (final identical: %b, verdicts identical: %b)@."
+            k.Kernel.name same_final same_verdicts;
+          exit 1
+        end;
+        let stats =
+          match cache with
+          | Some c -> Compile.stats c
+          | None -> { Code_cache.hits = 0; misses = 0; entries = 0 }
+        in
+        let rate = Code_cache.hit_rate stats in
+        Format.printf "%-8s %12.3f %14.3f %8.2fX %7d %10.1f%%@." k.Kernel.name interp_s
+          compiled_s
+          (interp_s /. Float.max 1e-9 compiled_s)
+          rc.Bfs.tested (100.0 *. rate);
+        ( k.Kernel.name,
+          interp_s,
+          compiled_s,
+          rc.Bfs.tested,
+          same_final,
+          same_verdicts,
+          stats,
+          rate ))
+      [ Nas_cg.make Kernel.W; Nas_mg.make Kernel.W ]
+  in
+  let oc = open_out "BENCH_vm.json" in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"per_eval\": [\n"
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (name, interp_s, compiled_s, speedup) ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"interp_s\": %.6f, \"compiled_s\": %.6f, \"speedup\": \
+         %.3f }%s\n"
+        name interp_s compiled_s speedup
+        (if i = List.length per_eval - 1 then "" else ","))
+    per_eval;
+  Printf.fprintf oc "  ],\n  \"campaigns\": [\n";
+  List.iteri
+    (fun i (name, interp_s, compiled_s, evals, same_final, same_verdicts, stats, rate) ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"interp_s\": %.6f, \"compiled_s\": %.6f, \"speedup\": \
+         %.3f, \"evals\": %d, \"identical_final\": %b, \"identical_verdicts\": %b, \
+         \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f }%s\n"
+        name interp_s compiled_s
+        (interp_s /. Float.max 1e-9 compiled_s)
+        evals same_final same_verdicts stats.Code_cache.hits stats.Code_cache.misses rate
+        (if i = List.length campaigns - 1 then "" else ","))
+    campaigns;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_vm.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -745,6 +863,7 @@ let sections =
     ("packed", packed);
     ("pool", pool_bench);
     ("shadow", shadow_bench);
+    ("vm", vm_bench);
     ("micro", microbench);
   ]
 

@@ -237,9 +237,21 @@ let shadow_prune_arg =
            Candidates with observed control-flow flips are never pruned. A value <= 0 \
            disables pruning (default 1e-1).")
 
+let backend_arg =
+  Arg.(
+    value & opt string "compiled"
+    & info [ "backend" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine for candidate evaluations: $(b,compiled) (per-block closure \
+           compilation with a campaign-wide code cache; the default) or $(b,interp) (the \
+           reference interpreter). Both produce identical verdicts; evaluations with \
+           hooks installed (e.g. $(b,--inject)) fall back to the interpreter \
+           automatically.")
+
 let search_cmd =
   let run name cls workers out strategy journal_path resume retries eval_steps inject
-      deadline checkpoint_path quarantine_after use_shadow shadow_threshold shadow_prune =
+      deadline checkpoint_path quarantine_after use_shadow shadow_threshold shadow_prune
+      backend_name =
     with_kernel name cls (fun k ->
         if resume && journal_path = None && checkpoint_path = None then begin
           prerr_endline "craft: --resume requires --journal FILE or --checkpoint FILE";
@@ -252,11 +264,20 @@ let search_cmd =
                 (or_die (Result.map_error (fun e -> "--inject: " ^ e) (Faults.parse text))))
             inject
         in
+        let backend =
+          match Compile.backend_of_string backend_name with
+          | Some b -> b
+          | None ->
+              prerr_endline
+                (Printf.sprintf "craft: unknown backend %S (use compiled or interp)"
+                   backend_name);
+              exit 1
+        in
         let harness, target =
           (* silent injected corruption forges verification failures, so
              retries extend to fail-verify whenever the injector is armed *)
           Harness.wrap_target ~retries ~retry_fail_verify:(faults <> None)
-            (Kernel.target ?eval_steps ?faults k)
+            (Kernel.target ?eval_steps ?faults ~backend k)
         in
         let journal =
           Option.map (fun p -> Journal.create ~resume ~path:p k.Kernel.program) journal_path
@@ -387,7 +408,7 @@ let search_cmd =
       const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
       $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg $ deadline_arg
       $ checkpoint_arg $ quarantine_arg $ shadow_flag $ shadow_threshold_arg
-      $ shadow_prune_arg)
+      $ shadow_prune_arg $ backend_arg)
 
 let shadow_cmd =
   let threshold_arg =

@@ -34,9 +34,9 @@ let run_converted k =
   Vm.run vm;
   (k.output vm, vm)
 
-let target ?eval_steps ?faults k =
-  Bfs.Target.make ?eval_steps ?faults k.program ~setup:k.setup ~output:k.output
-    ~verify:k.verify
+let target ?eval_steps ?faults ?backend k =
+  Bfs.Target.make ?eval_steps ?faults ?backend k.program ~setup:k.setup
+    ~output:k.output ~verify:k.verify
 
 let check_reference k =
   let out, _ = run_native k in

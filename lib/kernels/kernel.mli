@@ -36,10 +36,13 @@ val run_patched : ?config:Config.t -> t -> float array * Vm.t
 val run_converted : t -> float array * Vm.t
 (** The manually-converted all-single binary (plain single semantics). *)
 
-val target : ?eval_steps:int -> ?faults:Faults.t -> t -> Bfs.Target.t
-(** Search target with the benchmark's verification routine. [eval_steps]
-    and [faults] are passed through to {!Bfs.Target.make} (per-evaluation
-    step budget, deterministic fault injection). *)
+val target :
+  ?eval_steps:int -> ?faults:Faults.t -> ?backend:Compile.backend -> t -> Bfs.Target.t
+(** Search target with the benchmark's verification routine. [eval_steps],
+    [faults] and [backend] are passed through to {!Bfs.Target.make}
+    (per-evaluation step budget, deterministic fault injection, execution
+    engine — default the compiled backend with a campaign-wide code
+    cache). *)
 
 val check_reference : t -> bool
 (** Native run matches the host reference bit-for-bit. *)

@@ -6,20 +6,32 @@ module Target = struct
     eval : Config.t -> bool;
     raw_eval : Config.t -> bool;
     profile : unit -> int array;
+    code_cache : Compile.cache option;
   }
 
-  let make ?eval_steps ?faults program ~setup ~output ~verify =
+  let make ?eval_steps ?faults ?(backend = Compile.Compiled) program ~setup ~output ~verify =
+    let code_cache =
+      match backend with
+      | Compile.Compiled -> Some (Compile.create_cache ())
+      | Compile.Interp -> None
+    in
     let raw_eval cfg =
       let patched = Patcher.patch program cfg in
       let vm = Vm.create ~checked:true ?max_steps:eval_steps patched in
       setup vm;
-      (match faults with
-      | None -> Vm.run vm
-      | Some inj ->
+      (match (faults, code_cache) with
+      | Some inj, _ ->
+          (* the fault injector owns the run: its hook must see every
+             instruction, so the evaluation always interprets *)
           let key = Config.digest program cfg in
           Faults.arm inj ~key vm;
           Vm.run vm;
-          Faults.finish inj ~key vm);
+          Faults.finish inj ~key vm
+      | None, Some cache ->
+          (* any hook installed by [setup] (shadow tracer, test probe)
+             makes Compile.run fall back to the interpreter by itself *)
+          Compile.run ~cache vm
+      | None, None -> Vm.run vm);
       verify (output vm)
     in
     let eval cfg =
@@ -34,7 +46,7 @@ module Target = struct
       Vm.run vm;
       vm.counts
     in
-    { program; eval; raw_eval; profile }
+    { program; eval; raw_eval; profile; code_cache }
 end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level

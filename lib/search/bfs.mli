@@ -49,11 +49,18 @@ module Target : sig
             into verdicts; [eval] is the legacy contained view of it. *)
     profile : unit -> int array;
         (** address-indexed dynamic execution counts from one native run *)
+    code_cache : Compile.cache option;
+        (** the compiled-block cache shared by every evaluation of this
+            target, when it was built with [backend:Compiled] (the
+            default); [None] for pure-interpreter targets. Read its
+            hit/miss stats through {!Compile.stats} — {!Harness.wrap_target}
+            surfaces them in the harness report. *)
   }
 
   val make :
     ?eval_steps:int ->
     ?faults:Faults.t ->
+    ?backend:Compile.backend ->
     Ir.program ->
     setup:(Vm.t -> unit) ->
     output:(Vm.t -> float array) ->
@@ -65,7 +72,15 @@ module Target : sig
       failure. [eval_steps] caps the VM step budget of each evaluation
       (default 2e9) — a configuration that loops or merely exceeds it is a
       step-timeout, not a stuck campaign. [faults] arms the deterministic
-      fault injector around every evaluation (never around [profile]). *)
+      fault injector around every evaluation (never around [profile]).
+
+      [backend] selects the execution engine for plain evaluations
+      (default {!Compile.Compiled}, sharing one {!Compile.cache} across
+      the whole campaign). Evaluations with [faults] armed, and runs where
+      [setup] installs a VM hook, always go through the interpreter —
+      {!Compile.run}'s own fallback rule — so the backend choice never
+      changes observable results. [profile] always interprets (it runs the
+      unpatched program once; compiling it buys nothing). *)
 end
 
 type granularity = Module_level | Func_level | Block_level | Insn_level

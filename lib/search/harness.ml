@@ -34,16 +34,18 @@ type t = {
   retries : int;
   backoff : int;
   retry_fail_verify : bool;
+  cache : Compile.cache option;
   c : counters;
   lock : Mutex.t;
 }
 
-let make ?(retries = 0) ?(backoff = 1) ?(retry_fail_verify = false) raw =
+let make ?(retries = 0) ?(backoff = 1) ?(retry_fail_verify = false) ?cache raw =
   {
     raw;
     retries = max 0 retries;
     backoff = max 0 backoff;
     retry_fail_verify;
+    cache;
     c =
       {
         evaluations = 0;
@@ -146,11 +148,17 @@ let eval_bool t cfg = match eval t cfg with Pass -> true | _ -> false
 
 let report t =
   let c = t.c in
-  Printf.sprintf
-    "verdicts: pass=%d fail=%d trap=%d timeout=%d crash=%d | %d evaluations, %d attempts, %d retried, backoff %d units"
-    c.pass c.fail_verify c.trapped c.timed_out c.crashed c.evaluations c.attempts c.retried
-    c.backoff_units
+  let base =
+    Printf.sprintf
+      "verdicts: pass=%d fail=%d trap=%d timeout=%d crash=%d | %d evaluations, %d attempts, %d retried, backoff %d units"
+      c.pass c.fail_verify c.trapped c.timed_out c.crashed c.evaluations c.attempts c.retried
+      c.backoff_units
+  in
+  match t.cache with None -> base | Some cc -> base ^ " | " ^ Compile.report cc
 
 let wrap_target ?retries ?backoff ?retry_fail_verify (target : Bfs.Target.t) =
-  let h = make ?retries ?backoff ?retry_fail_verify target.Bfs.Target.raw_eval in
+  let h =
+    make ?retries ?backoff ?retry_fail_verify ?cache:target.Bfs.Target.code_cache
+      target.Bfs.Target.raw_eval
+  in
   (h, { target with Bfs.Target.eval = (fun cfg -> eval_bool h cfg) })

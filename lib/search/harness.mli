@@ -82,6 +82,7 @@ val make :
   ?retries:int ->
   ?backoff:int ->
   ?retry_fail_verify:bool ->
+  ?cache:Compile.cache ->
   (Config.t -> bool) ->
   t
 (** [make raw] wraps a raising evaluator. [retries] (default 0) bounds the
@@ -89,7 +90,9 @@ val make :
     backoff delay is [backoff * 2^(k-1)] units (default base 1, recorded
     in the counters — the VM world has no wall clock to actually sleep
     on), saturating at {!max_backoff_unit} per delay so large retry
-    budgets can't overflow the accounting. [retry_fail_verify] (default
+    budgets can't overflow the accounting. [cache] attaches the target's
+    compiled-block cache so {!report} can append its hit/miss line.
+    [retry_fail_verify] (default
     false) extends retrying to {!Fail_verify}, for campaigns where
     injected silent corruption can forge verification failures. *)
 
@@ -118,11 +121,15 @@ val restore_counters : t -> (string * int) list -> unit
 
 val report : t -> string
 (** One-line verdict breakdown, e.g.
-    ["verdicts: pass=12 fail=30 trap=3 timeout=1 crash=0 | 46 evaluations, 47 attempts, 4 retried, backoff 7 units"]. *)
+    ["verdicts: pass=12 fail=30 trap=3 timeout=1 crash=0 | 46 evaluations, 47 attempts, 4 retried, backoff 7 units"];
+    when a compiled-block cache is attached, the {!Compile.report} line
+    (hits / misses / hit rate) is appended. *)
 
 val wrap_target : ?retries:int -> ?backoff:int -> ?retry_fail_verify:bool ->
   Bfs.Target.t -> t * Bfs.Target.t
 (** Build a harness over the target's {!Bfs.Target.raw_eval} and return it
     together with the same target whose [eval] is the harness's
     {!eval_bool} — drop-in resilience (containment + retries + counters)
-    for {!Bfs.search} and every {!Strategies} search. *)
+    for {!Bfs.search} and every {!Strategies} search. The target's
+    {!Bfs.Target.code_cache} (if any) is attached, so the harness report
+    also carries the campaign's code-cache hit rate. *)

@@ -18,7 +18,12 @@
     under {!Pool} supervision (wall-clock deadline, hung-evaluation
     abandonment) — the strategies stay sequential, but a hung or dying
     evaluation can no longer freeze them. The caller keeps pool
-    ownership. *)
+    ownership.
+
+    The execution backend rides inside the target: a target built with
+    [backend:Compiled] (the {!Bfs.Target.make} default) evaluates every
+    strategy configuration through {!Compile.run} against the campaign's
+    shared code cache; nothing here needs to know which engine runs. *)
 
 type result = {
   final : Config.t;

@@ -10,6 +10,7 @@ type t = {
   iheap : int array;
   counts : int array;
   bcounts : int array;
+  cand_addrs : int array;
   checked : bool;
   smode : smode;
   max_steps : int;
@@ -45,6 +46,8 @@ let with_watchdog w f =
   cell := Some w;
   Fun.protect ~finally:(fun () -> cell := saved) f
 
+let installed_watchdog () = !(Domain.DLS.get watchdog_key)
+
 let max_addr_of (p : Ir.program) = Static.max_addr p
 
 let max_label_of (p : Ir.program) =
@@ -53,6 +56,23 @@ let max_label_of (p : Ir.program) =
       Array.fold_left (fun acc (b : Ir.block) -> max acc b.label) acc f.blocks)
     0 p.funcs
 
+(* Addresses of candidate FP instructions, collected once per state so
+   {!fp_ops_executed} — called per evaluation by the harness and bench —
+   sums a short vector instead of rescanning the whole program. *)
+let cand_addrs_of (p : Ir.program) =
+  let acc = ref [] in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (fun ({ addr; op } : Ir.instr) ->
+              if Ir.is_candidate op then acc := addr :: !acc)
+            b.instrs)
+        f.blocks)
+    p.funcs;
+  Array.of_list (List.rev !acc)
+
 let create ?(checked = false) ?(smode = Flagged) ?(max_steps = 2_000_000_000) prog =
   {
     prog;
@@ -60,6 +80,7 @@ let create ?(checked = false) ?(smode = Flagged) ?(max_steps = 2_000_000_000) pr
     iheap = Array.make prog.iheap_size 0;
     counts = Array.make (max_addr_of prog + 1) 0;
     bcounts = Array.make (max_label_of prog + 1) 0;
+    cand_addrs = cand_addrs_of prog;
     checked;
     smode;
     max_steps;
@@ -223,12 +244,19 @@ let run t =
       | Fbin (S, o, d, a, b) ->
           fr.(d) <- sres t (fbin_s o (ops t addr fr.(a)) (ops t addr fr.(b)))
       | Fbinp (D, o, d, a, b) ->
-          (* lane 0 then lane 1, as hardware does element-wise *)
-          fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b));
-          fr.(d + 1) <- fbin_d o (opd t addr fr.(a + 1)) (opd t addr fr.(b + 1))
+          (* both lanes read their operands before either result lands, as a
+             packed register file does element-wise — with write-then-read,
+             overlapping windows (d = a - 1, d = b - 1, ...) would feed lane
+             0's result into lane 1's operands *)
+          let x0 = opd t addr fr.(a) and y0 = opd t addr fr.(b) in
+          let x1 = opd t addr fr.(a + 1) and y1 = opd t addr fr.(b + 1) in
+          fr.(d) <- fbin_d o x0 y0;
+          fr.(d + 1) <- fbin_d o x1 y1
       | Fbinp (S, o, d, a, b) ->
-          fr.(d) <- sres t (fbin_s o (ops t addr fr.(a)) (ops t addr fr.(b)));
-          fr.(d + 1) <- sres t (fbin_s o (ops t addr fr.(a + 1)) (ops t addr fr.(b + 1)))
+          let x0 = ops t addr fr.(a) and y0 = ops t addr fr.(b) in
+          let x1 = ops t addr fr.(a + 1) and y1 = ops t addr fr.(b + 1) in
+          fr.(d) <- sres t (fbin_s o x0 y0);
+          fr.(d + 1) <- sres t (fbin_s o x1 y1)
       | Funop (D, o, d, a) -> fr.(d) <- funop_d o (opd t addr fr.(a))
       | Funop (S, o, d, a) -> fr.(d) <- sres t (funop_s o (ops t addr fr.(a)))
       | Flibm (D, o, d, a) -> fr.(d) <- flibm_d o (opd t addr fr.(a))
@@ -303,15 +331,4 @@ let write_i t base a = Array.blit a 0 t.iheap base (Array.length a)
 let read_f t base n = Array.init n (fun k -> get_f_value t (base + k))
 
 let fp_ops_executed t =
-  let total = ref 0 in
-  Array.iter
-    (fun (f : Ir.func) ->
-      Array.iter
-        (fun (b : Ir.block) ->
-          Array.iter
-            (fun ({ addr; op } : Ir.instr) ->
-              if Ir.is_candidate op then total := !total + t.counts.(addr))
-            b.instrs)
-        f.blocks)
-    t.prog.funcs;
-  !total
+  Array.fold_left (fun acc addr -> acc + t.counts.(addr)) 0 t.cand_addrs

@@ -39,6 +39,10 @@ type t = {
   iheap : int array;
   counts : int array;  (** executions per instruction address *)
   bcounts : int array;  (** executions per block label *)
+  cand_addrs : int array;
+      (** addresses of candidate FP instructions, indexed once at creation
+          so {!fp_ops_executed} is O(candidates) per call instead of
+          rescanning the program *)
   checked : bool;
   smode : smode;
   max_steps : int;
@@ -91,6 +95,12 @@ val with_watchdog : (t -> int -> unit) -> (unit -> 'a) -> 'a
     supervision channel of {!Pool}: it publishes heartbeats and raises
     {!Deadline} when the monitor flags the task as over-deadline. Nests and
     restores the previous watchdog on exit (even by exception). *)
+
+val installed_watchdog : unit -> (t -> int -> unit) option
+(** The calling domain's current watchdog, if a supervisor installed one
+    with {!with_watchdog}. Alternative execution engines ({!Compile.run})
+    fetch it once per run and drive it themselves, exactly as {!run}
+    does. *)
 
 val get_f : t -> int -> float
 (** Raw pattern at a float-heap slot (may be a replaced encoding). *)

@@ -22,5 +22,6 @@ let () =
       ("superlu", Test_superlu.suite);
       ("analysis", Test_analysis.suite);
       ("shadow", Test_shadow.suite);
+      ("compile", Test_compile.suite);
       ("fuzz", Test_fuzz.suite);
     ]
