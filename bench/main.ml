@@ -786,6 +786,188 @@ let vm_bench () =
   close_out oc;
   Format.printf "(written to BENCH_vm.json)@."
 
+(* ---------------------------------------------------- campaign server *)
+
+(* The serving layer end-to-end over a real Unix socket: concurrent
+   clients submit overlapping cg/mg campaigns to one in-process daemon
+   sharing a worker pool, a code cache and the cross-campaign result
+   store. Asserts — exit 1 on divergence — that served campaigns produce
+   final configurations identical to inline search and that a duplicate
+   cg.W campaign is served >= 50% from the store. Emits BENCH_server.json. *)
+let server_bench () =
+  section "Campaign server: concurrent clients, cross-campaign dedup";
+  let resolve (spec : Wire.job_spec) =
+    match (spec.Wire.bench, spec.Wire.cls) with
+    | "cg", "W" -> Ok (Nas_cg.make Kernel.W)
+    | "mg", "W" -> Ok (Nas_mg.make Kernel.W)
+    | b, c -> Error (Printf.sprintf "unknown benchmark %s.%s" b c)
+  in
+  let pool = Pool.create ~options:{ Pool.default_options with workers = 4 } () in
+  let cache = Compile.create_cache () in
+  let store = Store.create () in
+  let sched =
+    Scheduler.create
+      ~options:{ Scheduler.default_options with max_concurrent = 4 }
+      ~resolve ~pool ~cache ~store ()
+  in
+  let path = Filename.temp_file "craft_bench" ".sock" in
+  Sys.remove path;
+  let srv = Server.start ~scheduler:sched (Server.Unix_path path) in
+  let ok = function
+    | Ok v -> v
+    | Error e ->
+        Format.printf "!! server bench: %s@." e;
+        exit 1
+  in
+  let connect () = ok (Client.connect (Server.Unix_path path)) in
+  let spec bench =
+    { Wire.bench; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+  in
+  let hit_frac (st : Wire.job_status) =
+    float_of_int st.Wire.store_hits /. float_of_int (max 1 st.Wire.tested)
+  in
+
+  (* acceptance: a second, concurrently-connected client resubmits the
+     same cg.W campaign after the first completes — it must reproduce the
+     inline `craft search` final config while being served from the store *)
+  let cg = Nas_cg.make Kernel.W in
+  let inline =
+    Bfs.search
+      ~options:{ Bfs.default_options with base = cg.Kernel.hints }
+      (Kernel.target cg)
+  in
+  let inline_text = Config.print cg.Kernel.program inline.Bfs.final in
+  let a = connect () and b = connect () in
+  let t0 = Unix.gettimeofday () in
+  let id_a = ok (Client.submit a (spec "cg")) in
+  let st_a, text_a, _ = ok (Client.wait a id_a) in
+  let dt_a = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let id_b = ok (Client.submit b (spec "cg")) in
+  let st_b, text_b, _ = ok (Client.wait b id_b) in
+  let dt_b = Unix.gettimeofday () -. t1 in
+  Client.close a;
+  Client.close b;
+  let same_a = String.equal text_a inline_text in
+  let same_b = String.equal text_b inline_text in
+  Format.printf "%-22s %7s %11s %7s %9s %10s@." "campaign" "evals" "store hits"
+    "hit %" "wall (s)" "identical";
+  Format.printf "%-22s %7d %11d %6.1f%% %9.3f %10b@." "cg.W (client A)"
+    st_a.Wire.tested st_a.Wire.store_hits
+    (100.0 *. hit_frac st_a)
+    dt_a same_a;
+  Format.printf "%-22s %7d %11d %6.1f%% %9.3f %10b@." "cg.W (client B, dup)"
+    st_b.Wire.tested st_b.Wire.store_hits
+    (100.0 *. hit_frac st_b)
+    dt_b same_b;
+  if not (same_a && same_b) then begin
+    Format.printf
+      "!! served campaigns diverged from inline search (A identical: %b, B identical: \
+       %b)@."
+      same_a same_b;
+    exit 1
+  end;
+  if hit_frac st_b < 0.5 then begin
+    Format.printf "!! duplicate campaign only %.1f%% served from the store (want >= 50%%)@."
+      (100.0 *. hit_frac st_b);
+    exit 1
+  end;
+
+  (* throughput: 4 concurrent clients, overlapping cg/mg campaigns racing
+     through the shared substrate *)
+  let benches = [| "cg"; "mg"; "cg"; "mg" |] in
+  let results = Array.make (Array.length benches) None in
+  let t2 = Unix.gettimeofday () in
+  let clients =
+    Array.mapi
+      (fun i bench ->
+        Thread.create
+          (fun () ->
+            let c = connect () in
+            let id = ok (Client.submit c (spec bench)) in
+            let st, text, _ = ok (Client.wait c id) in
+            Client.close c;
+            results.(i) <- Some (bench, st, text, Unix.gettimeofday () -. t2))
+          ())
+      benches
+  in
+  Array.iter Thread.join clients;
+  let wall = Unix.gettimeofday () -. t2 in
+  Format.printf "@.%d concurrent clients, overlapping campaigns:@."
+    (Array.length benches);
+  let rows =
+    Array.to_list results
+    |> List.mapi (fun i r ->
+           match r with
+           | None ->
+               Format.printf "!! client %d never finished@." i;
+               exit 1
+           | Some (bench, st, text, dt) ->
+               Format.printf "%-22s %7d %11d %6.1f%% %9.3f@."
+                 (Printf.sprintf "%s.W (client %d)" bench (i + 1))
+                 st.Wire.tested st.Wire.store_hits
+                 (100.0 *. hit_frac st)
+                 dt;
+               (bench, st, text, dt))
+  in
+  (* overlapping same-benchmark campaigns must also agree with each other *)
+  List.iter
+    (fun (bench, _, text, _) ->
+      List.iter
+        (fun (bench', _, text', _) ->
+          if String.equal bench bench' && not (String.equal text text') then begin
+            Format.printf "!! concurrent duplicate %s.W campaigns diverged@." bench;
+            exit 1
+          end)
+        rows)
+    rows;
+  let total_evals = List.fold_left (fun n (_, st, _, _) -> n + st.Wire.tested) 0 rows in
+  let ss = Store.stats store in
+  Format.printf "throughput: %d evaluations in %.3f s (%.1f evals/sec wall)@."
+    total_evals wall
+    (float_of_int total_evals /. Float.max 1e-9 wall);
+  Format.printf "%s@." (Store.report store);
+  Format.printf "%s@." (Compile.report cache);
+  let stats = Scheduler.stats sched in
+  Server.stop srv;
+  Scheduler.shutdown sched ();
+  Pool.shutdown pool;
+  let oc = open_out "BENCH_server.json" in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"acceptance\": {\n\
+    \    \"inline_identical_a\": %b,\n\
+    \    \"inline_identical_b\": %b,\n\
+    \    \"first\": { \"evals\": %d, \"store_hits\": %d, \"seconds\": %.6f },\n\
+    \    \"duplicate\": { \"evals\": %d, \"store_hits\": %d, \"hit_rate\": %.4f, \
+     \"seconds\": %.6f }\n\
+    \  },\n"
+    same_a same_b st_a.Wire.tested st_a.Wire.store_hits dt_a st_b.Wire.tested
+    st_b.Wire.store_hits (hit_frac st_b) dt_b;
+  Printf.fprintf oc "  \"concurrent\": [\n";
+  List.iteri
+    (fun i (bench, (st : Wire.job_status), _, dt) ->
+      Printf.fprintf oc
+        "    { \"kernel\": \"%s.W\", \"evals\": %d, \"store_hits\": %d, \"hit_rate\": \
+         %.4f, \"seconds\": %.6f }%s\n"
+        bench st.Wire.tested st.Wire.store_hits (hit_frac st) dt
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"totals\": { \"jobs\": %d, \"evals\": %d, \"wall_seconds\": %.6f, \
+     \"evals_per_sec\": %.2f,\n\
+    \    \"store_hits\": %d, \"store_misses\": %d, \"store_hit_rate\": %.4f, \
+     \"store_entries\": %d,\n\
+    \    \"cache_hits\": %d, \"cache_misses\": %d }\n"
+    stats.Wire.submitted total_evals wall
+    (float_of_int total_evals /. Float.max 1e-9 wall)
+    ss.Store.hits ss.Store.misses (Store.hit_rate ss) ss.Store.entries
+    stats.Wire.cache_hits stats.Wire.cache_misses;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_server.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -864,6 +1046,7 @@ let sections =
     ("pool", pool_bench);
     ("shadow", shadow_bench);
     ("vm", vm_bench);
+    ("server", server_bench);
     ("micro", microbench);
   ]
 

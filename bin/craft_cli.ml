@@ -248,10 +248,19 @@ let backend_arg =
            hooks installed (e.g. $(b,--inject)) fall back to the interpreter \
            automatically.")
 
+let cache_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print the compiled-code cache's hit/miss line after the search (hits, misses, \
+           hit rate, compiled blocks). Only meaningful with the default $(b,compiled) \
+           backend.")
+
 let search_cmd =
   let run name cls workers out strategy journal_path resume retries eval_steps inject
       deadline checkpoint_path quarantine_after use_shadow shadow_threshold shadow_prune
-      backend_name =
+      backend_name cache_stats =
     with_kernel name cls (fun k ->
         if resume && journal_path = None && checkpoint_path = None then begin
           prerr_endline "craft: --resume requires --journal FILE or --checkpoint FILE";
@@ -339,6 +348,22 @@ let search_cmd =
         let snapshots = ref 0 in
         (match strategy with
         | "bfs" -> (
+            (* first ^C asks the search to stop at the next wave boundary
+               (final checkpoint flushed, partial result composed); a
+               second ^C aborts outright *)
+            let interrupt = Atomic.make false in
+            let prev_sigint =
+              Sys.signal Sys.sigint
+                (Sys.Signal_handle
+                   (fun _ ->
+                     if Atomic.get interrupt then exit 130
+                     else begin
+                       Atomic.set interrupt true;
+                       prerr_endline
+                         "craft: SIGINT — finishing the current wave, flushing a final \
+                          checkpoint, composing the partial result (^C again to abort)"
+                     end))
+            in
             let options =
               {
                 Bfs.default_options with
@@ -347,10 +372,16 @@ let search_cmd =
                 pool;
                 checkpoint;
                 shadow = shadow_opts;
+                stop = (fun () -> Atomic.get interrupt);
               }
             in
             let rec_ = Analysis.recommend_target ~options target ~setup:k.Kernel.setup in
+            Sys.set_signal Sys.sigint prev_sigint;
             snapshots := rec_.Analysis.result.Bfs.snapshots;
+            if rec_.Analysis.result.Bfs.interrupted then
+              Format.printf
+                "search INTERRUPTED — the report below is the partial result (union of \
+                 the structures that had passed); resume with --checkpoint/--resume@.";
             Format.printf "%a@." Analysis.pp_summary rec_;
             if use_shadow then
               Format.printf "shadow: pruned %d candidate evaluation(s)@."
@@ -382,6 +413,14 @@ let search_cmd =
             prerr_endline ("craft: unknown strategy " ^ s);
             exit 1);
         Format.printf "%s@." (Harness.report harness);
+        if cache_stats then begin
+          match target.Bfs.Target.code_cache with
+          | Some c ->
+              let s = Compile.stats c in
+              Format.printf "%s — %.1f%% of compilations avoided@." (Compile.report c)
+                (100.0 *. Code_cache.hit_rate s)
+          | None -> Format.printf "code cache: none (interpreter backend)@."
+        end;
         (match pool with
         | Some p ->
             Format.printf "supervisor: %s@." (Pool.report p);
@@ -408,7 +447,7 @@ let search_cmd =
       const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
       $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg $ deadline_arg
       $ checkpoint_arg $ quarantine_arg $ shadow_flag $ shadow_threshold_arg
-      $ shadow_prune_arg $ backend_arg)
+      $ shadow_prune_arg $ backend_arg $ cache_stats_flag)
 
 let shadow_cmd =
   let threshold_arg =
@@ -459,7 +498,7 @@ let shadow_cmd =
           structure tree (predicted-single structures marked 's')")
     Term.(const run $ bench_arg $ class_arg $ threshold_arg $ json_arg)
 
-let cancel_cmd =
+let cancellation_cmd =
   let run name cls =
     with_kernel name cls (fun k ->
         let instr, layout = Cancellation.instrument k.Kernel.program in
@@ -469,7 +508,7 @@ let cancel_cmd =
         print_string (Cancellation.report layout vm))
   in
   Cmd.v
-    (Cmd.info "cancel" ~doc:"Run the dynamic cancellation detector on a benchmark")
+    (Cmd.info "cancellation" ~doc:"Run the dynamic cancellation detector on a benchmark")
     Term.(const run $ bench_arg $ class_arg)
 
 let file_arg =
@@ -525,6 +564,314 @@ let snippet_cmd =
     (Cmd.info "snippet" ~doc:"Show the single-precision replacement snippet (paper Fig. 6)")
     Term.(const run $ const ())
 
+let journal_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Journal file written by $(b,craft search --journal).")
+  in
+  let run path =
+    let records = Journal.scan ~path in
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (_, v) ->
+        let l = Verdict.verdict_label v in
+        Hashtbl.replace tally l (1 + Option.value ~default:0 (Hashtbl.find_opt tally l)))
+      records;
+    Format.printf "%s: %d record(s)@." path (List.length records);
+    List.iter
+      (fun label ->
+        match Hashtbl.find_opt tally label with
+        | Some n -> Format.printf "  %-8s %d@." label n
+        | None -> ())
+      [ "pass"; "fail"; "trap"; "timeout"; "crash"; "pruned" ];
+    match List.rev records with
+    | (digest, v) :: _ ->
+        Format.printf "last record: %s (%s)@." digest (Verdict.verdict_label v)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect an evaluation journal: per-verdict counts and the digest of the last \
+          record (read-only)")
+    Term.(const run $ path_arg)
+
+(* --------------------------------------------------------- campaign server *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "craft.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the campaign daemon (default $(b,craft.sock)).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Use TCP instead of the Unix-domain socket.")
+
+let server_addr socket tcp =
+  match tcp with
+  | None -> Server.Unix_path socket
+  | Some spec -> (
+      match Server.addr_of_string spec with
+      | Ok (Server.Tcp _ as a) -> a
+      | Ok (Server.Unix_path _) | Error _ ->
+          prerr_endline (Printf.sprintf "craft: --tcp wants HOST:PORT, got %S" spec);
+          exit 1)
+
+let with_client socket tcp f =
+  let c = or_die (Client.connect (server_addr socket tcp)) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let state_to_string = function
+  | Wire.Queued -> "queued"
+  | Wire.Running -> "running"
+  | Wire.Done -> "done"
+  | Wire.Cancelled -> "cancelled"
+  | Wire.Failed why -> "failed: " ^ why
+  | Wire.Quarantined why -> "quarantined: " ^ why
+
+let exit_for_state = function
+  | Wire.Done -> 0
+  | Wire.Queued | Wire.Running | Wire.Cancelled | Wire.Failed _ | Wire.Quarantined _ -> 1
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N" ~doc:"Concurrent campaign runners (default 2).")
+  in
+  let wave_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "wave" ] ~docv:"N"
+          ~doc:"BFS wave width per campaign — evaluations offered to the pool at once.")
+  in
+  let pool_workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "workers" ] ~docv:"N"
+          ~doc:"Worker domains in the one shared evaluation pool (default 4).")
+  in
+  let state_dir_arg =
+    Arg.(
+      value & opt string "craft-serve-state"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root for per-job journal and checkpoint files (one subdirectory per job); a \
+             requeued job resumes from them. Empty string disables persistence.")
+  in
+  let run socket tcp jobs wave workers retries quarantine_after state_dir =
+    let addr = server_addr socket tcp in
+    let log s = Printf.printf "serve: %s\n%!" s in
+    let pool =
+      Pool.create
+        ~options:{ Pool.default_options with workers = max 1 workers }
+        ~log:(fun s -> log ("pool: " ^ s))
+        ()
+    in
+    let cache = Compile.create_cache () in
+    let store = Store.create () in
+    let resolve (spec : Wire.job_spec) =
+      Result.bind (class_of_string spec.Wire.cls) (fun c -> load spec.Wire.bench c)
+    in
+    let sched =
+      Scheduler.create
+        ~options:
+          {
+            Scheduler.max_concurrent = jobs;
+            wave_width = wave;
+            retries;
+            quarantine_after;
+            state_dir = (if state_dir = "" then None else Some state_dir);
+          }
+        ~log ~resolve ~pool ~cache ~store ()
+    in
+    let srv = Server.start ~log ~scheduler:sched addr in
+    let signals = Atomic.make 0 in
+    let on_signal _ = Atomic.incr signals in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    log
+      (Printf.sprintf
+         "ready on %s — %d campaign runner(s), wave width %d, %d pool worker(s)"
+         (Server.addr_to_string (Server.addr srv))
+         jobs wave workers);
+    log "SIGTERM drains gracefully (finish queued + running); a second signal cancels";
+    while Atomic.get signals = 0 do
+      Thread.delay 0.2
+    done;
+    log "draining: no new submissions; finishing queued and running campaigns";
+    Server.stop srv;
+    (* a second signal while draining stops running campaigns at their
+       next wave boundary instead of finishing them *)
+    let drained = Atomic.make false in
+    let watcher =
+      Thread.create
+        (fun () ->
+          while (not (Atomic.get drained)) && Atomic.get signals < 2 do
+            Thread.delay 0.1
+          done;
+          if not (Atomic.get drained) then begin
+            log "second signal: cancelling running campaigns at the next wave boundary";
+            Scheduler.shutdown sched ~cancel_running:true ()
+          end)
+        ()
+    in
+    Scheduler.shutdown sched ();
+    Atomic.set drained true;
+    Thread.join watcher;
+    Pool.shutdown pool;
+    log (Store.report store);
+    log (Compile.report cache);
+    log "stopped"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: accept search campaigns from many clients, multiplex \
+          them onto one shared worker pool, code cache and cross-campaign result store")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ wave_arg $ pool_workers_arg
+      $ retries_arg $ quarantine_arg $ state_dir_arg)
+
+let priority_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "priority" ] ~docv:"P" ~doc:"Scheduling priority; higher runs first.")
+
+let submit_shadow_flag =
+  Arg.(
+    value & flag
+    & info [ "shadow" ]
+        ~doc:"Run the shadow-value analysis first and let it guide the campaign.")
+
+let wait_flag =
+  Arg.(
+    value & flag
+    & info [ "wait" ]
+        ~doc:"Block until the campaign finishes and print its result (see also \
+              $(b,craft watch)).")
+
+let submit_cmd =
+  let run socket tcp bench cls shadow priority eval_steps wait out =
+    let spec = { Wire.bench; cls; shadow; priority; eval_steps } in
+    with_client socket tcp (fun c ->
+        let id = or_die (Client.submit c spec) in
+        if not wait then print_endline id
+        else begin
+          Printf.printf "submitted %s\n%!" id;
+          let status, config_text, summary = or_die (Client.wait c id) in
+          Printf.printf "%s: %s — %s\n" id (state_to_string status.Wire.state) summary;
+          (match out with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc config_text;
+              close_out oc;
+              Printf.printf "final configuration written to %s\n" path
+          | None -> print_string config_text);
+          exit (exit_for_state status.Wire.state)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a search campaign to the daemon (prints the job id)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ bench_arg $ class_arg $ submit_shadow_flag
+      $ priority_arg $ eval_steps_arg $ wait_flag $ out_arg)
+
+let job_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")
+
+let status_cmd =
+  let job_opt = Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.") in
+  let run socket tcp job =
+    with_client socket tcp (fun c ->
+        let jobs = or_die (Client.status ?job c) in
+        (match job with
+        | None ->
+            let s = or_die (Client.stats c) in
+            Printf.printf
+              "server: %d submitted, %d running, %d queued, %d done, %d cancelled, %d \
+               failed; store %d/%d hits (%d entries); code cache %d/%d hits; up %.0fs\n"
+              s.Wire.submitted s.Wire.running s.Wire.queued s.Wire.completed
+              s.Wire.cancelled s.Wire.failed s.Wire.store.Wire.hits
+              (s.Wire.store.Wire.hits + s.Wire.store.Wire.misses)
+              s.Wire.store.Wire.entries s.Wire.cache_hits
+              (s.Wire.cache_hits + s.Wire.cache_misses)
+              s.Wire.uptime
+        | Some _ -> ());
+        List.iter
+          (fun j ->
+            Printf.printf "%s  %-9s %s.%s%s  tested %d (%d from store)  %.1fs  %s\n"
+              j.Wire.id
+              (match j.Wire.state with
+              | Wire.Failed _ -> "failed"
+              | Wire.Quarantined _ -> "quarantined"
+              | st -> state_to_string st)
+              j.Wire.spec.Wire.bench j.Wire.spec.Wire.cls
+              (if j.Wire.spec.Wire.shadow then "+shadow" else "")
+              j.Wire.tested j.Wire.store_hits j.Wire.wall
+              (match j.Wire.state with
+              | Wire.Failed why | Wire.Quarantined why -> why
+              | _ -> ""))
+          jobs)
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show the daemon's jobs (all, or one) and server-wide stats")
+    Term.(const run $ socket_arg $ tcp_arg $ job_opt)
+
+let watch_cmd =
+  let run socket tcp job =
+    with_client socket tcp (fun c ->
+        let (_ : int) = or_die (Client.watch c ~job print_endline) in
+        let status, _, summary = or_die (Client.result c job) in
+        Printf.printf "%s: %s — %s\n" job (state_to_string status.Wire.state) summary;
+        exit (exit_for_state status.Wire.state))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Stream a job's event log until it finishes (exit 0 iff it completed)")
+    Term.(const run $ socket_arg $ tcp_arg $ job_arg)
+
+let results_cmd =
+  let run socket tcp job out =
+    with_client socket tcp (fun c ->
+        let status, config_text, summary = or_die (Client.result c job) in
+        Printf.printf "%s: %s — %s\n" job (state_to_string status.Wire.state) summary;
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc config_text;
+            close_out oc;
+            Printf.printf "final configuration written to %s\n" path
+        | None -> print_string config_text);
+        exit (exit_for_state status.Wire.state))
+  in
+  Cmd.v
+    (Cmd.info "results" ~doc:"Fetch a finished job's final configuration and summary")
+    Term.(const run $ socket_arg $ tcp_arg $ job_arg $ out_arg)
+
+let cancel_cmd =
+  let run socket tcp job =
+    with_client socket tcp (fun c ->
+        if or_die (Client.cancel c job) then
+          print_endline (job ^ ": cancellation requested")
+        else begin
+          Printf.printf "%s: not cancellable (unknown, or already finished)\n" job;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a job: dequeued if still queued, stopped at the next wave boundary (with \
+          a final checkpoint and partial result) if running")
+    Term.(const run $ socket_arg $ tcp_arg $ job_arg)
+
 let main =
   let info =
     Cmd.info "craft" ~version:"1.0.0"
@@ -539,10 +886,17 @@ let main =
       patch_cmd;
       search_cmd;
       shadow_cmd;
-      cancel_cmd;
+      cancellation_cmd;
       assemble_cmd;
       asm_run_cmd;
       snippet_cmd;
+      journal_cmd;
+      serve_cmd;
+      submit_cmd;
+      status_cmd;
+      watch_cmd;
+      results_cmd;
+      cancel_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -9,10 +9,14 @@ module Target = struct
     code_cache : Compile.cache option;
   }
 
-  let make ?eval_steps ?faults ?(backend = Compile.Compiled) program ~setup ~output ~verify =
+  let make ?eval_steps ?faults ?(backend = Compile.Compiled) ?cache program ~setup ~output
+      ~verify =
     let code_cache =
       match backend with
-      | Compile.Compiled -> Some (Compile.create_cache ())
+      | Compile.Compiled ->
+          (* a caller-supplied cache is shared beyond this target — the
+             campaign server hands every job on the same program one cache *)
+          Some (match cache with Some c -> c | None -> Compile.create_cache ())
       | Compile.Interp -> None
     in
     let raw_eval cfg =
@@ -86,6 +90,7 @@ type options = {
   pool : Pool.t option;
   checkpoint : checkpoint_opts option;
   shadow : shadow_opts option;
+  stop : unit -> bool;
 }
 
 let default_options =
@@ -100,6 +105,7 @@ let default_options =
     pool = None;
     checkpoint = None;
     shadow = None;
+    stop = (fun () -> false);
   }
 
 type result = {
@@ -115,6 +121,7 @@ type result = {
   supervisor : Pool.stats option;
   snapshots : int;
   pruned : int;
+  interrupted : bool;
 }
 
 let rank = function Module_level -> 0 | Func_level -> 1 | Block_level -> 2 | Insn_level -> 3
@@ -453,7 +460,7 @@ let search ?(options = default_options) (target : Target.t) =
         end
         else List.iter (fun n -> push (mk [ n ])) nodes
   in
-  let finish () =
+  let finish ~interrupted () =
     let passing_nodes = List.rev !passing in
     let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
     incr tested;
@@ -514,11 +521,17 @@ let search ?(options = default_options) (target : Target.t) =
       supervisor = Option.map Pool.stats pool;
       snapshots = !snapshots;
       pruned = !pruned;
+      interrupted;
     }
   in
   let run () =
     let wave = ref 0 in
-    while !queue <> [] do
+    let stopped () =
+      (* polled only at wave boundaries, so a stop request never cuts a
+         wave in half: the saved checkpoint is always a consistent state *)
+      options.stop () && !queue <> []
+    in
+    while !queue <> [] && not (options.stop ()) do
       let batch = pop_batch (max 1 options.workers) in
       (* shadow pruning: an item whose predicted divergence exceeds the hard
          bound is treated as a failure without spending an evaluation — the
@@ -567,8 +580,15 @@ let search ?(options = default_options) (target : Target.t) =
       | Some ck when !wave mod ck.every = 0 -> save_snapshot ()
       | _ -> ())
     done;
+    let interrupted = stopped () in
+    if interrupted then
+      say "INTERRUPTED with %d item(s) still queued — composing the partial result"
+        (List.length !queue);
+    (* a final snapshot is flushed either way: a stop request leaves the
+       still-queued frontier on disk, so a later --resume continues the
+       campaign instead of restarting it *)
     save_snapshot ();
-    finish ()
+    finish ~interrupted ()
   in
   match transient_pool with
   | None -> run ()

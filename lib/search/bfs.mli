@@ -61,6 +61,7 @@ module Target : sig
     ?eval_steps:int ->
     ?faults:Faults.t ->
     ?backend:Compile.backend ->
+    ?cache:Compile.cache ->
     Ir.program ->
     setup:(Vm.t -> unit) ->
     output:(Vm.t -> float array) ->
@@ -76,7 +77,10 @@ module Target : sig
 
       [backend] selects the execution engine for plain evaluations
       (default {!Compile.Compiled}, sharing one {!Compile.cache} across
-      the whole campaign). Evaluations with [faults] armed, and runs where
+      the whole campaign). [cache] supplies that cache from outside —
+      the campaign server hands every concurrent job on the same program
+      one cache, so compiled blocks are shared {e across} campaigns, not
+      just within one. Evaluations with [faults] armed, and runs where
       [setup] installs a VM hook, always go through the interpreter —
       {!Compile.run}'s own fallback rule — so the backend choice never
       changes observable results. [profile] always interprets (it runs the
@@ -160,12 +164,20 @@ type options = {
       (** shadow-guided mode: seed the passing set with the analysis'
           predicted configuration, reorder the frontier by predicted
           tolerance, and optionally prune hopeless candidates *)
+  stop : unit -> bool;
+      (** cooperative stop request, polled at wave boundaries only (a
+          consistent checkpoint is always flushed first). When it returns
+          [true] the search stops descending, composes the union of the
+          structures accepted {e so far} and returns with
+          [interrupted = true] — how SIGINT in [craft search] and job
+          cancellation in the campaign server end a campaign without
+          losing it. Default: never stop. *)
 }
 
 val default_options : options
 (** Instruction-level descent, both optimizations on, threshold 4, 1
     worker, no second phase, empty base, no pool, no checkpoint, no shadow
-    guidance. *)
+    guidance, never-firing stop. *)
 
 type result = {
   final : Config.t;  (** union of every individually-passing replacement *)
@@ -185,6 +197,9 @@ type result = {
   pruned : int;
       (** candidates skipped by shadow pruning (each one logged and
           reported through [on_pruned], never dropped silently) *)
+  interrupted : bool;
+      (** the campaign was stopped by [options.stop] with work still
+          queued; [final] is the union of what had passed by then *)
 }
 
 val search : ?options:options -> Target.t -> result

@@ -49,6 +49,7 @@ let read_records path =
   end
 
 let load ~path (_ : Ir.program) = read_records path
+let scan ~path = read_records path
 
 let create ?(resume = false) ~path program =
   let records = if resume then read_records path else [] in

@@ -68,3 +68,7 @@ val wrap_target : t -> harness:Harness.t -> Bfs.Target.t -> Bfs.Target.t
 val load : path:string -> Ir.program -> (string * Harness.verdict) list
 (** Tolerantly parse a journal file into [(digest, verdict)] pairs, oldest
     first, without opening it for writing. *)
+
+val scan : path:string -> (string * Harness.verdict) list
+(** {!load} without a program: the records carry their own configuration
+    digests, so read-only inspection ([craft journal]) needs no binary. *)

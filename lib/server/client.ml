@@ -1,0 +1,125 @@
+type t = { fd : Unix.file_descr; lock : Mutex.t; mutable open_ : bool }
+
+let sockaddr_of = function
+  | Server.Unix_path p -> Unix.ADDR_UNIX p
+  | Server.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "getaddrinfo", host)))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let connect ?(retries = 5) ?(retry_delay = 0.2) ?timeout addr =
+  let domain =
+    match addr with Server.Unix_path _ -> Unix.PF_UNIX | Server.Tcp _ -> Unix.PF_INET
+  in
+  let rec go attempt delay =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr_of addr) with
+    | () ->
+        Option.iter (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s) timeout;
+        Ok { fd; lock = Mutex.create (); open_ = true }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt >= retries then
+          Error
+            (Printf.sprintf "cannot connect to %s: %s"
+               (Server.addr_to_string addr) (Unix.error_message e))
+        else begin
+          Thread.delay delay;
+          go (attempt + 1) (delay *. 2.0)
+        end
+  in
+  go 0 retry_delay
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* One request/reply exchange. Serialised: the protocol has no frame ids,
+   so interleaved requests would pair with the wrong replies. *)
+let rpc t frame =
+  Mutex.protect t.lock (fun () ->
+      if not t.open_ then Error "connection is closed"
+      else
+        match
+          Wire.write_frame t.fd frame;
+          Wire.read_frame t.fd
+        with
+        | Ok reply -> Ok reply
+        | Error err -> Error (Wire.error_to_string err)
+        | exception Unix.Unix_error (e, fn, _) ->
+            Error (Printf.sprintf "%s: %s (server gone?)" fn (Unix.error_message e)))
+
+let unexpected what = Error (Printf.sprintf "unexpected reply to %s" what)
+
+let submit t spec =
+  match rpc t (Wire.Submit spec) with
+  | Ok (Wire.Accepted id) -> Ok id
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "submit"
+
+let status ?job t =
+  match rpc t (Wire.Status job) with
+  | Ok (Wire.Status_reply jobs) -> Ok jobs
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "status"
+
+let events t ~job ~from =
+  match rpc t (Wire.Events { job; from }) with
+  | Ok (Wire.Events_reply { next; events; final }) -> Ok (next, events, final)
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "events"
+
+let watch ?(poll = 0.05) ?(from = 0) t ~job emit =
+  let rec go cursor =
+    match events t ~job ~from:cursor with
+    | Error why -> Error why
+    | Ok (next, lines, final) ->
+        List.iter emit lines;
+        if final then Ok next
+        else begin
+          if lines = [] then Thread.delay poll;
+          go next
+        end
+  in
+  go from
+
+let result t job =
+  match rpc t (Wire.Result job) with
+  | Ok (Wire.Result_reply { status; config_text; summary }) ->
+      Ok (status, config_text, summary)
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "result"
+
+let terminal = function
+  | Wire.Done | Wire.Cancelled | Wire.Failed _ | Wire.Quarantined _ -> true
+  | Wire.Queued | Wire.Running -> false
+
+let wait ?(poll = 0.05) t job =
+  let rec go () =
+    match status ~job t with
+    | Error why -> Error why
+    | Ok [ { Wire.state; _ } ] when terminal state -> result t job
+    | Ok _ ->
+        Thread.delay poll;
+        go ()
+  in
+  go ()
+
+let cancel t job =
+  match rpc t (Wire.Cancel job) with
+  | Ok (Wire.Cancel_reply ok) -> Ok ok
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "cancel"
+
+let stats t =
+  match rpc t Wire.Stats with
+  | Ok (Wire.Stats_reply s) -> Ok s
+  | Ok (Wire.Error_reply why) | Error why -> Error why
+  | Ok _ -> unexpected "stats"

@@ -1,0 +1,45 @@
+(** Typed client for the campaign daemon.
+
+    One {!t} is one connection running the strict request/reply protocol;
+    it is thread-safe (a mutex serialises frames on the wire). Every call
+    is total — transport failures, server [Error_reply]s and protocol
+    surprises all come back as [Error _] strings, never exceptions, so CLI
+    verbs and the bench can pattern-match their way to an exit code. *)
+
+type t
+
+val connect :
+  ?retries:int ->
+  ?retry_delay:float ->
+  ?timeout:float ->
+  Server.addr ->
+  (t, string) result
+(** [connect addr] with up to [retries] (default 5) extra attempts spaced
+    [retry_delay] (default 0.2s, doubling) apart — a just-started daemon
+    may not be listening yet. [timeout] (default none) arms a per-reply
+    receive deadline on the socket. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val submit : t -> Wire.job_spec -> (string, string) result
+(** Returns the job id. *)
+
+val status : ?job:string -> t -> (Wire.job_status list, string) result
+val events : t -> job:string -> from:int -> (int * string list * bool, string) result
+
+val watch :
+  ?poll:float -> ?from:int -> t -> job:string -> (string -> unit) -> (int, string) result
+(** Stream the job's event lines to the callback until the server reports
+    the stream final (the job is terminal and fully drained), polling
+    every [poll] seconds (default 0.05) when no new lines are pending.
+    Returns the final cursor. *)
+
+val result : t -> string -> (Wire.job_status * string * string, string) result
+(** [(status, config_text, summary)] of a terminal job. *)
+
+val wait : ?poll:float -> t -> string -> (Wire.job_status * string * string, string) result
+(** Poll until the job is terminal, then fetch its result. *)
+
+val cancel : t -> string -> (bool, string) result
+val stats : t -> (Wire.server_stats, string) result

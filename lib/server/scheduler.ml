@@ -1,0 +1,437 @@
+type options = {
+  max_concurrent : int;
+  wave_width : int;
+  retries : int;
+  quarantine_after : int;
+  state_dir : string option;
+}
+
+let default_options =
+  { max_concurrent = 2; wave_width = 2; retries = 0; quarantine_after = 2; state_dir = None }
+
+type job = {
+  id : string;
+  spec : Wire.job_spec;
+  kernel : Kernel.t;
+  mutable state : Wire.job_state;
+  mutable tested : int;
+  mutable hits : int;  (* evaluations served from the result store *)
+  mutable misses : int;
+  mutable started : float;  (* of the current run; 0.0 when not running *)
+  mutable wall : float;  (* accumulated over finished runs *)
+  mutable events_rev : string list;
+  mutable n_events : int;
+  stop : bool Atomic.t;
+  mutable deaths : int;  (* driver crashes so far *)
+  mutable config_text : string;
+  mutable summary : string;
+}
+
+type t = {
+  opts : options;
+  echo : string -> unit;
+  resolve : Wire.job_spec -> (Kernel.t, string) result;
+  pool : Pool.t;
+  cache : Compile.cache;
+  store : Store.t;
+  lock : Mutex.t;
+  cond : Condition.t;  (* work queued / job finished / lifecycle change *)
+  jobs : (string, job) Hashtbl.t;
+  mutable order : string list;  (* job ids, newest first *)
+  mutable next_id : int;
+  mutable accepting : bool;
+  mutable alive : bool;  (* runners may pick up new jobs *)
+  kill : bool Atomic.t;  (* shutdown ~cancel_running: stop running jobs *)
+  mutable runners : Thread.t list;
+  t0 : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Lock held. *)
+let event t j fmt =
+  Format.kasprintf
+    (fun line ->
+      j.events_rev <- line :: j.events_rev;
+      j.n_events <- j.n_events + 1;
+      t.echo (Printf.sprintf "%s: %s" j.id line))
+    fmt
+
+let is_terminal = function
+  | Wire.Done | Wire.Cancelled | Wire.Failed _ | Wire.Quarantined _ -> true
+  | Wire.Queued | Wire.Running -> false
+
+(* Lock held. *)
+let status_of j =
+  {
+    Wire.id = j.id;
+    spec = j.spec;
+    state = j.state;
+    tested = j.tested;
+    store_hits = j.hits;
+    store_misses = j.misses;
+    wall = (j.wall +. if j.state = Wire.Running then now () -. j.started else 0.0);
+  }
+
+(* ------------------------------------------------------------- campaigns *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Everything an evaluation verdict depends on besides the program and the
+   candidate config: the step budget and the backend. Two jobs that differ
+   here may legitimately disagree on a timeout verdict, so they must not
+   share store entries. *)
+let opts_digest (spec : Wire.job_spec) =
+  Printf.sprintf "steps=%s;backend=compiled"
+    (match spec.Wire.eval_steps with None -> "default" | Some n -> string_of_int n)
+
+(* Run one campaign for [j]. Returns the job's terminal state. Called
+   without the lock; takes it only for counters and events. *)
+let run_campaign t j =
+  let k = j.kernel in
+  let resumed = j.deaths > 0 in
+  let target =
+    Kernel.target ?eval_steps:j.spec.Wire.eval_steps ~cache:t.cache k
+  in
+  let harness, target = Harness.wrap_target ~retries:t.opts.retries target in
+  let program_key = Checkpoint.program_key k.Kernel.program in
+  let opts_digest = opts_digest j.spec in
+  let journal, checkpoint =
+    match t.opts.state_dir with
+    | None -> (None, None)
+    | Some root ->
+        let dir = Filename.concat root j.id in
+        mkdir_p dir;
+        let journal =
+          Journal.create ~resume:resumed ~path:(Filename.concat dir "journal")
+            k.Kernel.program
+        in
+        let checkpoint =
+          Bfs.checkpoint ~resume:resumed
+            ~save_counters:(fun () -> Harness.counters_list harness)
+            ~restore_counters:(Harness.restore_counters harness)
+            (Filename.concat dir "checkpoint")
+        in
+        (Some journal, Some checkpoint)
+  in
+  let eval cfg =
+    let config_digest = Config.digest k.Kernel.program cfg in
+    let key = Store.key ~program_key ~opts_digest ~config_digest in
+    let verdict, served =
+      Store.find_or_compute t.store ~key (fun () -> Harness.eval harness cfg)
+    in
+    Mutex.protect t.lock (fun () ->
+        j.tested <- j.tested + 1;
+        if served then j.hits <- j.hits + 1 else j.misses <- j.misses + 1;
+        event t j "EVAL %s %s%s"
+          (Verdict.verdict_label verdict)
+          (Config.summarize cfg)
+          (if served then " [store]" else ""));
+    Option.iter (fun jr -> Journal.record jr cfg verdict) journal;
+    verdict = Verdict.Pass
+  in
+  let target = { target with Bfs.Target.eval } in
+  let shadow =
+    if not j.spec.Wire.shadow then None
+    else begin
+      Mutex.protect t.lock (fun () -> event t j "SHADOW tracing %s" k.Kernel.name);
+      let tracer =
+        Shadow_tracer.create
+          ~config:(Shadow_tracer.all_single ~base:k.Kernel.hints k.Kernel.program)
+          k.Kernel.program
+      in
+      let (_ : Vm.t) = Shadow_tracer.trace tracer ~setup:k.Kernel.setup in
+      let report = Shadow_report.make ~base:k.Kernel.hints k.Kernel.program tracer in
+      let on_pruned cfg div =
+        Option.iter
+          (fun jr ->
+            Journal.record jr cfg
+              (Verdict.Pruned (Printf.sprintf "shadow predicted divergence %.3e" div)))
+          journal
+      in
+      Some (Bfs.shadow ~on_pruned report)
+    end
+  in
+  let options =
+    {
+      Bfs.default_options with
+      workers = t.opts.wave_width;
+      base = k.Kernel.hints;
+      pool = Some t.pool;
+      checkpoint;
+      shadow;
+      stop = (fun () -> Atomic.get j.stop || Atomic.get t.kill);
+    }
+  in
+  let finally () = Option.iter Journal.close journal in
+  let res = Fun.protect ~finally (fun () -> Bfs.search ~options target) in
+  let summary =
+    Printf.sprintf "tested %d (%d from store), static %.1f%%, dynamic %.1f%%, final %s"
+      j.tested j.hits res.Bfs.static_pct res.Bfs.dynamic_pct
+      (if res.Bfs.final_pass then "pass" else "fail")
+  in
+  let state = if res.Bfs.interrupted then Wire.Cancelled else Wire.Done in
+  (state, Config.print k.Kernel.program res.Bfs.final, summary)
+
+(* --------------------------------------------------------------- runners *)
+
+(* Lock held: the queued job with the highest priority (then oldest id). *)
+let pick_queued t =
+  Hashtbl.fold
+    (fun _ j best ->
+      if j.state <> Wire.Queued then best
+      else
+        match best with
+        | Some b
+          when b.spec.Wire.priority > j.spec.Wire.priority
+               || (b.spec.Wire.priority = j.spec.Wire.priority && b.id < j.id) ->
+            best
+        | _ -> Some j)
+    t.jobs None
+
+let finish_run t j state config_text summary =
+  Mutex.protect t.lock (fun () ->
+      j.wall <- j.wall +. (now () -. j.started);
+      j.started <- 0.0;
+      j.state <- state;
+      j.config_text <- config_text;
+      j.summary <- summary;
+      (match state with
+      | Wire.Done -> event t j "DONE %s" summary
+      | Wire.Cancelled -> event t j "CANCELLED %s" summary
+      | Wire.Failed why -> event t j "FAILED %s" why
+      | Wire.Quarantined why -> event t j "QUARANTINED %s" why
+      | Wire.Queued -> event t j "REQUEUED %s" summary
+      | Wire.Running -> ());
+      Condition.broadcast t.cond)
+
+let rec runner_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if Atomic.get t.kill then begin
+      (* cancelled shutdown: nothing queued survives *)
+      Hashtbl.iter
+        (fun _ j ->
+          if j.state = Wire.Queued then begin
+            j.state <- Wire.Cancelled;
+            j.summary <- "cancelled before starting (server shutdown)";
+            event t j "CANCELLED before starting (server shutdown)"
+          end)
+        t.jobs;
+      Condition.broadcast t.cond;
+      None
+    end
+    else
+      match pick_queued t with
+      | Some j -> Some j
+      | None ->
+          if not t.alive then None
+          else begin
+            Condition.wait t.cond t.lock;
+            next ()
+          end
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some j ->
+      j.state <- Wire.Running;
+      j.started <- now ();
+      event t j "RUNNING %s.%s%s (priority %d)" j.spec.Wire.bench j.spec.Wire.cls
+        (if j.spec.Wire.shadow then " [shadow-guided]" else "")
+        j.spec.Wire.priority;
+      Mutex.unlock t.lock;
+      (match run_campaign t j with
+      | state, text, summary -> finish_run t j state text summary
+      | exception e ->
+          (* a dead campaign driver is this job's failure, never the
+             scheduler's: requeue, then quarantine — Pool semantics one
+             level up. A requeued job resumes from its own checkpoint and
+             journal, so the retry costs almost no re-evaluation. *)
+          let why = Printexc.to_string e in
+          Mutex.protect t.lock (fun () -> j.deaths <- j.deaths + 1);
+          if j.deaths >= t.opts.quarantine_after then
+            finish_run t j
+              (Wire.Quarantined
+                 (Printf.sprintf "driver died %d time(s), last: %s" j.deaths why))
+              "" ""
+          else
+            finish_run t j Wire.Queued ""
+              (Printf.sprintf "driver died (%s); will resume from checkpoint" why));
+      runner_loop t
+
+(* ------------------------------------------------------------- lifecycle *)
+
+let create ?(options = default_options) ?(log = ignore) ~resolve ~pool ~cache ~store () =
+  let opts =
+    {
+      options with
+      max_concurrent = max 1 options.max_concurrent;
+      wave_width = max 1 options.wave_width;
+      quarantine_after = max 1 options.quarantine_after;
+    }
+  in
+  let t =
+    {
+      opts;
+      echo = log;
+      resolve;
+      pool;
+      cache;
+      store;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Hashtbl.create 32;
+      order = [];
+      next_id = 0;
+      accepting = true;
+      alive = true;
+      kill = Atomic.make false;
+      runners = [];
+      t0 = now ();
+    }
+  in
+  t.runners <- List.init opts.max_concurrent (fun _ -> Thread.create runner_loop t);
+  t
+
+let submit t spec =
+  match t.resolve spec with
+  | Error why -> Error (Printf.sprintf "cannot resolve %s.%s: %s" spec.Wire.bench spec.Wire.cls why)
+  | Ok kernel ->
+      Mutex.protect t.lock (fun () ->
+          if not t.accepting then Error "server is draining; not accepting new campaigns"
+          else begin
+            t.next_id <- t.next_id + 1;
+            let id = Printf.sprintf "j%04d" t.next_id in
+            let j =
+              {
+                id;
+                spec;
+                kernel;
+                state = Wire.Queued;
+                tested = 0;
+                hits = 0;
+                misses = 0;
+                started = 0.0;
+                wall = 0.0;
+                events_rev = [];
+                n_events = 0;
+                stop = Atomic.make false;
+                deaths = 0;
+                config_text = "";
+                summary = "";
+              }
+            in
+            Hashtbl.replace t.jobs id j;
+            t.order <- id :: t.order;
+            event t j "QUEUED %s.%s (priority %d)" spec.Wire.bench spec.Wire.cls
+              spec.Wire.priority;
+            Condition.broadcast t.cond;
+            Ok id
+          end)
+
+let find t id = Hashtbl.find_opt t.jobs id
+
+let status t who =
+  Mutex.protect t.lock (fun () ->
+      match who with
+      | Some id -> (
+          match find t id with
+          | Some j -> Ok [ status_of j ]
+          | None -> Error (Printf.sprintf "unknown job %S" id))
+      | None -> Ok (List.rev_map (fun id -> status_of (Hashtbl.find t.jobs id)) t.order))
+
+let events t ~job ~from =
+  Mutex.protect t.lock (fun () ->
+      match find t job with
+      | None -> Error (Printf.sprintf "unknown job %S" job)
+      | Some j ->
+          let from = max 0 from in
+          let lines =
+            if from >= j.n_events then []
+            else
+              List.filteri (fun i _ -> i >= from) (List.rev j.events_rev)
+          in
+          let next = max from j.n_events in
+          Ok (next, lines, is_terminal j.state && next >= j.n_events))
+
+let result t id =
+  Mutex.protect t.lock (fun () ->
+      match find t id with
+      | None -> Error (Printf.sprintf "unknown job %S" id)
+      | Some j ->
+          if is_terminal j.state then Ok (status_of j, j.config_text, j.summary)
+          else
+            Error
+              (Printf.sprintf "job %s is not finished (%s)" id
+                 (match j.state with Wire.Running -> "running" | _ -> "queued")))
+
+let cancel t id =
+  Mutex.protect t.lock (fun () ->
+      match find t id with
+      | None -> false
+      | Some j -> (
+          match j.state with
+          | Wire.Queued ->
+              j.state <- Wire.Cancelled;
+              j.summary <- "cancelled before starting";
+              event t j "CANCELLED before starting";
+              Condition.broadcast t.cond;
+              true
+          | Wire.Running ->
+              Atomic.set j.stop true;
+              event t j "CANCEL requested; stopping at the next wave boundary";
+              true
+          | _ -> false))
+
+let stats t =
+  let store = Store.stats t.store in
+  let cache = Compile.stats t.cache in
+  Mutex.protect t.lock (fun () ->
+      let count p = Hashtbl.fold (fun _ j n -> if p j.state then n + 1 else n) t.jobs 0 in
+      {
+        Wire.submitted = t.next_id;
+        completed = count (fun s -> s = Wire.Done);
+        failed =
+          count (function Wire.Failed _ | Wire.Quarantined _ -> true | _ -> false);
+        cancelled = count (fun s -> s = Wire.Cancelled);
+        running = count (fun s -> s = Wire.Running);
+        queued = count (fun s -> s = Wire.Queued);
+        store =
+          { Wire.hits = store.Store.hits; misses = store.Store.misses; entries = store.Store.entries };
+        cache_hits = cache.Code_cache.hits;
+        cache_misses = cache.Code_cache.misses;
+        uptime = now () -. t.t0;
+      })
+
+let drain t =
+  Mutex.protect t.lock (fun () ->
+      t.accepting <- false;
+      Condition.broadcast t.cond)
+
+let wait_idle t =
+  Mutex.protect t.lock (fun () ->
+      let busy () =
+        Hashtbl.fold
+          (fun _ j b -> b || j.state = Wire.Queued || j.state = Wire.Running)
+          t.jobs false
+      in
+      while busy () do
+        Condition.wait t.cond t.lock
+      done)
+
+let shutdown t ?(cancel_running = false) () =
+  drain t;
+  if cancel_running then Atomic.set t.kill true;
+  let runners =
+    Mutex.protect t.lock (fun () ->
+        t.alive <- false;
+        Condition.broadcast t.cond;
+        let rs = t.runners in
+        t.runners <- [];
+        rs)
+  in
+  List.iter Thread.join runners

@@ -1,0 +1,88 @@
+(** The campaign scheduler: many concurrent searches, one shared substrate.
+
+    Each submitted {!Wire.job_spec} becomes a job with a per-job journal
+    and checkpoint directory, an event stream, and a priority. [max_concurrent]
+    runner threads drive the campaigns; every candidate evaluation flows
+    through the one shared {!Pool} (so the machine's worker domains are a
+    single resource, not per-campaign fleets), compiled blocks land in the
+    one shared {!Compile.cache}, and verdicts are memoized in the
+    cross-campaign {!Store} — identical evaluations submitted by different
+    clients run once, server-wide.
+
+    Failure containment mirrors {!Pool}'s semantics one level up: an
+    exception escaping a campaign {e driver} (the search loop itself, not
+    an evaluation — those are already classified) kills only that job's
+    run; the job is requeued and, after [quarantine_after] driver deaths,
+    quarantined with the exception message instead of being retried
+    forever. A requeued job resumes from its own checkpoint and journal,
+    so the retry re-evaluates almost nothing.
+
+    Cancellation and drain are cooperative through {!Bfs}'s wave-boundary
+    stop: a cancelled (or drain-interrupted) job flushes a final
+    checkpoint and ends [Cancelled] with the partial result composed —
+    never killed mid-wave. *)
+
+type options = {
+  max_concurrent : int;  (** runner threads (campaigns in flight) *)
+  wave_width : int;  (** {!Bfs} wave size ([options.workers]) per job *)
+  retries : int;  (** harness retry budget per evaluation *)
+  quarantine_after : int;  (** driver deaths before a job is quarantined *)
+  state_dir : string option;
+      (** root for per-job [journal] / [checkpoint] files; [None] keeps
+          jobs journal-less (tests) *)
+}
+
+val default_options : options
+(** 2 runners, wave width 2, no retries, quarantine after 2, no state
+    dir. *)
+
+type t
+
+val create :
+  ?options:options ->
+  ?log:(string -> unit) ->
+  resolve:(Wire.job_spec -> (Kernel.t, string) result) ->
+  pool:Pool.t ->
+  cache:Compile.cache ->
+  store:Store.t ->
+  unit ->
+  t
+(** Staff the runner threads. [resolve] maps a job spec to the benchmark
+    to search (the CLI passes the bundled-kernel loader; tests inject
+    synthetic programs). The scheduler borrows [pool], [cache] and
+    [store] — the caller owns their lifecycle. *)
+
+val submit : t -> Wire.job_spec -> (string, string) result
+(** Queue a campaign; returns its job id. [Error] after {!drain} or
+    {!shutdown}, or when [resolve] rejects the spec outright. *)
+
+val status : t -> string option -> (Wire.job_status list, string) result
+(** One job's status, or every job's (submission order). *)
+
+val events : t -> job:string -> from:int -> (int * string list * bool, string) result
+(** [(next_cursor, lines, final)] — the job's event lines from cursor
+    [from]; [final] once the job is terminal and [lines] reaches the end
+    of its log. *)
+
+val result : t -> string -> (Wire.job_status * string * string, string) result
+(** [(status, config_text, summary)] of a terminal job; [Error] while it
+    is still queued or running. *)
+
+val cancel : t -> string -> bool
+(** Request a cooperative stop. [true] if the job was queued (dequeued
+    immediately) or running (will stop at the next wave boundary); [false]
+    for unknown or already-terminal jobs. *)
+
+val stats : t -> Wire.server_stats
+
+val drain : t -> unit
+(** Stop accepting submissions; queued and running jobs keep going. *)
+
+val wait_idle : t -> unit
+(** Block until no job is queued or running. *)
+
+val shutdown : t -> ?cancel_running:bool -> unit -> unit
+(** {!drain}, then stop the runners: with [cancel_running] (default
+    [false]) running jobs are stopped at their next wave boundary and any
+    queued jobs are cancelled; without it the runners finish every queued
+    and running job first. Joins the runner threads. Idempotent. *)

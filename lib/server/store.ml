@@ -1,0 +1,84 @@
+type stats = { hits : int; misses : int; entries : int; waits : int }
+
+type cell =
+  | Done of Verdict.verdict
+  | Pending  (** someone is computing it; wait on [changed] *)
+
+type t = {
+  lock : Mutex.t;
+  changed : Condition.t;  (* a Pending resolved (or was withdrawn) *)
+  table : (string, cell) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable waits : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    table = Hashtbl.create 1024;
+    hits = 0;
+    misses = 0;
+    waits = 0;
+  }
+
+let key ~program_key ~opts_digest ~config_digest =
+  String.concat "/" [ program_key; opts_digest; config_digest ]
+
+let find_or_compute t ~key f =
+  Mutex.lock t.lock;
+  let rec claim waited =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done v) ->
+        t.hits <- t.hits + 1;
+        if waited then t.waits <- t.waits + 1;
+        Mutex.unlock t.lock;
+        (v, true)
+    | Some Pending ->
+        (* computed concurrently by another campaign right now: block until
+           it resolves rather than burn a duplicate evaluation *)
+        Condition.wait t.changed t.lock;
+        claim true
+    | None ->
+        t.misses <- t.misses + 1;
+        Hashtbl.replace t.table key Pending;
+        Mutex.unlock t.lock;
+        let v =
+          try f ()
+          with e ->
+            (* withdraw the claim so waiters recompute instead of hanging *)
+            Mutex.lock t.lock;
+            Hashtbl.remove t.table key;
+            Condition.broadcast t.changed;
+            Mutex.unlock t.lock;
+            raise e
+        in
+        Mutex.lock t.lock;
+        Hashtbl.replace t.table key (Done v);
+        Condition.broadcast t.changed;
+        Mutex.unlock t.lock;
+        (v, false)
+  in
+  claim false
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      let entries =
+        Hashtbl.fold (fun _ c acc -> match c with Done _ -> acc + 1 | Pending -> acc) t.table 0
+      in
+      { hits = t.hits; misses = t.misses; entries; waits = t.waits })
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let report t =
+  let s = stats t in
+  Printf.sprintf
+    "result store: %d hit(s) / %d miss(es) (%.1f%% hit rate, %d in-flight wait(s)), %d \
+     entr%s"
+    s.hits s.misses
+    (100.0 *. hit_rate s)
+    s.waits s.entries
+    (if s.entries = 1 then "y" else "ies")

@@ -1,0 +1,51 @@
+(** The cross-campaign evaluation result store.
+
+    The {!Journal} memoizes verdicts {e within} one campaign; the code
+    cache shares compiled blocks across evaluations. This store is the
+    serving-layer third leg: verdicts memoized {e across} campaigns and
+    clients, keyed by everything a verdict depends on —
+
+    {v (program key, eval-options digest, Config.digest) v}
+
+    where the program key is {!Checkpoint.program_key} (the structural
+    fingerprint of the candidate tree), the eval-options digest covers the
+    step budget and backend (two jobs with different budgets may
+    legitimately disagree on a timeout verdict), and {!Config.digest}
+    identifies the candidate's effective per-instruction flags. Two
+    clients submitting overlapping campaigns against one program evaluate
+    each shared candidate once, server-wide.
+
+    Lookups deduplicate {e in flight}: while a key is being computed, a
+    second requester blocks on it instead of recomputing — so even two
+    byte-identical campaigns racing each other evaluate each candidate
+    exactly once. The store is domain- and thread-safe. *)
+
+type t
+
+type stats = {
+  hits : int;  (** served without evaluating (includes in-flight waits) *)
+  misses : int;  (** computed and recorded *)
+  entries : int;
+  waits : int;  (** hits that blocked on an in-flight computation *)
+}
+
+val create : unit -> t
+
+val key : program_key:string -> opts_digest:string -> config_digest:string -> string
+(** Compose the canonical store key. *)
+
+val find_or_compute : t -> key:string -> (unit -> Verdict.verdict) -> Verdict.verdict * bool
+(** [find_or_compute t ~key f] returns the memoized verdict for [key],
+    running [f] (outside the store lock) and recording its result on a
+    miss. The boolean is [true] when the verdict was served from the
+    store — already recorded, or computed concurrently by someone else
+    while we waited. If [f] raises, the pending entry is withdrawn (the
+    next requester recomputes) and the exception propagates. *)
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Hits over total lookups, in [0,1]; 0 before any lookup. *)
+
+val report : t -> string
+(** One-line summary for status output and the bench. *)

@@ -1,0 +1,116 @@
+(** The campaign-server wire protocol.
+
+    One protocol frame is a 4-byte big-endian payload length followed by
+    the payload: one version byte ({!version}), one tag byte naming the
+    frame constructor, and the constructor's fields (strings are 4-byte
+    length-prefixed bytes, integers are 8-byte big-endian two's
+    complement, floats travel as their IEEE-754 bit patterns — every
+    value round-trips exactly).
+
+    Decoding is {e total}: a hostile or truncated byte stream can never
+    raise, only return a typed {!error}. [Need_more] is the streaming
+    signal ("keep reading"); everything else is fatal for the connection.
+    A length prefix above {!max_frame} is rejected {e before} any
+    allocation, so a malicious 4-GiB length cannot balloon the server. *)
+
+(** {1 Protocol data} *)
+
+type job_spec = {
+  bench : string;  (** benchmark name, e.g. ["cg"] *)
+  cls : string;  (** problem class, e.g. ["W"] *)
+  shadow : bool;  (** run the shadow-value analysis first and let it
+                      seed/reorder the campaign *)
+  priority : int;  (** scheduling priority; higher runs first *)
+  eval_steps : int option;  (** per-evaluation VM step budget override *)
+}
+
+type job_state =
+  | Queued
+  | Running
+  | Done
+  | Cancelled  (** stopped at a wave boundary by a cancel request *)
+  | Failed of string  (** the driver could not run the campaign *)
+  | Quarantined of string
+      (** the campaign crashed its runner repeatedly and was isolated,
+          the job-level analogue of {!Pool}'s poison-task quarantine *)
+
+type job_status = {
+  id : string;
+  spec : job_spec;
+  state : job_state;
+  tested : int;  (** configurations evaluated so far *)
+  store_hits : int;  (** evaluations served from the result store *)
+  store_misses : int;  (** evaluations this job computed itself *)
+  wall : float;  (** seconds spent running (so far, or total) *)
+}
+
+type store_stats = { hits : int; misses : int; entries : int }
+
+type server_stats = {
+  submitted : int;
+  completed : int;
+  failed : int;  (** failed + quarantined *)
+  cancelled : int;
+  running : int;
+  queued : int;
+  store : store_stats;  (** cross-campaign result store counters *)
+  cache_hits : int;  (** shared compiled-code cache counters *)
+  cache_misses : int;
+  uptime : float;
+}
+
+type frame =
+  (* client -> server *)
+  | Submit of job_spec
+  | Status of string option  (** one job, or [None] for all *)
+  | Events of { job : string; from : int }
+      (** fetch the job's event lines starting at cursor [from] *)
+  | Result of string
+  | Cancel of string
+  | Stats
+  (* server -> client *)
+  | Accepted of string  (** submit acknowledged; payload is the job id *)
+  | Status_reply of job_status list
+  | Events_reply of { next : int; events : string list; final : bool }
+      (** [final] means the job is terminal {e and} [events] drains the
+          log: the cursor [next] will never grow again *)
+  | Result_reply of { status : job_status; config_text : string; summary : string }
+  | Cancel_reply of bool  (** whether the job was actually cancelled *)
+  | Stats_reply of server_stats
+  | Error_reply of string
+
+(** {1 Codec} *)
+
+val version : int
+(** Current protocol version byte (1). *)
+
+val max_frame : int
+(** Upper bound on one frame's payload size (16 MiB). *)
+
+type error =
+  | Need_more of int
+      (** the buffer holds only a frame prefix; at least this many more
+          bytes are needed (a lower bound, not a promise) *)
+  | Bad_version of int  (** version byte of a complete, rejected frame *)
+  | Bad_tag of int
+  | Oversized of int  (** announced payload length above {!max_frame} *)
+  | Malformed of string  (** structurally invalid payload *)
+
+val error_to_string : error -> string
+
+val encode : frame -> Bytes.t
+(** Complete frame, length prefix included. *)
+
+val decode : Bytes.t -> pos:int -> len:int -> (frame * int, error) result
+(** [decode buf ~pos ~len] parses one frame from [buf.[pos .. pos+len-1]],
+    returning the frame and the number of bytes consumed. Total: any
+    hostile payload is a typed [Error], never an exception. Trailing
+    garbage inside a frame's announced length is [Malformed]. *)
+
+val write_frame : Unix.file_descr -> frame -> unit
+(** Blocking full write of [encode frame]. Raises [Unix.Unix_error] on a
+    dead peer (callers treat the connection as closed). *)
+
+val read_frame : Unix.file_descr -> (frame, error) result
+(** Blocking read of exactly one frame. A clean EOF before any byte is
+    [Error (Need_more 4)]; EOF mid-frame is [Malformed]. *)

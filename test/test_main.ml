@@ -23,5 +23,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("shadow", Test_shadow.suite);
       ("compile", Test_compile.suite);
+      ("wire", Test_wire.suite);
+      ("server", Test_server.suite);
       ("fuzz", Test_fuzz.suite);
     ]

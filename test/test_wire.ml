@@ -1,0 +1,232 @@
+(* QCheck2 fuzz for the campaign-server wire codec: every frame type
+   round-trips bit-exactly, and hostile byte streams (truncations, garbage,
+   oversized or lying length prefixes, wrong version, unknown tags,
+   trailing bytes) always produce a typed decode error, never an
+   exception. *)
+
+let qt ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+open QCheck2.Gen
+
+(* strings over the full byte range, newlines and NULs included *)
+let raw_string = string_size ~gen:(char_range '\x00' '\xff') (int_bound 24)
+
+let float_gen =
+  (* finite, NaN, infinities — the codec ships IEEE-754 bits, so all must
+     round-trip (NaN compared bitwise below) *)
+  oneof [ float; return Float.nan; return Float.infinity; return 0.0 ]
+
+let spec_gen =
+  map
+    (fun (bench, cls, shadow, priority, eval_steps) ->
+      { Wire.bench; cls; shadow; priority; eval_steps })
+    (tup5 raw_string raw_string bool int (option int))
+
+let state_gen =
+  oneof
+    [
+      return Wire.Queued;
+      return Wire.Running;
+      return Wire.Done;
+      return Wire.Cancelled;
+      map (fun s -> Wire.Failed s) raw_string;
+      map (fun s -> Wire.Quarantined s) raw_string;
+    ]
+
+let status_gen =
+  map
+    (fun ((id, spec, state), (tested, store_hits, store_misses, wall)) ->
+      { Wire.id; spec; state; tested; store_hits; store_misses; wall })
+    (pair (tup3 raw_string spec_gen state_gen) (tup4 nat nat nat float_gen))
+
+let server_stats_gen =
+  map
+    (fun ((submitted, completed, failed, cancelled, running),
+          (queued, hits, misses, entries),
+          (cache_hits, cache_misses, uptime)) ->
+      {
+        Wire.submitted;
+        completed;
+        failed;
+        cancelled;
+        running;
+        queued;
+        store = { Wire.hits; misses; entries };
+        cache_hits;
+        cache_misses;
+        uptime;
+      })
+    (tup3 (tup5 nat nat nat nat nat) (tup4 nat nat nat nat) (tup3 nat nat float_gen))
+
+let frame_gen =
+  oneof
+    [
+      map (fun s -> Wire.Submit s) spec_gen;
+      map (fun j -> Wire.Status j) (option raw_string);
+      map (fun (job, from) -> Wire.Events { job; from }) (pair raw_string nat);
+      map (fun j -> Wire.Result j) raw_string;
+      map (fun j -> Wire.Cancel j) raw_string;
+      return Wire.Stats;
+      map (fun j -> Wire.Accepted j) raw_string;
+      map (fun l -> Wire.Status_reply l) (list_size (int_bound 4) status_gen);
+      map
+        (fun (next, events, final) -> Wire.Events_reply { next; events; final })
+        (tup3 nat (list_size (int_bound 6) raw_string) bool);
+      map
+        (fun (status, config_text, summary) ->
+          Wire.Result_reply { status; config_text; summary })
+        (tup3 status_gen raw_string raw_string);
+      map (fun b -> Wire.Cancel_reply b) bool;
+      map (fun s -> Wire.Stats_reply s) server_stats_gen;
+      map (fun s -> Wire.Error_reply s) raw_string;
+    ]
+
+(* structural equality with floats compared by bit pattern (NaN-safe) *)
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let status_eq (a : Wire.job_status) (b : Wire.job_status) =
+  a.Wire.id = b.Wire.id && a.Wire.spec = b.Wire.spec && a.Wire.state = b.Wire.state
+  && a.Wire.tested = b.Wire.tested
+  && a.Wire.store_hits = b.Wire.store_hits
+  && a.Wire.store_misses = b.Wire.store_misses
+  && feq a.Wire.wall b.Wire.wall
+
+let frame_eq (a : Wire.frame) (b : Wire.frame) =
+  match (a, b) with
+  | Wire.Status_reply xs, Wire.Status_reply ys ->
+      List.length xs = List.length ys && List.for_all2 status_eq xs ys
+  | Wire.Result_reply ra, Wire.Result_reply rb ->
+      status_eq ra.status rb.status
+      && ra.config_text = rb.config_text
+      && ra.summary = rb.summary
+  | Wire.Stats_reply sa, Wire.Stats_reply sb ->
+      { sa with Wire.uptime = 0.0 } = { sb with Wire.uptime = 0.0 }
+      && feq sa.Wire.uptime sb.Wire.uptime
+  | a, b -> a = b
+
+let decode_all buf ~pos ~len = Wire.decode buf ~pos ~len
+
+(* 1. round trip: decode (encode f) = f, consuming the whole buffer *)
+let roundtrip =
+  qt ~count:1000 "wire: encode/decode round trip" frame_gen (fun f ->
+      let buf = Wire.encode f in
+      match decode_all buf ~pos:0 ~len:(Bytes.length buf) with
+      | Ok (g, consumed) -> consumed = Bytes.length buf && frame_eq f g
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" (Wire.error_to_string e))
+
+(* 2. framing: two concatenated frames decode back to back *)
+let concatenated =
+  qt ~count:300 "wire: concatenated frames" (pair frame_gen frame_gen) (fun (a, b) ->
+      let ba = Wire.encode a and bb = Wire.encode b in
+      let buf = Bytes.concat Bytes.empty [ ba; bb ] in
+      match decode_all buf ~pos:0 ~len:(Bytes.length buf) with
+      | Error _ -> false
+      | Ok (a', used) -> (
+          frame_eq a a'
+          &&
+          match decode_all buf ~pos:used ~len:(Bytes.length buf - used) with
+          | Ok (b', used') -> frame_eq b b' && used + used' = Bytes.length buf
+          | Error _ -> false))
+
+(* 3. truncation: any proper prefix is Need_more, never a crash *)
+let truncated =
+  qt ~count:500 "wire: truncated frames ask for more" (pair frame_gen (int_bound 1000))
+    (fun (f, cut) ->
+      let buf = Wire.encode f in
+      let len = cut mod Bytes.length buf in
+      match decode_all buf ~pos:0 ~len with
+      | Error (Wire.Need_more n) -> n > 0 && len + n <= Bytes.length buf
+      | Ok _ | Error _ -> false)
+
+(* 4. garbage: decoding random bytes never raises *)
+let garbage_total =
+  qt ~count:1000 "wire: random bytes never raise"
+    (string_size ~gen:(char_range '\x00' '\xff') (int_bound 64))
+    (fun s ->
+      let buf = Bytes.of_string s in
+      match decode_all buf ~pos:0 ~len:(Bytes.length buf) with
+      | Ok _ | Error _ -> true)
+
+(* 5. bit flips in a valid frame never raise; header flips give the right
+   typed error *)
+let flipped =
+  qt ~count:1000 "wire: single byte corruption never raises"
+    (tup3 frame_gen nat (int_range 1 255))
+    (fun (f, at, delta) ->
+      let buf = Wire.encode f in
+      let i = at mod Bytes.length buf in
+      Bytes.set buf i (Char.chr ((Char.code (Bytes.get buf i) + delta) land 0xff));
+      match decode_all buf ~pos:0 ~len:(Bytes.length buf) with
+      | Ok _ | Error _ -> true)
+
+let show_result = function
+  | Ok (_, n) -> Printf.sprintf "Ok (frame, %d)" n
+  | Error e -> "Error: " ^ Wire.error_to_string e
+
+let hostile_header () =
+  let ok = Wire.encode Wire.Stats in
+  (* wrong version byte -> Bad_version with the offending byte *)
+  let bad_version = Bytes.copy ok in
+  Bytes.set bad_version 4 '\x07';
+  (match Wire.decode bad_version ~pos:0 ~len:(Bytes.length bad_version) with
+  | Error (Wire.Bad_version 7) -> ()
+  | r -> Alcotest.failf "wrong version: got %s" (show_result r));
+  (* unknown tag -> Bad_tag *)
+  let bad_tag = Bytes.copy ok in
+  Bytes.set bad_tag 5 '\xee';
+  (match Wire.decode bad_tag ~pos:0 ~len:(Bytes.length bad_tag) with
+  | Error (Wire.Bad_tag 0xee) -> ()
+  | r -> Alcotest.failf "unknown tag: got %s" (show_result r));
+  (* length prefix above max_frame -> Oversized, rejected before allocation *)
+  let oversized = Bytes.of_string "\xff\xff\xff\xff" in
+  (match Wire.decode oversized ~pos:0 ~len:4 with
+  | Error (Wire.Oversized _) -> ()
+  | r -> Alcotest.failf "oversized: got %s" (show_result r));
+  (* announced length longer than the real body -> trailing garbage *)
+  let trailing =
+    let b = Wire.encode (Wire.Cancel_reply true) in
+    Bytes.concat Bytes.empty [ b; Bytes.make 3 'x' ]
+  in
+  (* rewrite the length prefix to claim the 3 junk bytes *)
+  let n = Bytes.length trailing - 4 in
+  Bytes.set trailing 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set trailing 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set trailing 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set trailing 3 (Char.chr (n land 0xff));
+  (match Wire.decode trailing ~pos:0 ~len:(Bytes.length trailing) with
+  | Error (Wire.Malformed _) -> ()
+  | r -> Alcotest.failf "trailing bytes: got %s" (show_result r));
+  (* a string field whose own length prefix lies about the payload *)
+  let lying = Wire.encode (Wire.Result "abcdef") in
+  (* the string length lives right after version+tag; inflate it *)
+  Bytes.set lying 9 '\xff';
+  match Wire.decode lying ~pos:0 ~len:(Bytes.length lying) with
+  | Error (Wire.Malformed _) -> ()
+  | r -> Alcotest.failf "lying string length: got %s" (show_result r)
+
+let empty_window () =
+  match Wire.decode (Bytes.create 0) ~pos:0 ~len:0 with
+  | Error (Wire.Need_more 4) -> ()
+  | r -> Alcotest.failf "empty buffer: got %s" (show_result r)
+
+let bad_window () =
+  let buf = Wire.encode Wire.Stats in
+  (match Wire.decode buf ~pos:2 ~len:(Bytes.length buf) with
+  | Error (Wire.Malformed _) -> ()
+  | r -> Alcotest.failf "window past the end: got %s" (show_result r));
+  match Wire.decode buf ~pos:(-1) ~len:2 with
+  | Error (Wire.Malformed _) -> ()
+  | r -> Alcotest.failf "negative pos: got %s" (show_result r)
+
+let suite =
+  [
+    roundtrip;
+    concatenated;
+    truncated;
+    garbage_total;
+    flipped;
+    ("wire: hostile headers give typed errors", `Quick, hostile_header);
+    ("wire: empty window", `Quick, empty_window);
+    ("wire: invalid windows", `Quick, bad_window);
+  ]
