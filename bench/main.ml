@@ -968,6 +968,138 @@ let server_bench () =
   close_out oc;
   Format.printf "(written to BENCH_server.json)@."
 
+(* The distributed worker fleet vs the in-process pool: the same ep.W
+   campaign driven (a) by the daemon's own pool, then (b) sharded over
+   1/2/4 in-process `craft worker` loops connected through a real Unix
+   socket. Asserts — exit 1 on divergence — that every fleet campaign
+   reproduces the pool campaign's final configuration. Emits
+   BENCH_fleet.json. Workers are hosted as threads in this process, so
+   the numbers measure the protocol and dispatch overhead, not extra
+   machines. *)
+let fleet_bench () =
+  section "Distributed worker fleet: campaign wall time vs in-process pool";
+  let spec =
+    { Wire.bench = "ep"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+  in
+  let resolve (s : Wire.job_spec) =
+    match (s.Wire.bench, s.Wire.cls) with
+    | "ep", "W" -> Ok (Nas_ep.make Kernel.W)
+    | b, c -> Error (Printf.sprintf "unknown benchmark %s.%s" b c)
+  in
+  let run_campaign ~fleet_workers =
+    let pool = Pool.create ~options:{ Pool.default_options with workers = 4 } () in
+    let cache = Compile.create_cache () in
+    let store = Store.create () in
+    let fleet =
+      if fleet_workers = 0 then None
+      else
+        Some
+          (Fleet.create
+             ~options:{ Fleet.default_options with heartbeat_every = 0.5 }
+             ())
+    in
+    let sched = Scheduler.create ?fleet ~resolve ~pool ~cache ~store () in
+    let path = Filename.temp_file "craft_bench_fleet" ".sock" in
+    Sys.remove path;
+    let srv = Server.start ?fleet ~scheduler:sched (Server.Unix_path path) in
+    let stop_flag = Atomic.make false in
+    let threads =
+      List.init fleet_workers (fun i ->
+          Thread.create
+            (fun () ->
+              ignore
+                (Worker.run
+                   ~name:(Printf.sprintf "bench-w%d" i)
+                   ~stop:(fun () -> Atomic.get stop_flag)
+                   ~resolve:(fun ~bench ~cls ->
+                     resolve
+                       { Wire.bench; cls; shadow = false; priority = 0; eval_steps = None })
+                   (Server.Unix_path path)))
+            ())
+    in
+    Option.iter
+      (fun f ->
+        let rec wait n =
+          if n > 2000 then begin
+            Format.printf "!! fleet bench: workers never joined@.";
+            exit 1
+          end;
+          if Fleet.live_workers f < fleet_workers then begin
+            Thread.delay 0.005;
+            wait (n + 1)
+          end
+        in
+        wait 0)
+      fleet;
+    let t0 = Unix.gettimeofday () in
+    let id =
+      match Scheduler.submit sched spec with
+      | Ok id -> id
+      | Error e ->
+          Format.printf "!! fleet bench submit: %s@." e;
+          exit 1
+    in
+    let rec wait () =
+      match Scheduler.result sched id with
+      | Ok r -> r
+      | Error _ ->
+          Thread.delay 0.01;
+          wait ()
+    in
+    let st, text, _ = wait () in
+    let wall = Unix.gettimeofday () -. t0 in
+    Atomic.set stop_flag true;
+    List.iter Thread.join threads;
+    let fs = Option.map Fleet.stats fleet in
+    Server.stop srv;
+    Scheduler.shutdown sched ();
+    Option.iter Fleet.stop fleet;
+    Pool.shutdown pool;
+    (text, st, wall, fs)
+  in
+  let base_text, base_st, base_wall, _ = run_campaign ~fleet_workers:0 in
+  Format.printf "%-24s %7s %9s %8s %8s %10s@." "campaign" "evals" "wall (s)"
+    "remote" "local" "identical";
+  Format.printf "%-24s %7d %9.3f %8s %8s %10s@." "ep.W (in-process pool)"
+    base_st.Wire.tested base_wall "-" "-" "-";
+  let rows =
+    List.map
+      (fun n ->
+        let text, st, wall, fs = run_campaign ~fleet_workers:n in
+        let same = String.equal text base_text in
+        let remote, local =
+          match fs with
+          | Some s -> (s.Fleet.remote, s.Fleet.local_fallbacks)
+          | None -> (0, 0)
+        in
+        Format.printf "%-24s %7d %9.3f %8d %8d %10b@."
+          (Printf.sprintf "ep.W (%d worker%s)" n (if n = 1 then "" else "s"))
+          st.Wire.tested wall remote local same;
+        (n, st, wall, remote, local, same))
+      [ 1; 2; 4 ]
+  in
+  if List.exists (fun (_, _, _, _, _, same) -> not same) rows then begin
+    Format.printf "!! fleet campaigns diverged from the in-process pool final@.";
+    exit 1
+  end;
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"baseline\": { \"kernel\": \"ep.W\", \"evals\": %d, \"seconds\": %.6f },\n"
+    base_st.Wire.tested base_wall;
+  Printf.fprintf oc "  \"fleet\": [\n";
+  List.iteri
+    (fun i (n, (st : Wire.job_status), wall, remote, local, same) ->
+      Printf.fprintf oc
+        "    { \"workers\": %d, \"evals\": %d, \"seconds\": %.6f, \"remote_evals\": \
+         %d, \"local_fallbacks\": %d, \"identical_final\": %b }%s\n"
+        n st.Wire.tested wall remote local same
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_fleet.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -1047,6 +1179,7 @@ let sections =
     ("shadow", shadow_bench);
     ("vm", vm_bench);
     ("server", server_bench);
+    ("fleet", fleet_bench);
     ("micro", microbench);
   ]
 

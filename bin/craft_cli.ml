@@ -665,7 +665,7 @@ let serve_cmd =
             "Root for per-job journal and checkpoint files (one subdirectory per job); a \
              requeued job resumes from them. Empty string disables persistence.")
   in
-  let run socket tcp jobs wave workers retries quarantine_after state_dir =
+  let run socket tcp jobs wave workers retries quarantine_after state_dir fleet_heartbeat =
     let addr = server_addr socket tcp in
     let log s = Printf.printf "serve: %s\n%!" s in
     let pool =
@@ -679,6 +679,11 @@ let serve_cmd =
     let resolve (spec : Wire.job_spec) =
       Result.bind (class_of_string spec.Wire.cls) (fun c -> load spec.Wire.bench c)
     in
+    let fleet =
+      Fleet.create
+        ~options:{ Fleet.default_options with heartbeat_every = fleet_heartbeat }
+        ~log ()
+    in
     let sched =
       Scheduler.create
         ~options:
@@ -689,9 +694,9 @@ let serve_cmd =
             quarantine_after;
             state_dir = (if state_dir = "" then None else Some state_dir);
           }
-        ~log ~resolve ~pool ~cache ~store ()
+        ~log ~fleet ~resolve ~pool ~cache ~store ()
     in
-    let srv = Server.start ~log ~scheduler:sched addr in
+    let srv = Server.start ~log ~fleet ~scheduler:sched addr in
     let signals = Atomic.make 0 in
     let on_signal _ = Atomic.incr signals in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -725,19 +730,83 @@ let serve_cmd =
     Scheduler.shutdown sched ();
     Atomic.set drained true;
     Thread.join watcher;
+    Fleet.stop fleet;
     Pool.shutdown pool;
+    log (Fleet.report fleet);
     log (Store.report store);
     log (Compile.report cache);
     log "stopped"
+  in
+  let fleet_heartbeat_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "fleet-heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Heartbeat interval expected from remote workers; a worker silent for two \
+             intervals has its lease requeued (default 2s).")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the campaign daemon: accept search campaigns from many clients, multiplex \
-          them onto one shared worker pool, code cache and cross-campaign result store")
+          them onto one shared worker pool, code cache and cross-campaign result store, \
+          and lease evaluation batches to remote $(b,craft worker) processes")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ wave_arg $ pool_workers_arg
-      $ retries_arg $ quarantine_arg $ state_dir_arg)
+      $ retries_arg $ quarantine_arg $ state_dir_arg $ fleet_heartbeat_arg)
+
+let worker_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:
+            "Stable worker name (default $(b,worker-<pid>)); the daemon quarantines \
+             misbehaving workers by this name.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "capacity" ] ~docv:"N" ~doc:"Max evaluations leased per batch (default 4).")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Arm the deterministic fleet fault injector, e.g. \
+             $(b,seed=7,rate=0.25,actions=kill+stall+garbage+dup,limit=4,stall=1.0) — the \
+             worker then dies, stalls, corrupts frames or duplicates deliveries \
+             mid-batch, proving out the daemon's requeue/rejoin machinery. A drawn \
+             $(b,kill) exits with status 137, like a real SIGKILL.")
+  in
+  let run socket tcp name capacity inject chaos =
+    let addr = server_addr socket tcp in
+    let log s = Printf.printf "worker: %s\n%!" s in
+    let faults = Option.map (fun s -> Faults.create (or_die (Faults.parse s))) inject in
+    let chaos = Option.map (fun s -> Chaos.create (or_die (Chaos.parse s))) chaos in
+    let resolve ~bench ~cls = Result.bind (class_of_string cls) (load bench) in
+    match Worker.run ?name ~capacity ?faults ?chaos ~log ~resolve addr with
+    | stats ->
+        log
+          (Printf.sprintf "done — %d evaluated, %d pushed, %d skipped, %d batch(es), %d rejoin(s)"
+             stats.Worker.evaluated stats.Worker.pushed stats.Worker.skipped
+             stats.Worker.batches stats.Worker.rejoins)
+    | exception Chaos.Killed ->
+        (* faithful to a real SIGKILL: no goodbye, no cleanup, status 137 *)
+        exit 137
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a remote evaluation worker: lease configuration batches from the campaign \
+          daemon over the wire protocol, evaluate them locally and stream the verdicts \
+          back; survives daemon restarts and dropped connections by rejoining with \
+          result-store delta sync")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ name_arg $ capacity_arg $ inject_arg $ chaos_arg)
 
 let priority_arg =
   Arg.(
@@ -892,6 +961,7 @@ let main =
       snippet_cmd;
       journal_cmd;
       serve_cmd;
+      worker_cmd;
       submit_cmd;
       status_cmd;
       watch_cmd;

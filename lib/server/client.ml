@@ -1,60 +1,126 @@
-type t = { fd : Unix.file_descr; lock : Mutex.t; mutable open_ : bool }
+type t = {
+  addr : Server.addr;
+  timeout : float option;
+  retry_wall : float;  (* cap on total backoff time per rpc *)
+  rng : Rng.t;  (* backoff jitter: keep reconnecting clients desynchronised *)
+  lock : Mutex.t;
+  mutable fd : Unix.file_descr option;
+  mutable open_ : bool;
+}
 
-let sockaddr_of = function
-  | Server.Unix_path p -> Unix.ADDR_UNIX p
-  | Server.Tcp (host, port) ->
-      let ip =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
-          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
-          | _ -> raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "getaddrinfo", host)))
-      in
-      Unix.ADDR_INET (ip, port)
+let sockaddr_of = Server.sockaddr_of
 
-let connect ?(retries = 5) ?(retry_delay = 0.2) ?timeout addr =
+let dial ?timeout addr =
   let domain =
     match addr with Server.Unix_path _ -> Unix.PF_UNIX | Server.Tcp _ -> Unix.PF_INET
   in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (sockaddr_of addr) with
+  | () ->
+      Option.iter (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s) timeout;
+      Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e
+
+let connect ?(retries = 5) ?(retry_delay = 0.2) ?(retry_wall = 10.0) ?timeout addr =
+  let rng = Rng.create (Hashtbl.hash (Unix.getpid (), Server.addr_to_string addr)) in
   let rec go attempt delay =
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (sockaddr_of addr) with
-    | () ->
-        Option.iter (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s) timeout;
-        Ok { fd; lock = Mutex.create (); open_ = true }
-    | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+    match dial ?timeout addr with
+    | Ok fd ->
+        Ok
+          {
+            addr;
+            timeout;
+            retry_wall = Float.max 0.0 retry_wall;
+            rng;
+            lock = Mutex.create ();
+            fd = Some fd;
+            open_ = true;
+          }
+    | Error e ->
         if attempt >= retries then
           Error
             (Printf.sprintf "cannot connect to %s: %s"
                (Server.addr_to_string addr) (Unix.error_message e))
         else begin
-          Thread.delay delay;
+          Thread.delay (delay *. (0.5 +. Rng.uniform rng));
           go (attempt + 1) (delay *. 2.0)
         end
   in
   go 0 retry_delay
 
+let drop_fd t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let close t =
   if t.open_ then begin
     t.open_ <- false;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    drop_fd t
   end
 
 (* One request/reply exchange. Serialised: the protocol has no frame ids,
-   so interleaved requests would pair with the wrong replies. *)
+   so interleaved requests would pair with the wrong replies.
+
+   Retry discipline: only the dial and the write phase retry — with
+   jittered exponential backoff against a reconnect stampede
+   (ECONNREFUSED while the daemon restarts, EPIPE on a stale fd), capped
+   by [retry_wall] of total backoff so a dead daemon fails the call in
+   bounded time. A failure {e after} the request was written is never
+   blindly retried: the daemon may already have executed it, and
+   resubmitting a non-idempotent frame (Submit) would double it. *)
 let rpc t frame =
   Mutex.protect t.lock (fun () ->
       if not t.open_ then Error "connection is closed"
-      else
-        match
-          Wire.write_frame t.fd frame;
-          Wire.read_frame t.fd
-        with
-        | Ok reply -> Ok reply
-        | Error err -> Error (Wire.error_to_string err)
-        | exception Unix.Unix_error (e, fn, _) ->
-            Error (Printf.sprintf "%s: %s (server gone?)" fn (Unix.error_message e)))
+      else begin
+        let deadline = Unix.gettimeofday () +. t.retry_wall in
+        let backoff delay e fn =
+          let pause = delay *. (0.5 +. Rng.uniform t.rng) in
+          if Unix.gettimeofday () +. pause > deadline then
+            Error
+              (Printf.sprintf "%s: %s (gave up after %.1fs of retries)" fn
+                 (Unix.error_message e) t.retry_wall)
+          else begin
+            Thread.delay pause;
+            Ok (delay *. 2.0)
+          end
+        in
+        let rec attempt delay =
+          match t.fd with
+          | None -> (
+              match dial ?timeout:t.timeout t.addr with
+              | Ok fd ->
+                  t.fd <- Some fd;
+                  attempt delay
+              | Error e -> (
+                  match backoff delay e "connect" with
+                  | Ok delay -> attempt delay
+                  | Error _ as err -> err))
+          | Some fd -> (
+              match Wire.write_frame fd frame with
+              | exception Unix.Unix_error (e, fn, _) -> (
+                  (* the frame never fully left: safe to reconnect and
+                     retry even a non-idempotent request *)
+                  drop_fd t;
+                  match backoff delay e fn with
+                  | Ok delay -> attempt delay
+                  | Error _ as err -> err)
+              | () -> (
+                  match Wire.read_frame fd with
+                  | Ok reply -> Ok reply
+                  | Error err ->
+                      drop_fd t;
+                      Error (Wire.error_to_string err)
+                  | exception Unix.Unix_error (e, fn, _) ->
+                      drop_fd t;
+                      Error (Printf.sprintf "%s: %s (server gone?)" fn (Unix.error_message e))))
+        in
+        attempt 0.05
+      end)
 
 let unexpected what = Error (Printf.sprintf "unexpected reply to %s" what)
 

@@ -4,19 +4,30 @@
     it is thread-safe (a mutex serialises frames on the wire). Every call
     is total — transport failures, server [Error_reply]s and protocol
     surprises all come back as [Error _] strings, never exceptions, so CLI
-    verbs and the bench can pattern-match their way to an exit code. *)
+    verbs and the bench can pattern-match their way to an exit code.
+
+    Reconnects are retried with {e jittered} exponential backoff (so many
+    clients whose daemon restarts do not stampede it in lockstep) and the
+    total backoff per call is capped by [retry_wall]. Only failures where
+    the request provably never left — a refused dial, a failed write —
+    are retried; once a request has been written, a transport failure is
+    reported instead of blindly resubmitting a possibly non-idempotent
+    frame. *)
 
 type t
 
 val connect :
   ?retries:int ->
   ?retry_delay:float ->
+  ?retry_wall:float ->
   ?timeout:float ->
   Server.addr ->
   (t, string) result
 (** [connect addr] with up to [retries] (default 5) extra attempts spaced
-    [retry_delay] (default 0.2s, doubling) apart — a just-started daemon
-    may not be listening yet. [timeout] (default none) arms a per-reply
+    [retry_delay] (default 0.2s, doubling, jittered) apart — a
+    just-started daemon may not be listening yet. [retry_wall] (default
+    10s) caps the total backoff later calls spend reconnecting after
+    [ECONNREFUSED]/[EPIPE]. [timeout] (default none) arms a per-reply
     receive deadline on the socket. *)
 
 val close : t -> unit

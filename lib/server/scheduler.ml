@@ -34,6 +34,7 @@ type t = {
   pool : Pool.t;
   cache : Compile.cache;
   store : Store.t;
+  fleet : Fleet.t option;
   lock : Mutex.t;
   cond : Condition.t;  (* work queued / job finished / lifecycle change *)
   jobs : (string, job) Hashtbl.t;
@@ -121,16 +122,38 @@ let run_campaign t j =
   let eval cfg =
     let config_digest = Config.digest k.Kernel.program cfg in
     let key = Store.key ~program_key ~opts_digest ~config_digest in
-    let verdict, served =
-      Store.find_or_compute t.store ~key (fun () -> Harness.eval harness cfg)
+    (* fleet offload happens inside the store's compute closure: only
+       store misses reach the fleet, and the store's in-flight dedup
+       guarantees at most one fleet item per key — which is what keeps
+       the journal free of lost and duplicate verdicts under chaos *)
+    let remote = ref false in
+    let compute () =
+      match t.fleet with
+      | None -> Harness.eval harness cfg
+      | Some fleet ->
+          let ctx =
+            {
+              Fleet.bench = j.spec.Wire.bench;
+              cls = j.spec.Wire.cls;
+              eval_steps = j.spec.Wire.eval_steps;
+              retries = t.opts.retries;
+            }
+          in
+          let text = Config.print k.Kernel.program cfg in
+          let verdict, origin =
+            Fleet.eval fleet ~ctx ~key ~text (fun () -> Harness.eval harness cfg)
+          in
+          if origin = `Remote then remote := true;
+          verdict
     in
+    let verdict, served = Store.find_or_compute t.store ~key compute in
     Mutex.protect t.lock (fun () ->
         j.tested <- j.tested + 1;
         if served then j.hits <- j.hits + 1 else j.misses <- j.misses + 1;
         event t j "EVAL %s %s%s"
           (Verdict.verdict_label verdict)
           (Config.summarize cfg)
-          (if served then " [store]" else ""));
+          (if served then " [store]" else if !remote then " [fleet]" else ""));
     Option.iter (fun jr -> Journal.record jr cfg verdict) journal;
     verdict = Verdict.Pass
   in
@@ -265,7 +288,7 @@ let rec runner_loop t =
 
 (* ------------------------------------------------------------- lifecycle *)
 
-let create ?(options = default_options) ?(log = ignore) ~resolve ~pool ~cache ~store () =
+let create ?(options = default_options) ?(log = ignore) ?fleet ~resolve ~pool ~cache ~store () =
   let opts =
     {
       options with
@@ -282,6 +305,7 @@ let create ?(options = default_options) ?(log = ignore) ~resolve ~pool ~cache ~s
       pool;
       cache;
       store;
+      fleet;
       lock = Mutex.create ();
       cond = Condition.create ();
       jobs = Hashtbl.create 32;

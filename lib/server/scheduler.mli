@@ -41,6 +41,7 @@ type t
 val create :
   ?options:options ->
   ?log:(string -> unit) ->
+  ?fleet:Fleet.t ->
   resolve:(Wire.job_spec -> (Kernel.t, string) result) ->
   pool:Pool.t ->
   cache:Compile.cache ->
@@ -49,8 +50,13 @@ val create :
   t
 (** Staff the runner threads. [resolve] maps a job spec to the benchmark
     to search (the CLI passes the bundled-kernel loader; tests inject
-    synthetic programs). The scheduler borrows [pool], [cache] and
-    [store] — the caller owns their lifecycle. *)
+    synthetic programs). The scheduler borrows [pool], [cache], [store]
+    and [fleet] — the caller owns their lifecycle.
+
+    With [fleet], store misses are offered to the worker fleet inside the
+    store's compute closure ({!Fleet.eval}, falling back to the local
+    harness when the fleet is empty or slow); the store's in-flight dedup
+    means each key reaches the fleet at most once, server-wide. *)
 
 val submit : t -> Wire.job_spec -> (string, string) result
 (** Queue a campaign; returns its job id. [Error] after {!drain} or

@@ -18,6 +18,8 @@ type t = {
   mutable bound : addr;
   listener : Unix.file_descr;
   scheduler : Scheduler.t;
+  fleet : Fleet.t option;
+  max_conns : int;
   echo : string -> unit;
   lock : Mutex.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
@@ -27,49 +29,68 @@ type t = {
 }
 
 (* One request frame -> one reply frame. Total: client mistakes become
-   [Error_reply], never a handler crash. *)
-let dispatch sched = function
-  | Wire.Submit spec -> (
-      match Scheduler.submit sched spec with
-      | Ok id -> Wire.Accepted id
-      | Error why -> Wire.Error_reply why)
-  | Wire.Status who -> (
-      match Scheduler.status sched who with
-      | Ok jobs -> Wire.Status_reply jobs
-      | Error why -> Wire.Error_reply why)
-  | Wire.Events { job; from } -> (
-      match Scheduler.events sched ~job ~from with
-      | Ok (next, events, final) -> Wire.Events_reply { next; events; final }
-      | Error why -> Wire.Error_reply why)
-  | Wire.Result job -> (
-      match Scheduler.result sched job with
-      | Ok (status, config_text, summary) ->
-          Wire.Result_reply { status; config_text; summary }
-      | Error why -> Wire.Error_reply why)
-  | Wire.Cancel job -> Wire.Cancel_reply (Scheduler.cancel sched job)
-  | Wire.Stats -> Wire.Stats_reply (Scheduler.stats sched)
-  | ( Wire.Accepted _ | Wire.Status_reply _ | Wire.Events_reply _
-    | Wire.Result_reply _ | Wire.Cancel_reply _ | Wire.Stats_reply _
-    | Wire.Error_reply _ ) as f ->
-      Wire.Error_reply
-        (Printf.sprintf "protocol violation: server-to-client frame %s sent by client"
-           (match f with
-           | Wire.Accepted _ -> "Accepted"
-           | Wire.Status_reply _ -> "Status_reply"
-           | Wire.Events_reply _ -> "Events_reply"
-           | Wire.Result_reply _ -> "Result_reply"
-           | Wire.Cancel_reply _ -> "Cancel_reply"
-           | Wire.Stats_reply _ -> "Stats_reply"
-           | _ -> "Error_reply"))
+   [Error_reply], never a handler crash. Fleet frames go to the
+   dispatcher when one is attached; campaign frames to the scheduler. *)
+let dispatch t frame =
+  match Option.bind t.fleet (fun f -> Fleet.handle f frame) with
+  | Some reply -> reply
+  | None -> (
+      match frame with
+      | Wire.Submit spec -> (
+          match Scheduler.submit t.scheduler spec with
+          | Ok id -> Wire.Accepted id
+          | Error why -> Wire.Error_reply why)
+      | Wire.Status who -> (
+          match Scheduler.status t.scheduler who with
+          | Ok jobs -> Wire.Status_reply jobs
+          | Error why -> Wire.Error_reply why)
+      | Wire.Events { job; from } -> (
+          match Scheduler.events t.scheduler ~job ~from with
+          | Ok (next, events, final) -> Wire.Events_reply { next; events; final }
+          | Error why -> Wire.Error_reply why)
+      | Wire.Result job -> (
+          match Scheduler.result t.scheduler job with
+          | Ok (status, config_text, summary) ->
+              Wire.Result_reply { status; config_text; summary }
+          | Error why -> Wire.Error_reply why)
+      | Wire.Cancel job -> Wire.Cancel_reply (Scheduler.cancel t.scheduler job)
+      | Wire.Stats -> Wire.Stats_reply (Scheduler.stats t.scheduler)
+      | Wire.Worker_hello _ | Wire.Lease_request _ | Wire.Result_push _
+      | Wire.Heartbeat _ | Wire.Goodbye _ ->
+          Wire.Error_reply "this daemon runs no fleet dispatcher; workers not accepted"
+      | ( Wire.Accepted _ | Wire.Status_reply _ | Wire.Events_reply _
+        | Wire.Result_reply _ | Wire.Cancel_reply _ | Wire.Stats_reply _
+        | Wire.Error_reply _ | Wire.Worker_welcome _ | Wire.Lease_reply _
+        | Wire.Result_ack _ | Wire.Heartbeat_ack _ | Wire.Goodbye_ack _ ) as f ->
+          Wire.Error_reply
+            (Printf.sprintf "protocol violation: server-to-client frame %s sent by client"
+               (match f with
+               | Wire.Accepted _ -> "Accepted"
+               | Wire.Status_reply _ -> "Status_reply"
+               | Wire.Events_reply _ -> "Events_reply"
+               | Wire.Result_reply _ -> "Result_reply"
+               | Wire.Cancel_reply _ -> "Cancel_reply"
+               | Wire.Stats_reply _ -> "Stats_reply"
+               | Wire.Worker_welcome _ -> "Worker_welcome"
+               | Wire.Lease_reply _ -> "Lease_reply"
+               | Wire.Result_ack _ -> "Result_ack"
+               | Wire.Heartbeat_ack _ -> "Heartbeat_ack"
+               | Wire.Goodbye_ack _ -> "Goodbye_ack"
+               | _ -> "Error_reply")))
 
-let handle t fd peer =
+(* [worker] remembers the worker id welcomed on this connection, so the
+   close path can hint the fleet that its transport dropped. *)
+let handle t fd peer worker =
   let alive = ref true in
   while !alive do
     match Wire.read_frame fd with
     | Ok frame -> (
-        let reply = try dispatch t.scheduler frame with e ->
+        let reply = try dispatch t frame with e ->
           Wire.Error_reply (Printf.sprintf "internal error: %s" (Printexc.to_string e))
         in
+        (match reply with
+        | Wire.Worker_welcome { worker = wid; _ } -> worker := Some wid
+        | _ -> ());
         try Wire.write_frame fd reply with Unix.Unix_error _ -> alive := false)
     | Error (Wire.Need_more _) ->
         (* clean EOF between frames: the client hung up *)
@@ -102,26 +123,55 @@ let accept_loop t =
     | exception
         Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _)
       ->
-        (* stop closed the listener under us, or a connection died between
-           select and accept — either way, re-check [accepting] *)
+        (* stop closed the listener under us, a connection died between
+           select and accept, or a signal interrupted the accept — either
+           way, re-check [accepting] and try again *)
         ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _) ->
+        (* out of descriptors: we cannot even accept, so there is no fd to
+           send a typed shed frame on. Breathe and retry — existing
+           connections keep draining, and the soft [max_conns] limit below
+           sheds with a typed frame before the hard limit is ever hit. *)
+        t.echo
+          (Printf.sprintf "accept: out of descriptors (%s); backing off"
+             (Unix.error_message e));
+        Thread.delay 0.05
     | Some (fd, _) ->
-        incr n;
-        let peer = Printf.sprintf "client#%d" !n in
-        t.echo (Printf.sprintf "%s: connected" peer);
-        let th =
-          Thread.create
-            (fun () ->
-              (try handle t fd peer
-               with e ->
-                 t.echo
-                   (Printf.sprintf "%s: handler died: %s" peer (Printexc.to_string e)));
-              forget t fd;
-              t.echo (Printf.sprintf "%s: disconnected" peer))
-            ()
+        let shed =
+          Mutex.protect t.lock (fun () -> List.length t.conns >= t.max_conns)
         in
-        Mutex.protect t.lock (fun () ->
-            if t.accepting then t.conns <- (fd, th) :: t.conns)
+        if shed then begin
+          (* soft descriptor limit: refuse with a typed error frame
+             instead of letting accept(2) run the process into EMFILE *)
+          t.echo "shedding connection: at the connection limit";
+          (try
+             Wire.write_frame fd
+               (Wire.Error_reply "server is at its connection limit; retry later")
+           with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          incr n;
+          let peer = Printf.sprintf "client#%d" !n in
+          t.echo (Printf.sprintf "%s: connected" peer);
+          let worker = ref None in
+          let th =
+            Thread.create
+              (fun () ->
+                (try handle t fd peer worker
+                 with e ->
+                   t.echo
+                     (Printf.sprintf "%s: handler died: %s" peer (Printexc.to_string e)));
+                forget t fd;
+                (match (!worker, t.fleet) with
+                | Some wid, Some fleet -> Fleet.disconnected fleet wid
+                | _ -> ());
+                t.echo (Printf.sprintf "%s: disconnected" peer))
+              ()
+          in
+          Mutex.protect t.lock (fun () ->
+              if t.accepting then t.conns <- (fd, th) :: t.conns)
+        end
   done
 
 let sockaddr_of = function
@@ -136,7 +186,11 @@ let sockaddr_of = function
       in
       Unix.ADDR_INET (ip, port)
 
-let start ?(backlog = 16) ?(log = ignore) ~scheduler addr =
+let start ?(backlog = 16) ?(log = ignore) ?fleet ?(max_conns = 64) ~scheduler addr =
+  (* a write to a peer that died mid-frame (a SIGKILLed worker, a gone
+     client) must surface as EPIPE — which every write here handles — not
+     as a process-killing SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (match addr with
   | Unix_path p when Sys.file_exists p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | _ -> ());
@@ -159,6 +213,8 @@ let start ?(backlog = 16) ?(log = ignore) ~scheduler addr =
       bound;
       listener;
       scheduler;
+      fleet;
+      max_conns = max 1 max_conns;
       echo = log;
       lock = Mutex.create ();
       conns = [];

@@ -39,6 +39,15 @@ type server_stats = {
   uptime : float;
 }
 
+type batch = {
+  lease : string;
+  bench : string;
+  cls : string;
+  eval_steps : int option;
+  retries : int;
+  items : (string * string) list;
+}
+
 type frame =
   | Submit of job_spec
   | Status of string option
@@ -46,6 +55,16 @@ type frame =
   | Result of string
   | Cancel of string
   | Stats
+  | Worker_hello of {
+      name : string;
+      wire_version : int;
+      reconnect : string option;
+      capacity : int;
+    }
+  | Lease_request of { worker : string; capacity : int }
+  | Result_push of { worker : string; lease : string; results : (string * string) list }
+  | Heartbeat of { worker : string; lease : string option; completed : int }
+  | Goodbye of string
   | Accepted of string
   | Status_reply of job_status list
   | Events_reply of { next : int; events : string list; final : bool }
@@ -53,8 +72,20 @@ type frame =
   | Cancel_reply of bool
   | Stats_reply of server_stats
   | Error_reply of string
+  | Worker_welcome of {
+      worker : string;
+      wire_version : int;
+      heartbeat_every : float;
+      lease_ttl : float;
+      already_done : string list;
+    }
+  | Lease_reply of batch option
+  | Result_ack of { accepted : int; ignored : int }
+  | Heartbeat_ack of { abandon : bool }
+  | Goodbye_ack of { requeued : int }
 
-let version = 1
+let version = 2
+let min_version = 1
 let max_frame = 16 * 1024 * 1024
 
 type error =
@@ -66,7 +97,8 @@ type error =
 
 let error_to_string = function
   | Need_more n -> Printf.sprintf "incomplete frame (need >= %d more byte(s))" n
-  | Bad_version v -> Printf.sprintf "unsupported protocol version %d (expected %d)" v version
+  | Bad_version v ->
+      Printf.sprintf "unsupported protocol version %d (expected %d-%d)" v min_version version
   | Bad_tag t -> Printf.sprintf "unknown frame tag %d" t
   | Oversized n -> Printf.sprintf "frame payload %d exceeds the %d-byte limit" n max_frame
   | Malformed why -> "malformed frame: " ^ why
@@ -80,6 +112,11 @@ let tag_of = function
   | Result _ -> 4
   | Cancel _ -> 5
   | Stats -> 6
+  | Worker_hello _ -> 7
+  | Lease_request _ -> 8
+  | Result_push _ -> 9
+  | Heartbeat _ -> 10
+  | Goodbye _ -> 11
   | Accepted _ -> 16
   | Status_reply _ -> 17
   | Events_reply _ -> 18
@@ -87,6 +124,16 @@ let tag_of = function
   | Cancel_reply _ -> 20
   | Stats_reply _ -> 21
   | Error_reply _ -> 22
+  | Worker_welcome _ -> 23
+  | Lease_reply _ -> 24
+  | Result_ack _ -> 25
+  | Heartbeat_ack _ -> 26
+  | Goodbye_ack _ -> 27
+
+(* Fleet frames are a protocol-2 extension; everything else still goes out
+   as version 1, so a v1 peer keeps understanding the campaign frames and
+   rejects only the worker traffic it could never serve anyway. *)
+let version_of_tag t = if (t >= 7 && t <= 11) || t >= 23 then 2 else 1
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
@@ -175,18 +222,64 @@ let put_server_stats b (s : server_stats) =
   put_i64 b s.cache_misses;
   put_f64 b s.uptime
 
+let put_pair b (k, v) =
+  put_str b k;
+  put_str b v
+
+let put_batch b (bt : batch) =
+  put_str b bt.lease;
+  put_str b bt.bench;
+  put_str b bt.cls;
+  put_opt_int b bt.eval_steps;
+  put_i64 b bt.retries;
+  put_list b put_pair bt.items
+
 let encode frame =
   let body = Buffer.create 64 in
-  put_u8 body version;
-  put_u8 body (tag_of frame);
+  let tag = tag_of frame in
+  put_u8 body (version_of_tag tag);
+  put_u8 body tag;
   (match frame with
   | Submit spec -> put_spec body spec
   | Status job -> put_opt_str body job
   | Events { job; from } ->
       put_str body job;
       put_i64 body from
-  | Result job | Cancel job | Accepted job -> put_str body job
+  | Result job | Cancel job | Accepted job | Goodbye job -> put_str body job
   | Stats -> ()
+  | Worker_hello { name; wire_version; reconnect; capacity } ->
+      put_str body name;
+      put_i64 body wire_version;
+      put_opt_str body reconnect;
+      put_i64 body capacity
+  | Lease_request { worker; capacity } ->
+      put_str body worker;
+      put_i64 body capacity
+  | Result_push { worker; lease; results } ->
+      put_str body worker;
+      put_str body lease;
+      put_list body put_pair results
+  | Heartbeat { worker; lease; completed } ->
+      put_str body worker;
+      put_opt_str body lease;
+      put_i64 body completed
+  | Worker_welcome { worker; wire_version; heartbeat_every; lease_ttl; already_done } ->
+      put_str body worker;
+      put_i64 body wire_version;
+      put_f64 body heartbeat_every;
+      put_f64 body lease_ttl;
+      put_list body put_str already_done
+  | Lease_reply b -> (
+      match b with
+      | None -> put_u8 body 0
+      | Some bt ->
+          put_u8 body 1;
+          put_batch body bt)
+  | Result_ack { accepted; ignored } ->
+      put_i64 body accepted;
+      put_i64 body ignored
+  | Heartbeat_ack { abandon } -> put_bool body abandon
+  | Goodbye_ack { requeued } -> put_i64 body requeued
   | Status_reply sts -> put_list body put_status sts
   | Events_reply { next; events; final } ->
       put_i64 body next;
@@ -331,6 +424,20 @@ let get_server_stats c =
     uptime;
   }
 
+let get_pair c =
+  let k = get_str c in
+  let v = get_str c in
+  (k, v)
+
+let get_batch c =
+  let lease = get_str c in
+  let bench = get_str c in
+  let cls = get_str c in
+  let eval_steps = get_opt c get_i64 in
+  let retries = get_i64 c in
+  let items = get_list c get_pair in
+  { lease; bench; cls; eval_steps; retries; items }
+
 let parse_body c tag =
   match tag with
   | 1 -> Submit (get_spec c)
@@ -342,6 +449,27 @@ let parse_body c tag =
   | 4 -> Result (get_str c)
   | 5 -> Cancel (get_str c)
   | 6 -> Stats
+  | 7 ->
+      let name = get_str c in
+      let wire_version = get_i64 c in
+      let reconnect = get_opt c get_str in
+      let capacity = get_i64 c in
+      Worker_hello { name; wire_version; reconnect; capacity }
+  | 8 ->
+      let worker = get_str c in
+      let capacity = get_i64 c in
+      Lease_request { worker; capacity }
+  | 9 ->
+      let worker = get_str c in
+      let lease = get_str c in
+      let results = get_list c get_pair in
+      Result_push { worker; lease; results }
+  | 10 ->
+      let worker = get_str c in
+      let lease = get_opt c get_str in
+      let completed = get_i64 c in
+      Heartbeat { worker; lease; completed }
+  | 11 -> Goodbye (get_str c)
   | 16 -> Accepted (get_str c)
   | 17 -> Status_reply (get_list c get_status)
   | 18 ->
@@ -357,9 +485,27 @@ let parse_body c tag =
   | 20 -> Cancel_reply (get_bool c)
   | 21 -> Stats_reply (get_server_stats c)
   | 22 -> Error_reply (get_str c)
+  | 23 ->
+      let worker = get_str c in
+      let wire_version = get_i64 c in
+      let heartbeat_every = get_f64 c in
+      let lease_ttl = get_f64 c in
+      let already_done = get_list c get_str in
+      Worker_welcome { worker; wire_version; heartbeat_every; lease_ttl; already_done }
+  | 24 -> Lease_reply (get_opt c get_batch)
+  | 25 ->
+      let accepted = get_i64 c in
+      let ignored = get_i64 c in
+      Result_ack { accepted; ignored }
+  | 26 -> Heartbeat_ack { abandon = get_bool c }
+  | 27 -> Goodbye_ack { requeued = get_i64 c }
   | _ -> assert false (* tag already validated *)
 
-let known_tag t = (t >= 1 && t <= 6) || (t >= 16 && t <= 22)
+(* A tag is only known at the protocol version that introduced it: a v1
+   frame carrying a fleet tag is hostile (or corrupt), not future-proof. *)
+let known_tag ~version:v t =
+  (t >= 1 && t <= 6) || (t >= 16 && t <= 22)
+  || (v >= 2 && ((t >= 7 && t <= 11) || (t >= 23 && t <= 27)))
 
 let decode buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
@@ -375,10 +521,10 @@ let decode buf ~pos ~len =
       let c = { buf; stop = pos + 4 + n; at = pos + 4 } in
       match
         let v = get_u8 c in
-        if v <> version then Error (Bad_version v)
+        if v < min_version || v > version then Error (Bad_version v)
         else begin
           let tag = get_u8 c in
-          if not (known_tag tag) then Error (Bad_tag tag)
+          if not (known_tag ~version:v tag) then Error (Bad_tag tag)
           else begin
             let frame = parse_body c tag in
             if c.at <> c.stop then

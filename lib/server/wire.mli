@@ -59,6 +59,20 @@ type server_stats = {
   uptime : float;
 }
 
+type batch = {
+  lease : string;  (** lease id; every result push must echo it *)
+  bench : string;  (** benchmark to load on the worker, e.g. ["cg"] *)
+  cls : string;  (** problem class, e.g. ["W"] *)
+  eval_steps : int option;  (** per-evaluation VM step budget override *)
+  retries : int;  (** harness retry budget the worker must apply *)
+  items : (string * string) list;
+      (** (config digest, config exchange text) per candidate; the digest
+          doubles as the item key in {!frame.Result_push} *)
+}
+(** One leased unit of evaluation work. A batch mixes only candidates of
+    one benchmark under one set of evaluation options, so a worker builds
+    one target and harness per batch. *)
+
 type frame =
   (* client -> server *)
   | Submit of job_spec
@@ -68,6 +82,22 @@ type frame =
   | Result of string
   | Cancel of string
   | Stats
+  (* worker -> server (protocol v2) *)
+  | Worker_hello of {
+      name : string;  (** stable worker name (host/pid); quarantine key *)
+      wire_version : int;  (** highest protocol version the worker speaks *)
+      reconnect : string option;
+          (** previously assigned worker id — a rejoin after a dropped
+              connection, asking for result-store delta sync *)
+      capacity : int;  (** max batch items the worker wants per lease *)
+    }
+  | Lease_request of { worker : string; capacity : int }
+  | Result_push of { worker : string; lease : string; results : (string * string) list }
+      (** streamed verdicts for leased items: (config digest,
+          {!Verdict.verdict_to_string} serialization). Safe to resend —
+          the daemon acknowledges duplicates instead of double-counting. *)
+  | Heartbeat of { worker : string; lease : string option; completed : int }
+  | Goodbye of string  (** clean departure; payload is the worker id *)
   (* server -> client *)
   | Accepted of string  (** submit acknowledged; payload is the job id *)
   | Status_reply of job_status list
@@ -78,11 +108,35 @@ type frame =
   | Cancel_reply of bool  (** whether the job was actually cancelled *)
   | Stats_reply of server_stats
   | Error_reply of string
+  (* server -> worker (protocol v2) *)
+  | Worker_welcome of {
+      worker : string;  (** assigned (or re-recognised) worker id *)
+      wire_version : int;  (** negotiated protocol version *)
+      heartbeat_every : float;  (** seconds between expected heartbeats *)
+      lease_ttl : float;  (** seconds before an unfinished lease is requeued *)
+      already_done : string list;
+          (** delta sync on rejoin: config digests from the worker's
+              outstanding lease that resolved while it was away — the
+              worker must drop them instead of re-evaluating *)
+    }
+  | Lease_reply of batch option  (** [None]: no work right now, poll again *)
+  | Result_ack of { accepted : int; ignored : int }
+      (** [ignored] counts duplicates, stale-lease deliveries and
+          unparseable verdicts — never an error, never double-recorded *)
+  | Heartbeat_ack of { abandon : bool }
+      (** [abandon] orders the worker to drop its current lease (it was
+          requeued, or the worker is quarantined) *)
+  | Goodbye_ack of { requeued : int }  (** unfinished items requeued *)
 
 (** {1 Codec} *)
 
 val version : int
-(** Current protocol version byte (1). *)
+(** Current protocol version byte (2). Campaign frames still travel as
+    version 1 ({!min_version}); only the fleet frames require 2, so v1
+    peers interoperate on everything they understand. *)
+
+val min_version : int
+(** Oldest version byte {!decode} accepts (1). *)
 
 val max_frame : int
 (** Upper bound on one frame's payload size (16 MiB). *)

@@ -25,5 +25,6 @@ let () =
       ("compile", Test_compile.suite);
       ("wire", Test_wire.suite);
       ("server", Test_server.suite);
+      ("fleet", Test_fleet.suite);
       ("fuzz", Test_fuzz.suite);
     ]

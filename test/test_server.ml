@@ -113,6 +113,58 @@ let test_store_withdraws_on_exception () =
   checkb "recomputed after failure" false served;
   checkb "pass" true (v = Verdict.Pass)
 
+(* waiters blocked on an in-flight computation that *fails*: the withdrawn
+   claim must wake them, exactly one re-claims and recomputes, and the
+   rest dedup onto that recomputation — nobody deadlocks, nobody sees the
+   exception, and the key is computed successfully exactly once *)
+let test_store_withdraw_under_concurrent_waiters () =
+  let store = Store.create () in
+  let recomputed = ref 0 in
+  let failed = ref false in
+  let first =
+    Thread.create
+      (fun () ->
+        match
+          Store.find_or_compute store ~key:"k" (fun () ->
+              Thread.delay 0.05;
+              failwith "boom")
+        with
+        | _ -> ()
+        | exception Failure _ -> failed := true)
+      ()
+  in
+  Thread.delay 0.01 (* let the doomed computation claim the key first *);
+  let results = Array.make 6 None in
+  let waiters =
+    List.init 6 (fun i ->
+        Thread.create
+          (fun () ->
+            let v, served =
+              Store.find_or_compute store ~key:"k" (fun () ->
+                  incr recomputed;
+                  Verdict.Pass)
+            in
+            results.(i) <- Some (v, served))
+          ())
+  in
+  Thread.join first;
+  List.iter Thread.join waiters;
+  checkb "the claiming thread saw its exception" true !failed;
+  checki "exactly one waiter recomputed" 1 !recomputed;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Verdict.Pass, _) -> ()
+      | Some _ -> Alcotest.failf "waiter %d got a wrong verdict" i
+      | None -> Alcotest.failf "waiter %d never resolved" i)
+    results;
+  checki "five waiters served by the recomputation" 5
+    (Array.fold_left
+       (fun n r -> match r with Some (_, true) -> n + 1 | _ -> n)
+       0 results);
+  let s = Store.stats store in
+  checki "one entry despite the failure" 1 s.Store.entries
+
 (* -------------------------------------------------------------- scheduler *)
 
 let wait_running sched id =
@@ -346,11 +398,55 @@ let test_daemon_survives_hostile_client () =
           checkb "daemon survived" true (status.Wire.state = Wire.Done);
           Client.close c))
 
+(* at the connection limit the daemon sheds the excess dial with a typed
+   error frame instead of silently running out of descriptors, and keeps
+   serving the connections it already holds *)
+let test_connection_limit_shed () =
+  let k = synthetic_kernel ~n_ops:2 ~poison:[] () in
+  with_stack ~resolve:(fun _ -> Ok k) (fun sched _ ->
+      let path = temp_socket () in
+      let srv = Server.start ~max_conns:1 ~scheduler:sched (Server.Unix_path path) in
+      Fun.protect ~finally:(fun () -> Server.stop srv) (fun () ->
+          let c = Result.get_ok (Client.connect (Server.Unix_path path)) in
+          (* a completed rpc guarantees the connection is registered *)
+          let (_ : Wire.server_stats) = Result.get_ok (Client.stats c) in
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          (match Wire.read_frame fd with
+          | Ok (Wire.Error_reply why) ->
+              checkb "shed error names the limit" true (contains why "limit")
+          | r ->
+              Alcotest.failf "expected a shed Error_reply, got %s"
+                (match r with Ok _ -> "another frame" | Error e -> Wire.error_to_string e));
+          checkb "shed connection closed" true
+            (match Wire.read_frame fd with Error _ -> true | Ok _ -> false);
+          Unix.close fd;
+          (* the held connection still works *)
+          let (_ : Wire.server_stats) = Result.get_ok (Client.stats c) in
+          Client.close c;
+          (* ... and the freed slot becomes reusable (the server notices
+             the close asynchronously, so retry the dial briefly) *)
+          let rec reusable n =
+            if n > 200 then Alcotest.fail "slot never freed"
+            else
+              let c2 = Result.get_ok (Client.connect (Server.Unix_path path)) in
+              match Client.stats c2 with
+              | Ok _ -> Client.close c2
+              | Error _ ->
+                  Client.close c2;
+                  Thread.delay 0.01;
+                  reusable (n + 1)
+          in
+          reusable 0))
+
 let suite =
   [
     ("store: memoizes verdicts", `Quick, test_store_memoizes);
     ("store: in-flight dedup computes once", `Quick, test_store_inflight_dedup);
     ("store: withdraws the claim on exception", `Quick, test_store_withdraws_on_exception);
+    ( "store: withdrawal wakes concurrent waiters, one recomputes",
+      `Quick,
+      test_store_withdraw_under_concurrent_waiters );
     ( "scheduler: identical campaigns, identical finals, second served",
       `Quick,
       test_identical_campaigns_identical_finals );
@@ -362,4 +458,6 @@ let suite =
     ("scheduler: resolve rejection and unknown jobs", `Quick, test_resolve_rejection);
     ("daemon: submit/watch/result over a socket", `Quick, test_daemon_over_socket);
     ("daemon: survives hostile clients", `Quick, test_daemon_survives_hostile_client);
+    ("daemon: sheds connections past the limit with a typed error", `Quick,
+      test_connection_limit_shed);
   ]

@@ -59,6 +59,14 @@ let server_stats_gen =
       })
     (tup3 (tup5 nat nat nat nat nat) (tup4 nat nat nat nat) (tup3 nat nat float_gen))
 
+let batch_gen =
+  map
+    (fun ((lease, bench, cls), (eval_steps, retries, items)) ->
+      { Wire.lease; bench; cls; eval_steps; retries; items })
+    (pair
+       (tup3 raw_string raw_string raw_string)
+       (tup3 (option int) nat (list_size (int_bound 5) (pair raw_string raw_string))))
+
 let frame_gen =
   oneof
     [
@@ -80,6 +88,32 @@ let frame_gen =
       map (fun b -> Wire.Cancel_reply b) bool;
       map (fun s -> Wire.Stats_reply s) server_stats_gen;
       map (fun s -> Wire.Error_reply s) raw_string;
+      (* protocol v2: the worker-fleet frames *)
+      map
+        (fun ((name, wire_version, reconnect), capacity) ->
+          Wire.Worker_hello { name; wire_version; reconnect; capacity })
+        (pair (tup3 raw_string nat (option raw_string)) nat);
+      map
+        (fun (worker, capacity) -> Wire.Lease_request { worker; capacity })
+        (pair raw_string nat);
+      map
+        (fun ((worker, lease), results) -> Wire.Result_push { worker; lease; results })
+        (pair (pair raw_string raw_string)
+           (list_size (int_bound 5) (pair raw_string raw_string)));
+      map
+        (fun ((worker, lease), completed) -> Wire.Heartbeat { worker; lease; completed })
+        (pair (pair raw_string (option raw_string)) nat);
+      map (fun w -> Wire.Goodbye w) raw_string;
+      map
+        (fun ((worker, wire_version), (heartbeat_every, lease_ttl, already_done)) ->
+          Wire.Worker_welcome
+            { worker; wire_version; heartbeat_every; lease_ttl; already_done })
+        (pair (pair raw_string nat)
+           (tup3 float_gen float_gen (list_size (int_bound 5) raw_string)));
+      map (fun b -> Wire.Lease_reply b) (option batch_gen);
+      map (fun (accepted, ignored) -> Wire.Result_ack { accepted; ignored }) (pair nat nat);
+      map (fun abandon -> Wire.Heartbeat_ack { abandon }) bool;
+      map (fun requeued -> Wire.Goodbye_ack { requeued }) nat;
     ]
 
 (* structural equality with floats compared by bit pattern (NaN-safe) *)
@@ -103,6 +137,12 @@ let frame_eq (a : Wire.frame) (b : Wire.frame) =
   | Wire.Stats_reply sa, Wire.Stats_reply sb ->
       { sa with Wire.uptime = 0.0 } = { sb with Wire.uptime = 0.0 }
       && feq sa.Wire.uptime sb.Wire.uptime
+  | Wire.Worker_welcome wa, Wire.Worker_welcome wb ->
+      wa.worker = wb.worker
+      && wa.wire_version = wb.wire_version
+      && feq wa.heartbeat_every wb.heartbeat_every
+      && feq wa.lease_ttl wb.lease_ttl
+      && wa.already_done = wb.already_done
   | a, b -> a = b
 
 let decode_all buf ~pos ~len = Wire.decode buf ~pos ~len
@@ -205,6 +245,28 @@ let hostile_header () =
   | Error (Wire.Malformed _) -> ()
   | r -> Alcotest.failf "lying string length: got %s" (show_result r)
 
+(* protocol-version gating: legacy frames still ship as v1 (old daemons
+   keep decoding them), fleet frames ship as v2, and a fleet tag smuggled
+   under a v1 header is refused as an unknown tag — v1 never grew new
+   tags retroactively *)
+let version_gating () =
+  let legacy = Wire.encode Wire.Stats in
+  (match Bytes.get legacy 4 with
+  | '\x01' -> ()
+  | c -> Alcotest.failf "legacy frame claims version %d" (Char.code c));
+  let fleet = Wire.encode (Wire.Lease_request { worker = "w"; capacity = 3 }) in
+  (match Bytes.get fleet 4 with
+  | '\x02' -> ()
+  | c -> Alcotest.failf "fleet frame claims version %d" (Char.code c));
+  (match Wire.decode fleet ~pos:0 ~len:(Bytes.length fleet) with
+  | Ok (Wire.Lease_request { worker = "w"; capacity = 3 }, _) -> ()
+  | r -> Alcotest.failf "fleet frame: got %s" (show_result r));
+  let downgraded = Bytes.copy fleet in
+  Bytes.set downgraded 4 '\x01';
+  match Wire.decode downgraded ~pos:0 ~len:(Bytes.length downgraded) with
+  | Error (Wire.Bad_tag _) -> ()
+  | r -> Alcotest.failf "downgraded fleet frame: got %s" (show_result r)
+
 let empty_window () =
   match Wire.decode (Bytes.create 0) ~pos:0 ~len:0 with
   | Error (Wire.Need_more 4) -> ()
@@ -227,6 +289,7 @@ let suite =
     garbage_total;
     flipped;
     ("wire: hostile headers give typed errors", `Quick, hostile_header);
+    ("wire: fleet tags are version-gated", `Quick, version_gating);
     ("wire: empty window", `Quick, empty_window);
     ("wire: invalid windows", `Quick, bad_window);
   ]
