@@ -1100,6 +1100,135 @@ let fleet_bench () =
   close_out oc;
   Format.printf "(written to BENCH_fleet.json)@."
 
+(* ---------------------------------------------------------- recovery *)
+
+(* The durability tax and the recovery speed behind `craft serve
+   --state-dir`: store append throughput under the three fsync policies
+   (never / batched / per-record), cold replay of the resulting log,
+   offline compaction of a log grown across many daemon lifetimes, and
+   the job-table WAL's append + replay. Asserts — exit 1 — that replay
+   returns every record and compaction keeps exactly the distinct keys.
+   Emits BENCH_recovery.json. *)
+let recovery_bench () =
+  section "Durability: store fsync policies, replay, compaction, WAL";
+  let dir = Filename.temp_file "craft_bench_rec" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+  @@ fun () ->
+  let key i = Printf.sprintf "%016x/steps=default/%016x" i ((i * 2654435761) land max_int) in
+  let verdict i = if i land 7 = 0 then Verdict.Fail_verify else Verdict.Pass in
+  (* throughput of the append path under each fsync policy; per-record
+     fsync gets a smaller n so slow disks keep the bench quick *)
+  let policies = [ (0, "flush only", 4000); (32, "batched (32)", 4000); (1, "per record", 400) ] in
+  Format.printf "%-16s %9s %10s %14s@." "fsync policy" "records" "wall (s)" "records/sec";
+  let appends =
+    List.map
+      (fun (fsync_every, label, n) ->
+        let path = Filename.concat dir (Printf.sprintf "store_%d.log" fsync_every) in
+        let store = Store.create ~path ~fsync_every () in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to n - 1 do
+          ignore (Store.find_or_compute store ~key:(key i) (fun () -> verdict i))
+        done;
+        Store.close store;
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "%-16s %9d %10.3f %14.0f@." label n dt
+          (float_of_int n /. Float.max 1e-9 dt);
+        (label, fsync_every, path, n, dt))
+      policies
+  in
+  (* cold replay: a restarted daemon reading its whole log back *)
+  let _, _, replay_path, replay_n, _ = List.hd appends in
+  let t0 = Unix.gettimeofday () in
+  let reopened = Store.create ~path:replay_path () in
+  let replay_dt = Unix.gettimeofday () -. t0 in
+  let replayed = (Store.stats reopened).Store.replayed in
+  Store.close reopened;
+  Format.printf "@.replay: %d record(s) in %.3f s (%.0f records/sec)@." replayed replay_dt
+    (float_of_int replayed /. Float.max 1e-9 replay_dt);
+  if replayed <> replay_n then begin
+    Format.printf "!! replay lost records: wrote %d, replayed %d@." replay_n replayed;
+    exit 1
+  end;
+  (* compaction: the same keys re-appended across simulated lifetimes *)
+  let lifetimes = 4 and distinct = 1000 in
+  let compact_path = Filename.concat dir "store_compact.log" in
+  let oc = open_out compact_path in
+  output_string oc "# craft-store v1\n";
+  for life = 0 to lifetimes - 1 do
+    for i = 0 to distinct - 1 do
+      Printf.fprintf oc "%s %s %d\n"
+        (Verdict.escape (key i))
+        (Verdict.verdict_to_string (verdict i))
+        ((life * distinct) + i)
+    done
+  done;
+  close_out oc;
+  let t0 = Unix.gettimeofday () in
+  let kept, dropped =
+    match Store.compact ~path:compact_path with
+    | Ok r -> r
+    | Error why ->
+        Format.printf "!! compaction failed: %s@." why;
+        exit 1
+  in
+  let compact_dt = Unix.gettimeofday () -. t0 in
+  Format.printf "compaction: %d record(s) -> %d kept, %d dropped in %.3f s@."
+    (lifetimes * distinct) kept dropped compact_dt;
+  if kept <> distinct then begin
+    Format.printf "!! compaction kept %d, want %d distinct@." kept distinct;
+    exit 1
+  end;
+  (* the job-table WAL: lifecycle appends and a restart's replay *)
+  let wal_n = 1000 in
+  let wal_path = Filename.concat dir "jobs.wal" in
+  let wal = Wal.create ~path:wal_path in
+  let spec = { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None } in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to wal_n do
+    let id = Printf.sprintf "j%04d" i in
+    Wal.append wal (Wal.Submitted { id; spec });
+    Wal.append wal (Wal.Outcome { id; state = Wire.Done; summary = "tested 45" })
+  done;
+  Wal.close wal;
+  let wal_append_dt = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let table = Wal.replay (Wal.load ~path:wal_path) in
+  let wal_replay_dt = Unix.gettimeofday () -. t0 in
+  Format.printf "wal: %d jobs appended (fsync each) in %.3f s, replayed in %.3f s@."
+    wal_n wal_append_dt wal_replay_dt;
+  if List.length table <> wal_n then begin
+    Format.printf "!! wal replay listed %d job(s), want %d@." (List.length table) wal_n;
+    exit 1
+  end;
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc "{\n  \"appends\": [\n";
+  List.iteri
+    (fun i (label, fsync_every, _, n, dt) ->
+      Printf.fprintf oc
+        "    { \"policy\": \"%s\", \"fsync_every\": %d, \"records\": %d, \"seconds\": \
+         %.6f, \"records_per_sec\": %.1f }%s\n"
+        label fsync_every n dt
+        (float_of_int n /. Float.max 1e-9 dt)
+        (if i = List.length appends - 1 then "" else ","))
+    appends;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"replay\": { \"records\": %d, \"seconds\": %.6f },\n" replayed
+    replay_dt;
+  Printf.fprintf oc
+    "  \"compaction\": { \"records_in\": %d, \"kept\": %d, \"dropped\": %d, \"seconds\": \
+     %.6f },\n"
+    (lifetimes * distinct) kept dropped compact_dt;
+  Printf.fprintf oc
+    "  \"wal\": { \"jobs\": %d, \"append_seconds\": %.6f, \"replay_seconds\": %.6f }\n"
+    wal_n wal_append_dt wal_replay_dt;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_recovery.json)@."
+
 (* --------------------------------------------------------- microbench *)
 
 let microbench () =
@@ -1180,6 +1309,7 @@ let sections =
     ("vm", vm_bench);
     ("server", server_bench);
     ("fleet", fleet_bench);
+    ("recovery", recovery_bench);
     ("micro", microbench);
   ]
 

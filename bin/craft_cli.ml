@@ -571,32 +571,115 @@ let journal_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Journal file written by $(b,craft search --journal).")
   in
-  let run path =
-    let records = Journal.scan ~path in
-    let tally = Hashtbl.create 8 in
-    List.iter
-      (fun (_, v) ->
-        let l = Verdict.verdict_label v in
-        Hashtbl.replace tally l (1 + Option.value ~default:0 (Hashtbl.find_opt tally l)))
-      records;
-    Format.printf "%s: %d record(s)@." path (List.length records);
-    List.iter
-      (fun label ->
-        match Hashtbl.find_opt tally label with
-        | Some n -> Format.printf "  %-8s %d@." label n
-        | None -> ())
-      [ "pass"; "fail"; "trap"; "timeout"; "crash"; "pruned" ];
-    match List.rev records with
-    | (digest, v) :: _ ->
-        Format.printf "last record: %s (%s)@." digest (Verdict.verdict_label v)
-    | [] -> ()
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Integrity scan: record and duplicate-digest counts, trailing corruption \
+             (the truncated half-record a crash legitimately leaves — tolerated), and \
+             torn records (unparseable lines $(i,before) the last good one — mid-file \
+             corruption, exit status 1).")
+  in
+  let run path verify =
+    if verify then begin
+      match Journal.verify ~path with
+      | Error why ->
+          prerr_endline ("craft: " ^ why);
+          exit 1
+      | Ok r ->
+          Format.printf "%s: %d record(s), %d distinct digest(s)@." path r.Journal.records
+            r.Journal.distinct;
+          List.iter (fun (label, n) -> Format.printf "  %-8s %d@." label n) r.Journal.verdicts;
+          List.iter
+            (fun (digest, n) -> Format.printf "duplicate digest: %s (%d records)@." digest n)
+            r.Journal.duplicates;
+          if r.Journal.trailing_bad > 0 then
+            Format.printf
+              "trailing corruption: %d unparseable line(s) at the end (crash truncation — \
+               tolerated on replay)@."
+              r.Journal.trailing_bad;
+          if r.Journal.torn then begin
+            Format.printf
+              "TORN: %d unparseable line(s) before the last good record — this is mid-file \
+               corruption, not crash truncation@."
+              (r.Journal.bad - r.Journal.trailing_bad);
+            exit 1
+          end
+    end
+    else begin
+      let records = Journal.scan ~path in
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun (_, v) ->
+          let l = Verdict.verdict_label v in
+          Hashtbl.replace tally l (1 + Option.value ~default:0 (Hashtbl.find_opt tally l)))
+        records;
+      Format.printf "%s: %d record(s)@." path (List.length records);
+      List.iter
+        (fun label ->
+          match Hashtbl.find_opt tally label with
+          | Some n -> Format.printf "  %-8s %d@." label n
+          | None -> ())
+        [ "pass"; "fail"; "trap"; "timeout"; "crash"; "pruned" ];
+      match List.rev records with
+      | (digest, v) :: _ ->
+          Format.printf "last record: %s (%s)@." digest (Verdict.verdict_label v)
+      | [] -> ()
+    end
   in
   Cmd.v
     (Cmd.info "journal"
        ~doc:
          "Inspect an evaluation journal: per-verdict counts and the digest of the last \
-          record (read-only)")
-    Term.(const run $ path_arg)
+          record (read-only); $(b,--verify) adds an integrity scan")
+    Term.(const run $ path_arg $ verify_arg)
+
+let store_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Store log written by $(b,craft serve) ($(i,state-dir)/store.log).")
+  in
+  let compact_arg =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Rewrite the log offline with one record per distinct key \
+             (write-temp/fsync/rename); run between daemon lifetimes, not under a live \
+             one.")
+  in
+  let run path compact =
+    if compact then begin
+      match Store.compact ~path with
+      | Ok (kept, dropped) ->
+          Format.printf "%s: compacted — %d record(s) kept, %d dropped@." path kept dropped
+      | Error why ->
+          prerr_endline ("craft: " ^ why);
+          exit 1
+    end
+    else begin
+      let records = Store.scan ~path in
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun (_, v) ->
+          let l = Verdict.verdict_label v in
+          Hashtbl.replace tally l (1 + Option.value ~default:0 (Hashtbl.find_opt tally l)))
+        records;
+      Format.printf "%s: %d record(s)@." path (List.length records);
+      List.iter (fun (label, n) -> Format.printf "  %-8s %d@." label n)
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tally [] |> List.sort compare)
+    end
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Inspect the daemon's durable cross-campaign result store log (read-only), or \
+          $(b,--compact) it offline")
+    Term.(const run $ path_arg $ compact_arg)
 
 (* --------------------------------------------------------- campaign server *)
 
@@ -662,12 +745,27 @@ let serve_cmd =
       value & opt string "craft-serve-state"
       & info [ "state-dir" ] ~docv:"DIR"
           ~doc:
-            "Root for per-job journal and checkpoint files (one subdirectory per job); a \
-             requeued job resumes from them. Empty string disables persistence.")
+            "Root for the durable state that survives a daemon death: the cross-campaign \
+             store log, the job-table WAL, and per-job journal/checkpoint/result files. A \
+             restarted daemon replays them; an exclusive lock refuses a second live \
+             daemon. Empty string disables persistence.")
   in
-  let run socket tcp jobs wave workers retries quarantine_after state_dir fleet_heartbeat =
+  let store_fsync_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "store-fsync" ] ~docv:"N"
+          ~doc:
+            "fsync the durable result store every N fresh verdicts (1 = per record, 0 = \
+             flush only; default 32). Every append is flushed regardless.")
+  in
+  let run socket tcp jobs wave workers retries quarantine_after state_dir store_fsync
+      fleet_heartbeat =
     let addr = server_addr socket tcp in
     let log s = Printf.printf "serve: %s\n%!" s in
+    let state_dir = if state_dir = "" then None else Some state_dir in
+    (* refuse to interleave on-disk state with another live daemon before
+       touching any of it *)
+    let lock = Option.map (fun dir -> or_die (Lockfile.acquire ~dir)) state_dir in
     let pool =
       Pool.create
         ~options:{ Pool.default_options with workers = max 1 workers }
@@ -675,7 +773,14 @@ let serve_cmd =
         ()
     in
     let cache = Compile.create_cache () in
-    let store = Store.create () in
+    let store =
+      Store.create
+        ?path:(Option.map (fun dir -> Filename.concat dir "store.log") state_dir)
+        ~fsync_every:store_fsync ()
+    in
+    (match (Store.stats store).Store.replayed with
+    | 0 -> ()
+    | n -> log (Printf.sprintf "store: replayed %d verdict(s) from disk" n));
     let resolve (spec : Wire.job_spec) =
       Result.bind (class_of_string spec.Wire.cls) (fun c -> load spec.Wire.bench c)
     in
@@ -692,7 +797,7 @@ let serve_cmd =
             wave_width = wave;
             retries;
             quarantine_after;
-            state_dir = (if state_dir = "" then None else Some state_dir);
+            state_dir;
           }
         ~log ~fleet ~resolve ~pool ~cache ~store ()
     in
@@ -732,9 +837,11 @@ let serve_cmd =
     Thread.join watcher;
     Fleet.stop fleet;
     Pool.shutdown pool;
+    Store.close store;
     log (Fleet.report fleet);
     log (Store.report store);
     log (Compile.report cache);
+    Option.iter Lockfile.release lock;
     log "stopped"
   in
   let fleet_heartbeat_arg =
@@ -753,7 +860,8 @@ let serve_cmd =
           and lease evaluation batches to remote $(b,craft worker) processes")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ wave_arg $ pool_workers_arg
-      $ retries_arg $ quarantine_arg $ state_dir_arg $ fleet_heartbeat_arg)
+      $ retries_arg $ quarantine_arg $ state_dir_arg $ store_fsync_arg
+      $ fleet_heartbeat_arg)
 
 let worker_cmd =
   let name_arg =
@@ -960,6 +1068,7 @@ let main =
       asm_run_cmd;
       snippet_cmd;
       journal_cmd;
+      store_cmd;
       serve_cmd;
       worker_cmd;
       submit_cmd;

@@ -114,11 +114,22 @@ let save ~path snap =
     snap.queue;
   List.iter (fun line -> Printf.fprintf oc "log %s\n" (Verdict.escape line)) snap.log;
   Printf.fprintf oc "%s\n" trailer;
-  (* write-temp, flush, then rename: the visible file is always either the
-     previous complete snapshot or this complete one, never a prefix *)
+  (* write-temp, flush, fsync, then rename: the visible file is always
+     either the previous complete snapshot or this complete one, never a
+     prefix — and the fsync before the rename means even a power loss
+     cannot leave the final name pointing at unwritten data *)
   flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* best-effort fsync of the containing directory so the rename itself is
+     durable; not all filesystems allow opening a directory for this *)
+  try
+    let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dir with Unix.Unix_error _ -> ())
+      (fun () -> Unix.fsync dir)
+  with Unix.Unix_error _ -> ()
 
 let load ~path =
   if not (Sys.file_exists path) then Error "no checkpoint file"

@@ -1,10 +1,15 @@
 let header = "# craft-journal v1"
 
+type sync_policy =
+  | Flush_only  (* per-record flush; fsync left to the OS (and {!sync}) *)
+  | Fsync_each  (* per-record flush + fsync: power loss can only truncate *)
+
 type t = {
   path : string;
   program : Ir.program;
   memo : (string, Harness.verdict) Hashtbl.t;
   oc : out_channel;
+  policy : sync_policy;
   mutable seq : int;  (* tests-so-far column of the next record *)
   mutable replayed : int;
   mutable hits : int;
@@ -51,7 +56,64 @@ let read_records path =
 let load ~path (_ : Ir.program) = read_records path
 let scan ~path = read_records path
 
-let create ?(resume = false) ~path program =
+(* ----------------------------------------------------------- verification *)
+
+type verify_report = {
+  records : int;
+  distinct : int;
+  duplicates : (string * int) list;
+  verdicts : (string * int) list;
+  bad : int;
+  trailing_bad : int;
+  torn : bool;
+}
+
+let verify ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such journal")
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let by_digest = Hashtbl.create 256 in
+    let by_verdict = Hashtbl.create 8 in
+    let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+    let records = ref 0 and bad = ref 0 and trailing = ref 0 in
+    List.iter
+      (fun line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then ()
+        else
+          match parse_line line with
+          | Some (digest, v) ->
+              incr records;
+              bump by_digest digest;
+              bump by_verdict (Harness.verdict_label v);
+              trailing := 0
+          | None ->
+              incr bad;
+              incr trailing)
+      (List.rev !lines);
+    let sorted tbl = Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort compare in
+    Ok
+      {
+        records = !records;
+        distinct = Hashtbl.length by_digest;
+        duplicates = List.filter (fun (_, n) -> n > 1) (sorted by_digest);
+        verdicts = sorted by_verdict;
+        bad = !bad;
+        trailing_bad = !trailing;
+        (* a bad line with good records after it cannot be crash truncation:
+           something tore (or scribbled on) the middle of the file *)
+        torn = !bad > !trailing;
+      }
+  end
+
+let create ?(resume = false) ?(sync = Flush_only) ~path program =
   let records = if resume then read_records path else [] in
   let memo = Hashtbl.create 256 in
   List.iter (fun (d, v) -> if not (Hashtbl.mem memo d) then Hashtbl.add memo d v) records;
@@ -70,6 +132,7 @@ let create ?(resume = false) ~path program =
     program;
     memo;
     oc;
+    policy = sync;
     seq = Hashtbl.length memo;
     replayed = Hashtbl.length memo;
     hits = 0;
@@ -77,7 +140,19 @@ let create ?(resume = false) ~path program =
     lock = Mutex.create ();
   }
 
-let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+let fsync_oc oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      fsync_oc t.oc)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      fsync_oc t.oc;
+      close_out t.oc)
 let path t = t.path
 let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.memo)
 let replayed t = t.replayed
@@ -102,7 +177,11 @@ let record_key t key ~summary verdict =
           (Harness.verdict_to_string verdict)
           t.seq summary;
         (* flush per record: a crash loses at most the line being written *)
-        flush t.oc
+        flush t.oc;
+        (* under [Fsync_each], neither can a power loss: the record is on
+           disk before the verdict is acted on, so the file can only ever
+           end in a truncated line — never a torn earlier one *)
+        match t.policy with Fsync_each -> fsync_oc t.oc | Flush_only -> ()
       end)
 
 let summary_of cfg =

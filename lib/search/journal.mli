@@ -27,13 +27,28 @@
 
 type t
 
-val create : ?resume:bool -> path:string -> Ir.program -> t
+type sync_policy =
+  | Flush_only
+      (** flush each record to the OS; physical write ordering is the
+          kernel's business (call {!sync} at wave boundaries for more) *)
+  | Fsync_each
+      (** flush {e and} [fsync(2)] each record: even a power loss can only
+          truncate the file at the record being written, never tear an
+          earlier one *)
+
+val create : ?resume:bool -> ?sync:sync_policy -> path:string -> Ir.program -> t
 (** Open [path] for appending, creating it if missing. With
     [resume = true] (default [false]) existing records are replayed into
     the memo first; without it the file is truncated and the campaign
-    starts clean. *)
+    starts clean. [sync] (default {!Flush_only}) picks the durability
+    policy for each appended record. *)
+
+val sync : t -> unit
+(** Flush and [fsync(2)] the journal now — the per-wave durability point
+    for callers running under {!Flush_only}. *)
 
 val close : t -> unit
+(** Flush, fsync and close. *)
 
 val path : t -> string
 
@@ -72,3 +87,25 @@ val load : path:string -> Ir.program -> (string * Harness.verdict) list
 val scan : path:string -> (string * Harness.verdict) list
 (** {!load} without a program: the records carry their own configuration
     digests, so read-only inspection ([craft journal]) needs no binary. *)
+
+type verify_report = {
+  records : int;  (** well-formed records *)
+  distinct : int;  (** distinct configuration digests *)
+  duplicates : (string * int) list;
+      (** digests appearing more than once, with their occurrence counts —
+          a healthy journal has none ({!record} refuses duplicates) *)
+  verdicts : (string * int) list;  (** verdict label -> record count *)
+  bad : int;  (** unparseable non-comment lines *)
+  trailing_bad : int;
+      (** the contiguous unparseable suffix: the half-record an interrupted
+          writer legitimately leaves behind *)
+  torn : bool;
+      (** an unparseable line {e followed by} well-formed records — not
+          crash truncation but mid-file corruption; [craft journal --verify]
+          exits non-zero on it *)
+}
+
+val verify : path:string -> (verify_report, string) result
+(** Integrity scan for [craft journal FILE --verify]. [Error] only when
+    the file cannot be read at all; structural damage is reported in the
+    record, not raised. *)

@@ -23,6 +23,7 @@ type job = {
   mutable n_events : int;
   stop : bool Atomic.t;
   mutable deaths : int;  (* driver crashes so far *)
+  mutable recovered : bool;  (* requeued by WAL replay after a daemon death *)
   mutable config_text : string;
   mutable summary : string;
 }
@@ -44,6 +45,7 @@ type t = {
   mutable alive : bool;  (* runners may pick up new jobs *)
   kill : bool Atomic.t;  (* shutdown ~cancel_running: stop running jobs *)
   mutable runners : Thread.t list;
+  mutable wal : Wal.t option;  (* job-table WAL; present iff state_dir is *)
   t0 : float;
 }
 
@@ -94,7 +96,7 @@ let opts_digest (spec : Wire.job_spec) =
    without the lock; takes it only for counters and events. *)
 let run_campaign t j =
   let k = j.kernel in
-  let resumed = j.deaths > 0 in
+  let resumed = j.deaths > 0 || j.recovered in
   let target =
     Kernel.target ?eval_steps:j.spec.Wire.eval_steps ~cache:t.cache k
   in
@@ -113,7 +115,11 @@ let run_campaign t j =
         in
         let checkpoint =
           Bfs.checkpoint ~resume:resumed
-            ~save_counters:(fun () -> Harness.counters_list harness)
+            ~save_counters:(fun () ->
+              (* checkpoint saves land on wave boundaries: the natural
+                 per-wave durability point for the journal too *)
+              Journal.sync journal;
+              Harness.counters_list harness)
             ~restore_counters:(Harness.restore_counters harness)
             (Filename.concat dir "checkpoint")
         in
@@ -216,6 +222,42 @@ let pick_queued t =
         | _ -> Some j)
     t.jobs None
 
+let result_path root id = Filename.concat (Filename.concat root id) "result"
+
+(* Write-temp/fsync/rename, like Checkpoint.save: the result file is always
+   either absent or a complete configuration. *)
+let write_result path text =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc text;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp path
+
+let read_result path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+
+(* Lock held; [j.state] is terminal. Persist the outcome so a restarted
+   daemon re-lists this job as finished instead of re-running it. *)
+let persist_outcome t j =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      (match t.opts.state_dir with
+      | Some root when j.config_text <> "" ->
+          write_result (result_path root j.id) j.config_text
+      | _ -> ());
+      Wal.append wal (Wal.Outcome { id = j.id; state = j.state; summary = j.summary })
+
 let finish_run t j state config_text summary =
   Mutex.protect t.lock (fun () ->
       j.wall <- j.wall +. (now () -. j.started);
@@ -223,6 +265,7 @@ let finish_run t j state config_text summary =
       j.state <- state;
       j.config_text <- config_text;
       j.summary <- summary;
+      if is_terminal state then persist_outcome t j;
       (match state with
       | Wire.Done -> event t j "DONE %s" summary
       | Wire.Cancelled -> event t j "CANCELLED %s" summary
@@ -242,6 +285,7 @@ let rec runner_loop t =
           if j.state = Wire.Queued then begin
             j.state <- Wire.Cancelled;
             j.summary <- "cancelled before starting (server shutdown)";
+            persist_outcome t j;
             event t j "CANCELLED before starting (server shutdown)"
           end)
         t.jobs;
@@ -286,6 +330,76 @@ let rec runner_loop t =
               (Printf.sprintf "driver died (%s); will resume from checkpoint" why));
       runner_loop t
 
+(* -------------------------------------------------------------- recovery *)
+
+let state_label = function
+  | Wire.Queued -> "queued"
+  | Wire.Running -> "running"
+  | Wire.Done -> "done"
+  | Wire.Cancelled -> "cancelled"
+  | Wire.Failed _ -> "failed"
+  | Wire.Quarantined _ -> "quarantined"
+
+(* Replay the job-table WAL a previous daemon life left on this state dir:
+   jobs with a terminal outcome are re-listed with their persisted result;
+   jobs without one are re-queued and resume from their own per-job
+   journal+checkpoint — the same machinery a driver death uses, extended
+   to daemon death. *)
+let recover t root wal_path =
+  let entries = Wal.replay (Wal.load ~path:wal_path) in
+  Mutex.protect t.lock (fun () ->
+      List.iter
+        (fun (id, { Wal.spec; outcome }) ->
+          (match
+             if String.length id > 1 && id.[0] = 'j' then
+               int_of_string_opt (String.sub id 1 (String.length id - 1))
+             else None
+           with
+          | Some n -> t.next_id <- max t.next_id n
+          | None -> ());
+          match t.resolve spec with
+          | Error why ->
+              t.echo
+                (Printf.sprintf "%s: not recovered (cannot resolve %s.%s: %s)" id
+                   spec.Wire.bench spec.Wire.cls why)
+          | Ok kernel ->
+              let j =
+                {
+                  id;
+                  spec;
+                  kernel;
+                  state = Wire.Queued;
+                  tested = 0;
+                  hits = 0;
+                  misses = 0;
+                  started = 0.0;
+                  wall = 0.0;
+                  events_rev = [];
+                  n_events = 0;
+                  stop = Atomic.make false;
+                  deaths = 0;
+                  recovered = false;
+                  config_text = "";
+                  summary = "";
+                }
+              in
+              Hashtbl.replace t.jobs id j;
+              t.order <- id :: t.order;
+              (match outcome with
+              | Some (state, summary) ->
+                  j.state <- state;
+                  j.summary <- summary;
+                  j.config_text <- read_result (result_path root id);
+                  event t j "RECOVERED %s (daemon restarted on this state dir)"
+                    (state_label state)
+              | None ->
+                  j.recovered <- true;
+                  event t j
+                    "RECOVERED requeued after daemon death; will resume from \
+                     journal+checkpoint"))
+        entries;
+      Condition.broadcast t.cond)
+
 (* ------------------------------------------------------------- lifecycle *)
 
 let create ?(options = default_options) ?(log = ignore) ?fleet ~resolve ~pool ~cache ~store () =
@@ -315,9 +429,19 @@ let create ?(options = default_options) ?(log = ignore) ?fleet ~resolve ~pool ~c
       alive = true;
       kill = Atomic.make false;
       runners = [];
+      wal = None;
       t0 = now ();
     }
   in
+  (match opts.state_dir with
+  | None -> ()
+  | Some root ->
+      mkdir_p root;
+      let wal_path = Filename.concat root "jobs.wal" in
+      (* replay the previous life's job table before the writer reopens the
+         WAL, and before any runner can race the recovered queue *)
+      recover t root wal_path;
+      t.wal <- Some (Wal.create ~path:wal_path));
   t.runners <- List.init opts.max_concurrent (fun _ -> Thread.create runner_loop t);
   t
 
@@ -345,12 +469,14 @@ let submit t spec =
                 n_events = 0;
                 stop = Atomic.make false;
                 deaths = 0;
+                recovered = false;
                 config_text = "";
                 summary = "";
               }
             in
             Hashtbl.replace t.jobs id j;
             t.order <- id :: t.order;
+            Option.iter (fun wal -> Wal.append wal (Wal.Submitted { id; spec })) t.wal;
             event t j "QUEUED %s.%s (priority %d)" spec.Wire.bench spec.Wire.cls
               spec.Wire.priority;
             Condition.broadcast t.cond;
@@ -373,7 +499,10 @@ let events t ~job ~from =
       match find t job with
       | None -> Error (Printf.sprintf "unknown job %S" job)
       | Some j ->
-          let from = max 0 from in
+          (* a cursor past the end of the log can only come from a client
+             that watched a previous daemon life: restart the stream so the
+             recovered job's events are not silently skipped *)
+          let from = if from > j.n_events then 0 else max 0 from in
           let lines =
             if from >= j.n_events then []
             else
@@ -402,6 +531,7 @@ let cancel t id =
           | Wire.Queued ->
               j.state <- Wire.Cancelled;
               j.summary <- "cancelled before starting";
+              persist_outcome t j;
               event t j "CANCELLED before starting";
               Condition.broadcast t.cond;
               true
@@ -458,4 +588,7 @@ let shutdown t ?(cancel_running = false) () =
         t.runners <- [];
         rs)
   in
-  List.iter Thread.join runners
+  List.iter Thread.join runners;
+  match Mutex.protect t.lock (fun () -> let w = t.wal in t.wal <- None; w) with
+  | Some wal -> Wal.close wal
+  | None -> ()

@@ -17,6 +17,16 @@
     forever. A requeued job resumes from its own checkpoint and journal,
     so the retry re-evaluates almost nothing.
 
+    With a [state_dir], the same containment extends to {e daemon} death:
+    every submission and every terminal outcome is appended to a job-table
+    {!Wal} under the state dir (terminal configurations also land in a
+    per-job [result] file, written atomically), and {!create} replays it —
+    finished jobs are re-listed with their persisted result, unfinished
+    ones are re-queued and resume from their per-job journal+checkpoint
+    exactly as after a driver death. Combined with a durable {!Store} a
+    [kill -9]'d daemon restarted on the same state dir loses no verdicts
+    and no campaigns.
+
     Cancellation and drain are cooperative through {!Bfs}'s wave-boundary
     stop: a cancelled (or drain-interrupted) job flushes a final
     checkpoint and ends [Cancelled] with the partial result composed —
@@ -28,8 +38,9 @@ type options = {
   retries : int;  (** harness retry budget per evaluation *)
   quarantine_after : int;  (** driver deaths before a job is quarantined *)
   state_dir : string option;
-      (** root for per-job [journal] / [checkpoint] files; [None] keeps
-          jobs journal-less (tests) *)
+      (** root for the job-table WAL and per-job [journal] / [checkpoint] /
+          [result] files; [None] keeps jobs journal-less and the job table
+          memory-only (tests) *)
 }
 
 val default_options : options

@@ -1,4 +1,12 @@
-type stats = { hits : int; misses : int; entries : int; waits : int }
+let header = "# craft-store v1"
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  waits : int;
+  replayed : int;
+}
 
 type cell =
   | Done of Verdict.verdict
@@ -11,20 +19,133 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable waits : int;
+  replayed : int;
+  (* durable log; [None] keeps the store memory-only (tests, ad-hoc) *)
+  mutable log : out_channel option;
+  fsync_every : int;  (* 0 = never, 1 = per record, n = every n appends *)
+  mutable unsynced : int;
+  mutable seq : int;
 }
 
-let create () =
+(* ------------------------------------------------------------ log format *)
+
+(* One record per line, mirroring the Journal's format and its tolerant
+   loader: [<escaped-key> <verdict-token> <seq>]. Keys are compound
+   ([program_key/opts_digest/Config.digest]) so unlike journal digests they
+   are escaped; like the journal, any line that does not parse — malformed,
+   or the truncated half-record a crash leaves at the end — is dropped,
+   never fatal. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ key; verdict; seq ] -> (
+        match
+          (Verdict.unescape key, Verdict.verdict_of_string verdict, int_of_string_opt seq)
+        with
+        | Some k, Some v, Some _ -> Some (k, v)
+        | _ -> None)
+    | _ -> None
+
+let read_records path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some r -> records := r :: !records
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !records
+  end
+
+let scan ~path = read_records path
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_oc oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------- lifecycle *)
+
+let create ?path ?(fsync_every = 32) () =
+  let table = Hashtbl.create 1024 in
+  let log, replayed, seq =
+    match path with
+    | None -> (None, 0, 0)
+    | Some p ->
+        let records = read_records p in
+        List.iter (fun (k, v) -> Hashtbl.replace table k (Done v)) records;
+        let fresh = not (Sys.file_exists p) in
+        mkdir_p (Filename.dirname p);
+        let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 p in
+        if fresh then begin
+          output_string oc (header ^ "\n");
+          flush oc;
+          fsync_oc oc
+        end;
+        (Some oc, Hashtbl.length table, List.length records)
+  in
   {
     lock = Mutex.create ();
     changed = Condition.create ();
-    table = Hashtbl.create 1024;
+    table;
     hits = 0;
     misses = 0;
     waits = 0;
+    replayed;
+    log;
+    fsync_every = max 0 fsync_every;
+    unsynced = 0;
+    seq;
   }
 
 let key ~program_key ~opts_digest ~config_digest =
   String.concat "/" [ program_key; opts_digest; config_digest ]
+
+(* Lock held. Flush always (a crash loses at most this record); fsync per
+   the batching policy (a power loss loses at most the unsynced batch). *)
+let persist t key v =
+  match t.log with
+  | None -> ()
+  | Some oc ->
+      t.seq <- t.seq + 1;
+      Printf.fprintf oc "%s %s %d\n" (Verdict.escape key) (Verdict.verdict_to_string v)
+        t.seq;
+      flush oc;
+      t.unsynced <- t.unsynced + 1;
+      if t.fsync_every > 0 && t.unsynced >= t.fsync_every then begin
+        fsync_oc oc;
+        t.unsynced <- 0
+      end
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      match t.log with
+      | None -> ()
+      | Some oc ->
+          flush oc;
+          fsync_oc oc;
+          t.unsynced <- 0)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      match t.log with
+      | None -> ()
+      | Some oc ->
+          t.log <- None;
+          flush oc;
+          fsync_oc oc;
+          close_out oc)
 
 let find_or_compute t ~key f =
   Mutex.lock t.lock;
@@ -56,18 +177,55 @@ let find_or_compute t ~key f =
         in
         Mutex.lock t.lock;
         Hashtbl.replace t.table key (Done v);
+        persist t key v;
         Condition.broadcast t.changed;
         Mutex.unlock t.lock;
         (v, false)
   in
   claim false
 
+(* ------------------------------------------------------------ compaction *)
+
+let compact ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such store log")
+  else begin
+    let records = read_records path in
+    let table = Hashtbl.create 1024 in
+    let order = ref [] in
+    List.iter
+      (fun (k, v) ->
+        if not (Hashtbl.mem table k) then order := k :: !order;
+        (* last record wins, matching replay *)
+        Hashtbl.replace table k v)
+      records;
+    let keys = List.rev !order in
+    let tmp = path ^ ".tmp" in
+    match
+      let oc = open_out tmp in
+      output_string oc (header ^ "\n");
+      List.iteri
+        (fun i k ->
+          Printf.fprintf oc "%s %s %d\n" (Verdict.escape k)
+            (Verdict.verdict_to_string (Hashtbl.find table k))
+            (i + 1))
+        keys;
+      flush oc;
+      fsync_oc oc;
+      close_out oc;
+      Sys.rename tmp path
+    with
+    | () -> Ok (List.length keys, List.length records - List.length keys)
+    | exception Sys_error why -> Error why
+  end
+
+(* ----------------------------------------------------------------- stats *)
+
 let stats t =
   Mutex.protect t.lock (fun () ->
       let entries =
         Hashtbl.fold (fun _ c acc -> match c with Done _ -> acc + 1 | Pending -> acc) t.table 0
       in
-      { hits = t.hits; misses = t.misses; entries; waits = t.waits })
+      { hits = t.hits; misses = t.misses; entries; waits = t.waits; replayed = t.replayed })
 
 let hit_rate (s : stats) =
   let total = s.hits + s.misses in
@@ -77,8 +235,9 @@ let report t =
   let s = stats t in
   Printf.sprintf
     "result store: %d hit(s) / %d miss(es) (%.1f%% hit rate, %d in-flight wait(s)), %d \
-     entr%s"
+     entr%s%s"
     s.hits s.misses
     (100.0 *. hit_rate s)
     s.waits s.entries
     (if s.entries = 1 then "y" else "ies")
+    (if s.replayed > 0 then Printf.sprintf " (%d replayed from disk)" s.replayed else "")

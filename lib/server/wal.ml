@@ -1,0 +1,153 @@
+let header = "# craft-wal v1"
+
+type record =
+  | Submitted of { id : string; spec : Wire.job_spec }
+  | Outcome of { id : string; state : Wire.job_state; summary : string }
+
+type t = { path : string; oc : out_channel; lock : Mutex.t }
+
+(* ---------------------------------------------------------------- format *)
+
+let state_token = function
+  | Wire.Queued -> "queued"
+  | Wire.Running -> "running"
+  | Wire.Done -> "done"
+  | Wire.Cancelled -> "cancelled"
+  | Wire.Failed why -> "failed:" ^ Verdict.escape why
+  | Wire.Quarantined why -> "quarantined:" ^ Verdict.escape why
+
+let state_of_token s =
+  match s with
+  | "queued" -> Some Wire.Queued
+  | "running" -> Some Wire.Running
+  | "done" -> Some Wire.Done
+  | "cancelled" -> Some Wire.Cancelled
+  | _ -> (
+      match String.index_opt s ':' with
+      | None -> None
+      | Some i -> (
+          let tag = String.sub s 0 i in
+          let why = Verdict.unescape (String.sub s (i + 1) (String.length s - i - 1)) in
+          match (tag, why) with
+          | "failed", Some why -> Some (Wire.Failed why)
+          | "quarantined", Some why -> Some (Wire.Quarantined why)
+          | _ -> None))
+
+let record_line = function
+  | Submitted { id; spec } ->
+      Printf.sprintf "submit %s %s %s %d %d %s" id
+        (Verdict.escape spec.Wire.bench)
+        (Verdict.escape spec.Wire.cls)
+        (if spec.Wire.shadow then 1 else 0)
+        spec.Wire.priority
+        (match spec.Wire.eval_steps with None -> "-" | Some n -> string_of_int n)
+  | Outcome { id; state; summary } ->
+      Printf.sprintf "outcome %s %s %s" id (state_token state) (Verdict.escape summary)
+
+(* Tolerant, like the Journal: any line that does not parse — malformed, or
+   the truncated half-record a crash leaves at the end — is dropped. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "submit"; id; bench; cls; shadow; priority; steps ] -> (
+        match
+          ( Verdict.unescape bench,
+            Verdict.unescape cls,
+            (match shadow with "0" -> Some false | "1" -> Some true | _ -> None),
+            int_of_string_opt priority,
+            match steps with
+            | "-" -> Some None
+            | s -> Option.map Option.some (int_of_string_opt s) )
+        with
+        | Some bench, Some cls, Some shadow, Some priority, Some eval_steps ->
+            Some (Submitted { id; spec = { Wire.bench; cls; shadow; priority; eval_steps } })
+        | _ -> None)
+    | "outcome" :: id :: state :: rest -> (
+        let summary =
+          match rest with
+          | [] -> Some ""
+          | [ s ] -> Verdict.unescape s
+          | _ -> None
+        in
+        match (state_of_token state, summary) with
+        | Some state, Some summary -> Some (Outcome { id; state; summary })
+        | _ -> None)
+    | _ -> None
+
+(* ------------------------------------------------------------- lifecycle *)
+
+let fsync_oc oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let create ~path =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  if fresh then begin
+    output_string oc (header ^ "\n");
+    flush oc;
+    fsync_oc oc
+  end;
+  { path; oc; lock = Mutex.create () }
+
+let path t = t.path
+
+(* Job lifecycle transitions are rare next to evaluations, so every append
+   is flushed and fsynced: the job table is never behind the crash. *)
+let append t r =
+  Mutex.protect t.lock (fun () ->
+      output_string t.oc (record_line r ^ "\n");
+      flush t.oc;
+      fsync_oc t.oc)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      fsync_oc t.oc;
+      close_out t.oc)
+
+let load ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some r -> records := r :: !records
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !records
+  end
+
+(* ---------------------------------------------------------------- replay *)
+
+type entry = { spec : Wire.job_spec; outcome : (Wire.job_state * string) option }
+
+let is_terminal = function
+  | Wire.Done | Wire.Cancelled | Wire.Failed _ | Wire.Quarantined _ -> true
+  | Wire.Queued | Wire.Running -> false
+
+let replay records =
+  let table = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Submitted { id; spec } ->
+          if not (Hashtbl.mem table id) then begin
+            Hashtbl.replace table id { spec; outcome = None };
+            order := id :: !order
+          end
+      | Outcome { id; state; summary } -> (
+          (* an outcome for a job we never saw submitted, or a non-terminal
+             state, is a record we cannot act on: drop it *)
+          match Hashtbl.find_opt table id with
+          | Some entry when is_terminal state ->
+              Hashtbl.replace table id { entry with outcome = Some (state, summary) }
+          | _ -> ()))
+    records;
+  List.rev_map (fun id -> (id, Hashtbl.find table id)) !order

@@ -26,5 +26,6 @@ let () =
       ("wire", Test_wire.suite);
       ("server", Test_server.suite);
       ("fleet", Test_fleet.suite);
+      ("recovery", Test_recovery.suite);
       ("fuzz", Test_fuzz.suite);
     ]
