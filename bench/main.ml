@@ -786,6 +786,139 @@ let vm_bench () =
   close_out oc;
   Format.printf "(written to BENCH_vm.json)@."
 
+(* --------------------------------------------------- precision formats *)
+
+(* The precision-format lattice end-to-end. Three asserts (exit 1 on any
+   failure, so CI smoke runs fail loudly instead of archiving wrong JSON):
+   interpreter and compiled backends stay bit-identical under every menu
+   format; the {single,double}-restricted lattice reproduces the seed
+   (pre-lattice) BFS final byte-for-byte; and the full
+   bf16/f16/single/double lattice completes with a verified final saving
+   strictly more bits than the single|double baseline. Emits
+   BENCH_formats.json with bits saved per kernel. *)
+let formats_bench () =
+  section "Precision-format lattice: bits saved per kernel";
+  let menu = [ Formats.bfloat16; Formats.half; Formats.single; Formats.double ] in
+  let kernels = [ Nas_cg.make Kernel.W; Nas_mg.make Kernel.W ] in
+  let all_flag_cfg flag prog =
+    Array.fold_left
+      (fun acc (info : Static.insn_info) -> Config.set_insn acc info.Static.addr flag)
+      Config.empty (Static.candidates prog)
+  in
+  (* 1. backend bit-identity under every menu format *)
+  Format.printf "backend bit-identity per format (checked, all-candidates config):@.";
+  let identity =
+    List.concat_map
+      (fun (k : Kernel.t) ->
+        List.map
+          (fun f ->
+            let patched =
+              Patcher.patch k.Kernel.program
+                (all_flag_cfg (Config.of_format f) k.Kernel.program)
+            in
+            let run runner =
+              let vm = Vm.create ~checked:true patched in
+              k.Kernel.setup vm;
+              (match runner vm with
+              | () -> ()
+              | exception Vm.Trap _ -> ()
+              | exception Vm.Limit _ -> ());
+              vm
+            in
+            let vi = run Vm.run in
+            let vc = run (fun vm -> Compile.run vm) in
+            let identical =
+              Array.length vi.Vm.fheap = Array.length vc.Vm.fheap
+              && Array.for_all2
+                   (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                   vi.Vm.fheap vc.Vm.fheap
+              && vi.Vm.steps = vc.Vm.steps
+            in
+            if not identical then begin
+              Format.printf "!! %s: interpreter and compiled disagree under %s@."
+                k.Kernel.name (Formats.name f);
+              exit 1
+            end;
+            Format.printf "  %-6s %-6s identical (%d steps)@." k.Kernel.name
+              (Formats.name f) vi.Vm.steps;
+            (k.Kernel.name, Formats.name f, vi.Vm.steps))
+          menu)
+      kernels
+  in
+  (* 2 + 3. campaigns: seed baseline, restricted lattice, full lattice *)
+  let opts formats =
+    { Bfs.default_options with workers; second_phase = true; formats }
+  in
+  Format.printf "@.lattice campaigns (second-phase composition on):@.";
+  Format.printf "%-8s %6s %15s %14s %7s@." "kernel" "evals" "baseline bits" "lattice bits"
+    "gain";
+  let campaigns =
+    List.map
+      (fun (k : Kernel.t) ->
+        let baseline = Bfs.search ~options:(opts [ Formats.single ]) (Kernel.target k) in
+        let restricted =
+          Bfs.search ~options:(opts [ Formats.single; Formats.double ]) (Kernel.target k)
+        in
+        let t0 = Unix.gettimeofday () in
+        let lattice = Bfs.search ~options:(opts menu) (Kernel.target k) in
+        let wall = Unix.gettimeofday () -. t0 in
+        let dig r = Config.digest k.Kernel.program r.Bfs.final in
+        if dig restricted <> dig baseline then begin
+          Format.printf
+            "!! %s: {single,double}-restricted lattice diverges from the seed BFS final@."
+            k.Kernel.name;
+          exit 1
+        end;
+        if not (baseline.Bfs.final_pass && lattice.Bfs.final_pass) then begin
+          Format.printf "!! %s: unverified final (baseline %b, lattice %b)@." k.Kernel.name
+            baseline.Bfs.final_pass lattice.Bfs.final_pass;
+          exit 1
+        end;
+        if lattice.Bfs.bits_saved <= baseline.Bfs.bits_saved then begin
+          Format.printf
+            "!! %s: lattice saved %d bits, baseline %d — the descent went nowhere@."
+            k.Kernel.name lattice.Bfs.bits_saved baseline.Bfs.bits_saved;
+          exit 1
+        end;
+        Format.printf "%-8s %6d %15d %14d %+6d@." k.Kernel.name lattice.Bfs.tested
+          baseline.Bfs.bits_saved lattice.Bfs.bits_saved
+          (lattice.Bfs.bits_saved - baseline.Bfs.bits_saved);
+        let census = Config.format_census k.Kernel.program lattice.Bfs.final in
+        Format.printf "         census: %s@."
+          (String.concat ", "
+             (List.map (fun (n, c) -> Printf.sprintf "%s=%d" n c) census));
+        (k.Kernel.name, baseline, lattice, wall, census))
+      kernels
+  in
+  let oc = open_out "BENCH_formats.json" in
+  Printf.fprintf oc "{\n  \"menu\": %S,\n  \"identity\": [\n"
+    (Formats.menu_to_string menu);
+  List.iteri
+    (fun i (kernel, fmt, steps) ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"format\": %S, \"identical\": true, \"steps\": %d }%s\n"
+        kernel fmt steps
+        (if i = List.length identity - 1 then "" else ","))
+    identity;
+  Printf.fprintf oc "  ],\n  \"campaigns\": [\n";
+  List.iteri
+    (fun i (kernel, baseline, lattice, wall, census) ->
+      let census_json =
+        String.concat ", "
+          (List.map (fun (n, c) -> Printf.sprintf "%S: %d" n c) census)
+      in
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"baseline_bits_saved\": %d, \"lattice_bits_saved\": %d, \
+         \"restricted_matches_seed\": true, \"final_pass\": %b, \"evals\": %d, \
+         \"wall_s\": %.3f, \"census\": { %s } }%s\n"
+        kernel baseline.Bfs.bits_saved lattice.Bfs.bits_saved lattice.Bfs.final_pass
+        lattice.Bfs.tested wall census_json
+        (if i = List.length campaigns - 1 then "" else ","))
+    campaigns;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "(written to BENCH_formats.json)@."
+
 (* ---------------------------------------------------- campaign server *)
 
 (* The serving layer end-to-end over a real Unix socket: concurrent
@@ -821,7 +954,7 @@ let server_bench () =
   in
   let connect () = ok (Client.connect (Server.Unix_path path)) in
   let spec bench =
-    { Wire.bench; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+    { Wire.bench; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
   in
   let hit_frac (st : Wire.job_status) =
     float_of_int st.Wire.store_hits /. float_of_int (max 1 st.Wire.tested)
@@ -979,7 +1112,7 @@ let server_bench () =
 let fleet_bench () =
   section "Distributed worker fleet: campaign wall time vs in-process pool";
   let spec =
-    { Wire.bench = "ep"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+    { Wire.bench = "ep"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
   in
   let resolve (s : Wire.job_spec) =
     match (s.Wire.bench, s.Wire.cls) with
@@ -1013,7 +1146,7 @@ let fleet_bench () =
                    ~stop:(fun () -> Atomic.get stop_flag)
                    ~resolve:(fun ~bench ~cls ->
                      resolve
-                       { Wire.bench; cls; shadow = false; priority = 0; eval_steps = None })
+                       { Wire.bench; cls; shadow = false; priority = 0; eval_steps = None; formats = "" })
                    (Server.Unix_path path)))
             ())
     in
@@ -1186,7 +1319,7 @@ let recovery_bench () =
   let wal_n = 1000 in
   let wal_path = Filename.concat dir "jobs.wal" in
   let wal = Wal.create ~path:wal_path in
-  let spec = { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None } in
+  let spec = { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" } in
   let t0 = Unix.gettimeofday () in
   for i = 1 to wal_n do
     let id = Printf.sprintf "j%04d" i in
@@ -1307,6 +1440,7 @@ let sections =
     ("pool", pool_bench);
     ("shadow", shadow_bench);
     ("vm", vm_bench);
+    ("formats", formats_bench);
     ("server", server_bench);
     ("fleet", fleet_bench);
     ("recovery", recovery_bench);

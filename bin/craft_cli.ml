@@ -257,11 +257,33 @@ let cache_stats_flag =
            hit rate, compiled blocks). Only meaningful with the default $(b,compiled) \
            backend.")
 
+let formats_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "formats" ] ~docv:"MENU"
+        ~doc:
+          "Precision-format menu for the lattice descent, comma-separated: friendly \
+           names ($(b,bf16), $(b,f16), $(b,tf32), $(b,single), $(b,double)) or custom \
+           $(b,e<E>m<M>) tokens (e.g. $(b,--formats bf16,f16,single,double)). The \
+           structural search runs at the widest reduced format on the menu, then each \
+           passing structure is retried at every cheaper format, cheapest first. Empty \
+           (the default) searches single-vs-double exactly as before.")
+
+let parse_formats_menu s =
+  if s = "" then Bfs.default_options.Bfs.formats
+  else
+    match Formats.menu_of_string s with
+    | Ok menu -> menu
+    | Error why ->
+        prerr_endline ("craft: --formats: " ^ why);
+        exit 1
+
 let search_cmd =
   let run name cls workers out strategy journal_path resume retries eval_steps inject
       deadline checkpoint_path quarantine_after use_shadow shadow_threshold shadow_prune
-      backend_name cache_stats =
+      backend_name cache_stats formats_menu =
     with_kernel name cls (fun k ->
+        let formats = parse_formats_menu formats_menu in
         if resume && journal_path = None && checkpoint_path = None then begin
           prerr_endline "craft: --resume requires --journal FILE or --checkpoint FILE";
           exit 1
@@ -372,6 +394,7 @@ let search_cmd =
                 pool;
                 checkpoint;
                 shadow = shadow_opts;
+                formats;
                 stop = (fun () -> Atomic.get interrupt);
               }
             in
@@ -397,10 +420,12 @@ let search_cmd =
             let f =
               if String.equal s "ddmax" then Strategies.delta_debug else Strategies.greedy_grow
             in
-            let r = f ?pool ~base:k.Kernel.hints target in
+            let r = f ?pool ~base:k.Kernel.hints ~formats target in
             Format.printf
-              "strategy %s: tested %d configurations, replaced %d of %d candidates (%s)@." s
-              r.Strategies.tested r.Strategies.static_replaced r.Strategies.candidates
+              "strategy %s: tested %d configurations, replaced %d of %d candidates, %d \
+               bit(s) saved (%s)@."
+              s r.Strategies.tested r.Strategies.static_replaced r.Strategies.candidates
+              (Config.bits_saved k.Kernel.program r.Strategies.final)
               (if r.Strategies.final_pass then "pass" else "fail");
             (match out with
             | Some path ->
@@ -447,7 +472,7 @@ let search_cmd =
       const run $ bench_arg $ class_arg $ workers_arg $ out_arg $ strategy_arg $ journal_arg
       $ resume_arg $ retries_arg $ eval_steps_arg $ inject_arg $ deadline_arg
       $ checkpoint_arg $ quarantine_arg $ shadow_flag $ shadow_threshold_arg
-      $ shadow_prune_arg $ backend_arg $ cache_stats_flag)
+      $ shadow_prune_arg $ backend_arg $ cache_stats_flag $ formats_arg)
 
 let shadow_cmd =
   let threshold_arg =
@@ -935,8 +960,10 @@ let wait_flag =
               $(b,craft watch)).")
 
 let submit_cmd =
-  let run socket tcp bench cls shadow priority eval_steps wait out =
-    let spec = { Wire.bench; cls; shadow; priority; eval_steps } in
+  let run socket tcp bench cls shadow priority eval_steps wait out formats =
+    (* validate locally for a friendly error; the daemon re-validates *)
+    if formats <> "" then ignore (parse_formats_menu formats);
+    let spec = { Wire.bench; cls; shadow; priority; eval_steps; formats } in
     with_client socket tcp (fun c ->
         let id = or_die (Client.submit c spec) in
         if not wait then print_endline id
@@ -958,7 +985,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"Submit a search campaign to the daemon (prints the job id)")
     Term.(
       const run $ socket_arg $ tcp_arg $ bench_arg $ class_arg $ submit_shadow_flag
-      $ priority_arg $ eval_steps_arg $ wait_flag $ out_arg)
+      $ priority_arg $ eval_steps_arg $ wait_flag $ out_arg $ formats_arg)
 
 let job_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")

@@ -1,7 +1,23 @@
 module SMap = Map.Make (String)
 module IMap = Map.Make (Int)
 
-type flag = Single | Double | Ignore
+(* [Fmt f] assigns a reduced emulated format from the precision lattice
+   (half, bfloat16, customs). [Single] and [Double] remain distinct
+   constructors — not [Fmt Formats.single] / [Fmt Formats.double] — so the
+   pre-lattice pipeline, exchange texts and digests stay byte-identical.
+   [of_format] normalizes incoming formats onto that convention. *)
+type flag = Single | Double | Ignore | Fmt of Formats.t
+
+let of_format f =
+  if Formats.equal f Formats.single then Single
+  else if Formats.equal f Formats.double then Double
+  else Fmt f
+
+let format_of_flag = function
+  | Single -> Some Formats.single
+  | Double -> Some Formats.double
+  | Fmt f -> Some f
+  | Ignore -> None
 
 type t = {
   modules : flag SMap.t;
@@ -54,7 +70,7 @@ let is_empty t =
   SMap.is_empty t.modules && SMap.is_empty t.funcs && IMap.is_empty t.blocks
   && IMap.is_empty t.insns
 
-let flag_char = function Single -> 's' | Double -> 'd' | Ignore -> 'i'
+let flag_char = function Single -> 's' | Double -> 'd' | Ignore -> 'i' | Fmt _ -> 'e'
 
 let flag_of_char = function
   | 's' -> Some Single
@@ -62,13 +78,38 @@ let flag_of_char = function
   | 'i' -> Some Ignore
   | _ -> None
 
+(* Canonical flag token for exchange texts, digests and checkpoints: the
+   historical one-character flags for the three base decisions, and the
+   format's ["e<E>m<M>"] token for lattice formats — lowercase, so it can
+   never be mistaken for the uppercase structure keywords. *)
+let flag_token = function
+  | Single -> "s"
+  | Double -> "d"
+  | Ignore -> "i"
+  | Fmt f -> Formats.token f
+
+let flag_of_token tok =
+  match tok with
+  | "s" -> Some Single
+  | "d" -> Some Double
+  | "i" -> Some Ignore
+  | _ -> (
+      (* accept any spelling Formats knows (e5m10, bf16, f16, tf32, ...)
+         and normalize single/double back onto the base constructors *)
+      match Formats.of_string tok with
+      | Some f -> Some (of_format f)
+      | None -> None)
+
 let print (p : Ir.program) t =
   let buf = Buffer.create 4096 in
   let line ?flag ~indent fmt =
     Format.kasprintf
       (fun s ->
-        let c = match flag with Some f -> flag_char f | None -> ' ' in
-        Buffer.add_char buf c;
+        (* one-character tokens (s/d/i and unflagged) render byte-identically
+           to the pre-lattice format; lattice formats widen the flag column
+           with their e<E>m<M> token *)
+        let tok = match flag with Some f -> flag_token f | None -> " " in
+        Buffer.add_string buf tok;
         Buffer.add_string buf (String.make indent ' ');
         Buffer.add_string buf s;
         Buffer.add_char buf '\n')
@@ -141,8 +182,31 @@ let parse (p : Ir.program) text =
     (fun idx raw ->
       let lineno = idx + 1 in
       if String.trim raw <> "" && !error = None then begin
-        let flag = if String.length raw > 0 then flag_of_char raw.[0] else None in
-        let body = String.trim (if String.length raw > 1 then String.sub raw 1 (String.length raw - 1) else "") in
+        (* Flag column. The historical one-character flags (and the unflagged
+           space) parse exactly as before. Anything else lowercase before the
+           first space is a lattice-format token; an unknown token is a hard
+           error — a worker fed a config from a newer peer must reject it,
+           not silently drop the flag. *)
+        let flag, body =
+          match raw.[0] with
+          | 's' | 'd' | 'i' | ' ' ->
+              ( flag_of_char raw.[0],
+                String.trim
+                  (if String.length raw > 1 then String.sub raw 1 (String.length raw - 1)
+                   else "") )
+          | _ ->
+              let toklen =
+                match String.index_opt raw ' ' with
+                | Some j -> j
+                | None -> String.length raw
+              in
+              let tok = String.sub raw 0 toklen in
+              (match flag_of_token tok with
+              | Some fl -> (Some fl, String.trim (String.sub raw toklen (String.length raw - toklen)))
+              | None ->
+                  fail lineno "unknown flag token %S" tok;
+                  (None, ""))
+        in
         let with_flag f = match flag with Some fl -> f fl | None -> () in
         if String.length body >= 7 && String.sub body 0 7 = "MODULE:" then begin
           let m = String.trim (String.sub body 7 (String.length body - 7)) in
@@ -193,14 +257,16 @@ let parse (p : Ir.program) text =
 
 (* FNV-1a over the effective flag of every candidate, so two configurations
    that resolve to the same per-instruction decisions share a digest — exactly
-   the equivalence the evaluation memoizer needs. *)
+   the equivalence the evaluation memoizer needs. The flag contributes its
+   token bytes: one byte for s/d/i, so every pre-lattice digest (and with it
+   every old journal, checkpoint and store log) is unchanged. *)
 let digest (p : Ir.program) t =
   let h = ref 0xcbf29ce484222325L in
   let mix c = h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001b3L in
   Array.iter
     (fun (info : Static.insn_info) ->
       mix info.addr;
-      mix (Char.code (flag_char (effective t info))))
+      String.iter (fun c -> mix (Char.code c)) (flag_token (effective t info)))
     (Static.candidates p);
   Printf.sprintf "%016Lx" !h
 
@@ -213,19 +279,44 @@ let summarize t =
         Buffer.add_string buf s)
       fmt
   in
-  SMap.iter (fun m f -> add "%c MODULE: %s" (flag_char f) m) t.modules;
-  SMap.iter (fun n f -> add "%c FUNC: %s()" (flag_char f) n) t.funcs;
-  IMap.iter (fun l f -> add "%c BBLK%02d" (flag_char f) l) t.blocks;
-  IMap.iter (fun a f -> add "%c INSN: 0x%06x" (flag_char f) a) t.insns;
+  SMap.iter (fun m f -> add "%s MODULE: %s" (flag_token f) m) t.modules;
+  SMap.iter (fun n f -> add "%s FUNC: %s()" (flag_token f) n) t.funcs;
+  IMap.iter (fun l f -> add "%s BBLK%02d" (flag_token f) l) t.blocks;
+  IMap.iter (fun a f -> add "%s INSN: 0x%06x" (flag_token f) a) t.insns;
   if Buffer.length buf = 0 then "(all-double)" else Buffer.contents buf
 
 let stats p t =
+  (* lattice formats count as replaced (the first component): they narrow
+     at least as far as single does *)
   let s = ref 0 and d = ref 0 and i = ref 0 in
   Array.iter
     (fun info ->
       match effective t info with
-      | Single -> incr s
+      | Single | Fmt _ -> incr s
       | Double -> incr d
       | Ignore -> incr i)
     (Static.candidates p);
   (!s, !d, !i)
+
+let bits_saved p t =
+  Array.fold_left
+    (fun acc info ->
+      match format_of_flag (effective t info) with
+      | Some f -> acc + Formats.bits_saved f
+      | None -> acc)
+    0 (Static.candidates p)
+
+let format_census p t =
+  let tbl = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  Array.iter
+    (fun info ->
+      match effective t info with
+      | Ignore -> bump "ignore"
+      | fl -> (
+          match format_of_flag fl with
+          | Some f -> bump (Formats.name f)
+          | None -> assert false))
+    (Static.candidates p);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,17 +1,30 @@
-(** Precision configurations (paper §2.1).
+(** Precision configurations (paper §2.1), generalized to a format lattice.
 
     A configuration maps each double-precision candidate instruction to
-    [Single], [Double] or [Ignore]. Decisions can also be attached to
-    aggregate structures — modules, functions, basic blocks — and an
-    aggregate's flag {e overrides} any flags of its children (the paper's
-    semantics: "If an aggregate entry has a flag in the first column, it
-    overrides any flags specified for its children").
+    [Single], [Double], [Ignore], or a reduced lattice format [Fmt f]
+    (half, bfloat16, tf32-style customs — see {!Formats}). Decisions can
+    also be attached to aggregate structures — modules, functions, basic
+    blocks — and an aggregate's flag {e overrides} any flags of its
+    children (the paper's semantics: "If an aggregate entry has a flag in
+    the first column, it overrides any flags specified for its children").
+
+    [Single] and [Double] stay distinct constructors rather than becoming
+    [Fmt Formats.single] / [Fmt Formats.double]: their exchange-text
+    encoding ([s]/[d]), digests and execution fast path are byte- and
+    bit-identical to the pre-lattice system. {!of_format} normalizes.
 
     Configurations are immutable; the search manipulates thousands of them,
     and immutability makes the domain-parallel evaluator safe by
     construction. *)
 
-type flag = Single | Double | Ignore
+type flag = Single | Double | Ignore | Fmt of Formats.t
+
+val of_format : Formats.t -> flag
+(** Normalize: binary32 maps to [Single], binary64 to [Double], anything
+    else to [Fmt]. *)
+
+val format_of_flag : flag -> Formats.t option
+(** The execution format of a flag; [None] for [Ignore]. *)
 
 type t
 
@@ -47,7 +60,16 @@ val effective : t -> Static.insn_info -> flag
 val is_empty : t -> bool
 
 val flag_char : flag -> char
-(** ['s'], ['d'], ['i']. *)
+(** ['s'], ['d'], ['i']; lattice formats collapse to ['e'] (display only —
+    use {!flag_token} wherever the flag must round-trip). *)
+
+val flag_token : flag -> string
+(** Canonical exchange token: ["s"], ["d"], ["i"], or the format's
+    ["e<E>m<M>"] token. *)
+
+val flag_of_token : string -> flag option
+(** Inverse of {!flag_token}; also accepts friendly format names
+    ([bf16], [f16], [tf32], ...), normalized through {!of_format}. *)
 
 (** {1 The exchange file format (paper Fig. 3)} *)
 
@@ -73,5 +95,15 @@ val summarize : t -> string
     for the empty configuration. *)
 
 val stats : Ir.program -> t -> int * int * int
-(** [(singles, doubles, ignores)] over the program's candidate
-    instructions, using effective flags. *)
+(** [(replaced, doubles, ignores)] over the program's candidate
+    instructions, using effective flags; lattice formats count under the
+    first component. *)
+
+val bits_saved : Ir.program -> t -> int
+(** Total bits shaved off binary64 slots across all candidates: 32 per
+    [Single], [64 - width] per [Fmt], 0 per [Double]/[Ignore]. The bench's
+    primary lattice metric. *)
+
+val format_census : Ir.program -> t -> (string * int) list
+(** Candidates per effective format, by friendly name (plus ["ignore"]),
+    sorted by name. *)

@@ -1,15 +1,17 @@
 let summary cfg insns =
-  let s = ref 0 and d = ref 0 and i = ref 0 in
+  let s = ref 0 and d = ref 0 and i = ref 0 and e = ref 0 in
   List.iter
     (fun info ->
       match Config.effective cfg info with
       | Config.Single -> incr s
       | Config.Double -> incr d
-      | Config.Ignore -> incr i)
+      | Config.Ignore -> incr i
+      | Config.Fmt _ -> incr e)
     insns;
-  Printf.sprintf "[s:%d d:%d%s of %d]" !s !d
+  Printf.sprintf "[s:%d d:%d%s%s of %d]" !s !d
+    (if !e > 0 then Printf.sprintf " e:%d" !e else "")
     (if !i > 0 then Printf.sprintf " i:%d" !i else "")
-    (!s + !d + !i)
+    (!s + !d + !e + !i)
 
 let render ?counts (p : Ir.program) cfg =
   let buf = Buffer.create 4096 in
@@ -23,7 +25,7 @@ let render ?counts (p : Ir.program) cfg =
           | Some c when info.addr < Array.length c -> Printf.sprintf "  (exec %d)" c.(info.addr)
           | _ -> ""
         in
-        add "%s%c 0x%06x \"%s\"%s\n" prefix (Config.flag_char f) info.addr info.disasm
+        add "%s%s 0x%06x \"%s\"%s\n" prefix (Config.flag_token f) info.addr info.disasm
           count_str
     | Static.Block (_, children) | Static.Func (_, _, children) | Static.Module (_, children)
       ->

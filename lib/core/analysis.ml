@@ -2,6 +2,7 @@ type recommendation = {
   result : Bfs.result;
   config_text : string;
   tree : string;
+  census : (string * int) list;
   native_cost : Cost.run_cost;
   converted_cost : Cost.run_cost;
   projected_speedup : float;
@@ -29,6 +30,7 @@ let recommend_target ?(options = Bfs.default_options) ?(params = Cost.default)
     result;
     config_text;
     tree;
+    census = Config.format_census program result.Bfs.final;
     native_cost;
     converted_cost;
     projected_speedup = native_cost.Cost.time_cycles /. converted_cost.Cost.time_cycles;
@@ -40,10 +42,16 @@ let recommend ?options ?params ~program ~setup ~output ~verify () =
 
 let pp_summary ppf r =
   let res = r.result in
+  let census =
+    r.census
+    |> List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n)
+    |> String.concat ", "
+  in
   Format.fprintf ppf
     "@[<v>candidates: %d@,configurations tested: %d@,static replaced: %d (%.1f%%)@,\
-     dynamic replaced: %.1f%%@,final verification: %s@,projected conversion speedup: %.2fX@]"
+     dynamic replaced: %.1f%%@,bits saved: %d (census: %s)@,final verification: %s@,\
+     projected conversion speedup: %.2fX@]"
     res.Bfs.candidates res.Bfs.tested res.Bfs.static_replaced res.Bfs.static_pct
-    res.Bfs.dynamic_pct
+    res.Bfs.dynamic_pct res.Bfs.bits_saved census
     (if res.Bfs.final_pass then "pass" else "fail")
     r.projected_speedup

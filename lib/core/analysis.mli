@@ -12,6 +12,9 @@ type recommendation = {
   result : Bfs.result;  (** full search result, including the final config *)
   config_text : string;  (** exchange-format rendering (paper Fig. 3) *)
   tree : string;  (** configuration tree view (paper Fig. 4) *)
+  census : (string * int) list;
+      (** {!Config.format_census} of the final configuration: candidate
+          count per ending format name (plus ["ignore"]) *)
   native_cost : Cost.run_cost;
   converted_cost : Cost.run_cost;
       (** modeled cost after the suggested source-level conversion (single

@@ -1,0 +1,167 @@
+type t = { ebits : int; mbits : int }
+
+let double = { ebits = 11; mbits = 52 }
+let single = { ebits = 8; mbits = 23 }
+let half = { ebits = 5; mbits = 10 }
+let bfloat16 = { ebits = 8; mbits = 7 }
+let tf32 = { ebits = 8; mbits = 10 }
+
+let make ~ebits ~mbits =
+  if ebits < 2 || ebits > 8 then
+    invalid_arg (Printf.sprintf "Formats.make: ebits %d outside [2,8]" ebits);
+  if mbits < 1 || mbits > 23 then
+    invalid_arg (Printf.sprintf "Formats.make: mbits %d outside [1,23]" mbits);
+  { ebits; mbits }
+
+let equal a b = a.ebits = b.ebits && a.mbits = b.mbits
+let width t = 1 + t.ebits + t.mbits
+let bits_saved t = 64 - width t
+
+let compare_cost a b =
+  let c = compare (width a) (width b) in
+  if c <> 0 then c
+  else
+    let c = compare a.mbits b.mbits in
+    if c <> 0 then c else compare a.ebits b.ebits
+
+let bias t = (1 lsl (t.ebits - 1)) - 1
+let emax t = bias t
+let emin t = 1 - bias t
+let max_value t = (2.0 -. ldexp 1.0 (-t.mbits)) *. ldexp 1.0 (emax t)
+let min_normal t = ldexp 1.0 (emin t)
+let min_subnormal t = ldexp 1.0 (emin t - t.mbits)
+
+(* ------------------------------------------------------------------ round *)
+
+let abs_mask = 0x7FFF_FFFF_FFFF_FFFFL
+let frac_mask = 0xF_FFFF_FFFF_FFFFL
+let exp_mask = 0x7FF0_0000_0000_0000L
+let quiet_bit = Int64.shift_left 1L 51
+
+(* Round a double to the nearest (ebits, mbits) value, ties to even, by bit
+   manipulation on the Int64 payload.
+
+   Within a binade the double's bit pattern is affine in its value, so
+   round-to-nearest-even of the low [shift] bits is the classic masking
+   trick: add [half - 1 + lsb] and clear the low bits; a carry out of the
+   fraction increments the exponent field, which is exactly the binade
+   crossing (1.111..1 -> 10.0). For results in the format's subnormal range
+   the number of dropped bits grows as the exponent shrinks, keeping the
+   retained granularity pinned at the format's smallest subnormal — gradual
+   underflow falls out of the same masking trick with a larger [shift].
+
+   Two edges need care:
+   - [shift = 52]: the only retained value in the binade is its base 2^ue,
+     whose index on the subnormal grid is odd (it IS the smallest retained
+     multiple), so a tie must round UP; forcing [lsb = 1] encodes that.
+   - [shift = 53]: the value sits in [min_sub/2, min_sub); the tie at
+     exactly min_sub/2 rounds to (even) zero, anything above rounds to the
+     smallest subnormal. Deeper than that ([shift > 53], including every
+     binary64 subnormal input since min_sub/2 >= 2^-150 > 2^-1022) rounds
+     to a signed zero. *)
+let round_em t x =
+  let bits = Int64.bits_of_float x in
+  let sign = Int64.logand bits Int64.min_int in
+  let a = Int64.logand bits abs_mask in
+  if a = 0L then x (* signed zero *)
+  else
+    let e_field = Int64.to_int (Int64.shift_right_logical a 52) in
+    if e_field = 0x7FF then
+      if Int64.logand a frac_mask = 0L then x (* infinity *)
+      else begin
+        (* NaN: truncate the payload to the format's mantissa width and
+           force the quiet bit so the result is never mistaken for inf *)
+        let keep = Int64.lognot (Int64.sub (Int64.shift_left 1L (52 - t.mbits)) 1L) in
+        let frac = Int64.logand (Int64.logand a frac_mask) keep in
+        let frac = Int64.logor frac quiet_bit in
+        Int64.float_of_bits (Int64.logor sign (Int64.logor exp_mask frac))
+      end
+    else begin
+      let ue = e_field - 1023 in
+      let shift = (52 - t.mbits) + if ue < emin t then emin t - ue else 0 in
+      if shift <= 0 then x
+      else if shift > 53 then Int64.float_of_bits sign (* +-0.0 *)
+      else if shift = 53 then
+        if Int64.logand a frac_mask = 0L then Int64.float_of_bits sign
+        else Int64.float_of_bits (Int64.logor sign (Int64.bits_of_float (min_subnormal t)))
+      else begin
+        let lsb =
+          if shift = 52 then 1L else Int64.logand (Int64.shift_right_logical a shift) 1L
+        in
+        let half = Int64.shift_left 1L (shift - 1) in
+        let mask = Int64.sub (Int64.shift_left 1L shift) 1L in
+        let r = Int64.logand (Int64.add a (Int64.add (Int64.sub half 1L) lsb)) (Int64.lognot mask) in
+        let e' = Int64.to_int (Int64.shift_right_logical r 52) in
+        if e' - 1023 > emax t then
+          Int64.float_of_bits (Int64.logor sign exp_mask) (* overflow -> inf *)
+        else Int64.float_of_bits (Int64.logor sign r)
+      end
+    end
+
+let round t x =
+  if t.mbits = 52 then x
+  else if t.ebits = 8 && t.mbits = 23 then F32.round x
+  else round_em t x
+
+let is_exact t x = Int64.bits_of_float (round t x) = Int64.bits_of_float x
+
+(* ------------------------------------------------------------------ names *)
+
+let named =
+  [ ("bf16", bfloat16); ("f16", half); ("tf32", tf32); ("single", single); ("double", double) ]
+
+let token t = Printf.sprintf "e%dm%d" t.ebits t.mbits
+
+let name t =
+  match List.find_opt (fun (_, f) -> equal f t) named with
+  | Some (n, _) -> n
+  | None -> token t
+
+let of_token s =
+  (* "e<digits>m<digits>", already lowercased *)
+  let n = String.length s in
+  if n < 4 || s.[0] <> 'e' then None
+  else
+    match String.index_opt s 'm' with
+    | None | Some 1 -> None
+    | Some i when i = n - 1 -> None
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 1 (i - 1)),
+            int_of_string_opt (String.sub s (i + 1) (n - i - 1)) )
+        with
+        | Some ebits, Some mbits ->
+            if ebits = 11 && mbits = 52 then Some double
+            else if ebits >= 2 && ebits <= 8 && mbits >= 1 && mbits <= 23 then
+              Some { ebits; mbits }
+            else None
+        | _ -> None)
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "f16" | "half" | "fp16" | "binary16" -> Some half
+  | "bf16" | "bfloat16" -> Some bfloat16
+  | "tf32" -> Some tf32
+  | "single" | "f32" | "fp32" | "binary32" | "s" -> Some single
+  | "double" | "f64" | "fp64" | "binary64" | "d" -> Some double
+  | s -> of_token s
+
+let menu_of_string s =
+  let toks =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> "")
+  in
+  if toks = [] then Error "empty format menu"
+  else
+    let rec go acc = function
+      | [] ->
+          let menu = List.sort_uniq compare_cost (List.rev acc) in
+          Ok menu
+      | tok :: rest -> (
+          match of_string tok with
+          | Some f -> go (f :: acc) rest
+          | None -> Error (Printf.sprintf "unknown format %S" tok))
+    in
+    go [] toks
+
+let menu_to_string menu =
+  String.concat "," (List.map name (List.sort compare_cost menu))

@@ -55,8 +55,9 @@ let analyze (prog : Ir.program) (cfg : Config.t) : t =
             Hashtbl.replace table key (join prev regs.(r)))
           (Ir.used_fregs i.Ir.op);
       match flag () with
-      | Config.Single ->
-          (* the snippet converts operands in place and flags the result *)
+      | Config.Single | Config.Fmt _ ->
+          (* the snippet converts operands in place and flags the result;
+             lattice formats share Single's replaced-encoding contract *)
           force Repl (Ir.used_fregs i.Ir.op);
           force Repl (Ir.defined_fregs i.Ir.op)
       | Config.Double ->
@@ -184,7 +185,7 @@ let checks_removable t (prog : Ir.program) (cfg : Config.t) =
               if Ir.is_candidate i.Ir.op then
                 match effective_flag cfg f b i with
                 | Config.Ignore -> ()
-                | Config.Single | Config.Double ->
+                | Config.Single | Config.Double | Config.Fmt _ ->
                     List.iter
                       (fun r ->
                         incr total;

@@ -71,12 +71,16 @@ let patch ?(dataflow = false) (prog : Ir.program) (cfg : Config.t) : Ir.program 
         | Some t when addr >= 0 -> Dataflow.operand_state t ~addr ~reg:r
         | _ -> Dataflow.Either
       in
+      (* lattice formats carry the same replaced-encoding operand contract
+         as Single: operands arrive as binary32 sentinel payloads *)
       match (flag, st) with
-      | Config.Single, (Dataflow.Repl | Dataflow.Bot) -> () (* already replaced *)
+      | (Config.Single | Config.Fmt _), (Dataflow.Repl | Dataflow.Bot) ->
+          () (* already replaced *)
       | Config.Double, (Dataflow.Plain | Dataflow.Bot) -> () (* already plain *)
-      | Config.Single, Dataflow.Plain -> emit (Ir.Fdowncast (r, r))
+      | (Config.Single | Config.Fmt _), Dataflow.Plain -> emit (Ir.Fdowncast (r, r))
       | Config.Double, Dataflow.Repl -> emit (Ir.Fupcast (r, r))
-      | (Config.Single | Config.Double), Dataflow.Either -> check_operand_full flag r
+      | (Config.Single | Config.Double | Config.Fmt _), Dataflow.Either ->
+          check_operand_full flag r
       | Config.Ignore, _ -> assert false
     and check_operand_full (flag : Config.flag) r =
       emit (Ir.Ftestflag (tf, r));
@@ -88,7 +92,7 @@ let patch ?(dataflow = false) (prog : Ir.program) (cfg : Config.t) : Ir.program 
       let _ = push_block (fresh_label ()) in
       let cont_blk = !cur in
       (match flag with
-      | Config.Single ->
+      | Config.Single | Config.Fmt _ ->
           (* replaced? skip : downcast *)
           prev.term <- PBr (tf, New cont_idx, New conv_idx);
           cur := conv;
@@ -127,6 +131,12 @@ let patch ?(dataflow = false) (prog : Ir.program) (cfg : Config.t) : Ir.program 
               | Config.Double as flag ->
                   List.iter (check_operand ~addr:i.addr flag) (dedup (Ir.used_fregs i.op));
                   emit_instr { i with op = with_prec i.op D }
+              | Config.Fmt fmt as flag ->
+                  (* same operand diamond as Single; only the op's result
+                     rounding differs, via the E precision *)
+                  List.iter (check_operand ~addr:i.addr flag) (dedup (Ir.used_fregs i.op));
+                  emit_instr
+                    { i with op = with_prec i.op (E (fmt.Formats.ebits, fmt.Formats.mbits)) }
             end)
           b.instrs;
         !cur.term <-

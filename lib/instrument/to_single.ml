@@ -41,4 +41,5 @@ let convert_config p cfg =
       in
       match Config.effective cfg info with
       | Config.Single -> Some Ir.S
+      | Config.Fmt f -> Some (Ir.E (f.Formats.ebits, f.Formats.mbits))
       | Config.Double | Config.Ignore -> None)

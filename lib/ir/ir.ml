@@ -1,4 +1,9 @@
-type prec = D | S
+(* [E (ebits, mbits)] is an emulated reduced format (half, bfloat16,
+   tf32-style customs): operands travel as binary32 sentinel payloads like
+   [S], but results are rounded through the (ebits, mbits) grid. [S] stays a
+   distinct constructor (not [E (8, 23)]) so the pre-lattice single-precision
+   pipeline keeps its exact F32 fast path bit-for-bit. *)
+type prec = D | S | E of int * int
 
 type fbinop = Add | Sub | Mul | Div | Min | Max
 type funop = Sqrt | Neg | Abs
@@ -200,8 +205,15 @@ let ibinop_name = function
   | Imax -> "imax"
   | Imin -> "imin"
 
-let suffix = function D -> "sd" | S -> "ss"
-let psuffix = function D -> "pd" | S -> "ps"
+let suffix = function
+  | D -> "sd"
+  | S -> "ss"
+  | E (e, m) -> Printf.sprintf "s.e%dm%d" e m
+
+let psuffix = function
+  | D -> "pd"
+  | S -> "ps"
+  | E (e, m) -> Printf.sprintf "p.e%dm%d" e m
 
 let mnemonic = function
   | Fbin (p, o, _, _, _) -> fbinop_name o ^ suffix p
@@ -215,8 +227,10 @@ let mnemonic = function
   | Fstore _ -> "movsd.st"
   | Fcvt_i2f (D, _, _) -> "cvtsi2sd"
   | Fcvt_i2f (S, _, _) -> "cvtsi2ss"
+  | Fcvt_i2f ((E _ as p), _, _) -> "cvtsi2" ^ suffix p
   | Fcvt_f2i (D, _, _) -> "cvttsd2si"
   | Fcvt_f2i (S, _, _) -> "cvttss2si"
+  | Fcvt_f2i ((E _ as p), _, _) -> "cvtt" ^ suffix p ^ "2si"
   | Ibin (o, _, _, _) -> ibinop_name o
   | Icmp (c, _, _, _) -> "cmp." ^ cmpop_name c
   | Iconst _ -> "mov.imm"

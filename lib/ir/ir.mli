@@ -5,14 +5,17 @@
     contain modules, modules contain functions, functions contain basic
     blocks, blocks contain addressed instructions. Floating-point opcodes
     come in double ([D]) and single ([S]) variants so that the patcher's
-    "opcode rewriting" (addsd -> addss) is a real transformation.
+    "opcode rewriting" (addsd -> addss) is a real transformation, plus
+    emulated reduced formats [E (ebits, mbits)] (half, bfloat16, customs)
+    whose operands travel exactly like [S] but whose results are rounded
+    through the (ebits, mbits) grid.
 
     Register files are per-function (virtual registers [f0..], [i0..]);
     values in float registers and in the float heap are raw 64-bit patterns,
     so the replaced encoding of {!Craft_fpbits.Replaced} travels through
     loads, stores and moves untouched, exactly as on real hardware. *)
 
-type prec = D | S
+type prec = D | S | E of int * int
 
 type fbinop = Add | Sub | Mul | Div | Min | Max
 type funop = Sqrt | Neg | Abs

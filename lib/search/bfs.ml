@@ -90,6 +90,7 @@ type options = {
   pool : Pool.t option;
   checkpoint : checkpoint_opts option;
   shadow : shadow_opts option;
+  formats : Formats.t list;
   stop : unit -> bool;
 }
 
@@ -105,6 +106,7 @@ let default_options =
     pool = None;
     checkpoint = None;
     shadow = None;
+    formats = [ Formats.single ];
     stop = (fun () -> false);
   }
 
@@ -117,6 +119,8 @@ type result = {
   static_pct : float;
   dynamic_pct : float;
   passing_nodes : Static.node list;
+  passing_flags : (Static.node * Config.flag) list;
+  bits_saved : int;
   log : string list;
   supervisor : Pool.stats option;
   snapshots : int;
@@ -136,22 +140,24 @@ let children_of = function
   | Static.Module (_, cs) | Static.Func (_, _, cs) | Static.Block (_, cs) -> cs
   | Static.Insn _ -> []
 
-let force_single ~base cfg node =
+let force_flag ~base flag cfg node =
   let has_ignored =
     List.exists
       (fun info -> Config.effective base info = Config.Ignore)
       (Static.node_insns node)
   in
-  if not has_ignored then Config.set_node cfg node Config.Single
+  if not has_ignored then Config.set_node cfg node flag
   else
-    (* Aggregate flags override children, so setting the aggregate single
+    (* Aggregate flags override children, so setting the aggregate flag
        would clobber the user's ignore hints; expand to instruction level
        instead. *)
     List.fold_left
       (fun acc info ->
         if Config.effective base info = Config.Ignore then acc
-        else Config.set_insn acc info.Static.addr Config.Single)
+        else Config.set_insn acc info.Static.addr flag)
       cfg (Static.node_insns node)
+
+let force_single ~base cfg node = force_flag ~base Config.Single cfg node
 
 type item = { nodes : Static.node list; weight : int; seq : int; score : float }
 (* [score] is the shadow-predicted divergence of flipping exactly these
@@ -163,6 +169,19 @@ let search ?(options = default_options) (target : Target.t) =
   let base = options.base in
   let log = ref [] in
   let say fmt = Format.kasprintf (fun s -> log := s :: !log) fmt in
+  (* The format lattice. The structural descent runs entirely at the
+     [entry] format (the widest reduced format on the menu — [single] by
+     default, reproducing the pre-lattice search exactly); formats cheaper
+     than the entry are tried per passing structure afterwards,
+     cheapest-first, and the first one that still verifies wins. [double]
+     on the menu means "not replaced" and never enters the descent. *)
+  let menu =
+    List.filter (fun f -> not (Formats.equal f Formats.double)) options.formats
+    |> List.sort_uniq Formats.compare_cost
+  in
+  let entry_fmt = match List.rev menu with f :: _ -> f | [] -> Formats.single in
+  let entry_flag = Config.of_format entry_fmt in
+  let lower_menu = List.filter (fun f -> Formats.compare_cost f entry_fmt < 0) menu in
   let live_insns node =
     List.filter
       (fun info -> Config.effective base info <> Config.Ignore)
@@ -233,7 +252,9 @@ let search ?(options = default_options) (target : Target.t) =
     queue := rest;
     batch
   in
-  let cfg_of_item it = List.fold_left (fun acc n -> force_single ~base acc n) base it.nodes in
+  let cfg_of_item it =
+    List.fold_left (fun acc n -> force_flag ~base entry_flag acc n) base it.nodes
+  in
   let tested = ref 0 in
   let passing = ref [] in
   let snapshots = ref 0 in
@@ -302,7 +323,7 @@ let search ?(options = default_options) (target : Target.t) =
             tested = !tested;
             next_seq = !seq;
             queue = List.map entry !queue;
-            passing = List.map Checkpoint.node_id (List.rev !passing);
+            passing = List.map Checkpoint.flagged_id (List.rev !passing);
             counters = ck.save_counters ();
             log = List.rev !log;
           };
@@ -320,18 +341,19 @@ let search ?(options = default_options) (target : Target.t) =
               snap.Checkpoint.key;
             false
         | Ok snap -> (
-            let resolve_all ids =
+            let resolve_with res ids =
               List.fold_left
                 (fun acc id ->
                   match acc with
                   | Error _ as e -> e
                   | Ok nodes -> (
-                      match Checkpoint.resolve target.program id with
+                      match res target.program id with
                       | Ok n -> Ok (n :: nodes)
                       | Error _ as e -> e))
                 (Ok []) ids
               |> Result.map List.rev
             in
+            let resolve_all = resolve_with Checkpoint.resolve in
             let entries =
               List.fold_left
                 (fun acc (e : Checkpoint.entry) ->
@@ -346,7 +368,7 @@ let search ?(options = default_options) (target : Target.t) =
                       | Error _ as err -> err))
                 (Ok []) snap.Checkpoint.queue
             in
-            match (entries, resolve_all snap.Checkpoint.passing) with
+            match (entries, resolve_with Checkpoint.resolve_flagged snap.Checkpoint.passing) with
             | Error msg, _ | _, Error msg ->
                 say "CHECKPOINT not resumed: %s" msg;
                 false
@@ -385,13 +407,15 @@ let search ?(options = default_options) (target : Target.t) =
               say "SHADOW seed: nothing predicted single";
               false
           | pred -> (
-              let cfg = List.fold_left (fun acc n -> force_single ~base acc n) base pred in
+              let cfg =
+                List.fold_left (fun acc n -> force_flag ~base entry_flag acc n) base pred
+              in
               incr tested;
               match eval_verdict cfg with
               | Verdict.Pass ->
                   say "SHADOW seed: predicted configuration passes — %d structure(s) pre-accepted"
                     (List.length pred);
-                  passing := List.rev pred @ !passing;
+                  passing := List.rev_map (fun n -> (n, entry_flag)) pred @ !passing;
                   let module ISet = Set.Make (Int) in
                   let pred_addrs =
                     List.fold_left
@@ -461,8 +485,11 @@ let search ?(options = default_options) (target : Target.t) =
         else List.iter (fun n -> push (mk [ n ])) nodes
   in
   let finish ~interrupted () =
-    let passing_nodes = List.rev !passing in
-    let final = List.fold_left (fun acc n -> force_single ~base acc n) base passing_nodes in
+    let passing_flags = List.rev !passing in
+    let passing_nodes = List.map fst passing_flags in
+    let final =
+      List.fold_left (fun acc (n, fl) -> force_flag ~base fl acc n) base passing_flags
+    in
     incr tested;
     let final_pass = contained_eval final in
     say "FINAL union of %d passing structures: %s" (List.length passing_nodes)
@@ -474,13 +501,13 @@ let search ?(options = default_options) (target : Target.t) =
            first, keeping only those that compose into a passing whole. *)
         let units =
           List.sort
-            (fun a b -> compare (weight_of [ b ]) (weight_of [ a ]))
-            passing_nodes
+            (fun (a, _) (b, _) -> compare (weight_of [ b ]) (weight_of [ a ]))
+            passing_flags
         in
         let acc = ref base in
         List.iter
-          (fun node ->
-            let trial = force_single ~base !acc node in
+          (fun (node, fl) ->
+            let trial = force_flag ~base fl !acc node in
             incr tested;
             if contained_eval trial then begin
               acc := trial;
@@ -491,10 +518,12 @@ let search ?(options = default_options) (target : Target.t) =
         (!acc, true)
       end
     in
-    let static_replaced =
-      List.length
-        (List.filter (fun info -> Config.effective final info = Config.Single) universe)
+    let replaced info =
+      match Config.effective final info with
+      | Config.Single | Config.Fmt _ -> true
+      | Config.Double | Config.Ignore -> false
     in
+    let static_replaced = List.length (List.filter replaced universe) in
     (* the dynamic denominator counts every FP candidate execution, including
        Ignore-flagged instructions: ignored work is floating-point work that
        was not replaced *)
@@ -502,8 +531,7 @@ let search ?(options = default_options) (target : Target.t) =
       Array.fold_left
         (fun (num, den) (info : Static.insn_info) ->
           let c = counts.(info.addr) in
-          ( (if Config.effective final info = Config.Single then num + c else num),
-            den + c ))
+          ((if replaced info then num + c else num), den + c))
         (0, 0)
         (Static.candidates target.program)
     in
@@ -517,6 +545,8 @@ let search ?(options = default_options) (target : Target.t) =
       static_pct = Stats.percent (float_of_int static_replaced) (float_of_int n_candidates);
       dynamic_pct = Stats.percent (float_of_int dyn_num) (float_of_int dyn_den);
       passing_nodes;
+      passing_flags;
+      bits_saved = Config.bits_saved target.program final;
       log = List.rev !log;
       supervisor = Option.map Pool.stats pool;
       snapshots = !snapshots;
@@ -564,7 +594,7 @@ let search ?(options = default_options) (target : Target.t) =
           match verdict with
           | Verdict.Pass ->
               say "PASS %s (weight %d)" names it.weight;
-              passing := it.nodes @ !passing
+              passing := List.map (fun n -> (n, entry_flag)) it.nodes @ !passing
           | v ->
               say "%s %s (weight %d)"
                 (String.uppercase_ascii (Verdict.verdict_label v))
@@ -584,6 +614,35 @@ let search ?(options = default_options) (target : Target.t) =
     if interrupted then
       say "INTERRUPTED with %d item(s) still queued — composing the partial result"
         (List.length !queue);
+    (* Lattice descent: every structure that passed at the entry format is
+       retried at each strictly cheaper format on the menu, cheapest first;
+       the first format that still verifies wins and the structure keeps
+       that flag in the final union. One structure failing to descend
+       costs at most |menu|-1 evaluations and changes nothing else. *)
+    if lower_menu <> [] && not interrupted then
+      passing :=
+        List.map
+          (fun (node, flag) ->
+            if options.stop () then (node, flag)
+            else begin
+              let name = Static.node_name node in
+              let rec try_fmts = function
+                | [] -> (node, flag)
+                | f :: rest -> (
+                    let cfg = force_flag ~base (Config.of_format f) base node in
+                    incr tested;
+                    match eval_verdict cfg with
+                    | Verdict.Pass ->
+                        say "LATTICE %s descends to %s" name (Formats.name f);
+                        (node, Config.of_format f)
+                    | v ->
+                        say "LATTICE %s at %s: %s" name (Formats.name f)
+                          (Verdict.verdict_label v);
+                        try_fmts rest)
+              in
+              try_fmts lower_menu
+            end)
+          !passing;
     (* a final snapshot is flushed either way: a stop request leaves the
        still-queued frontier on disk, so a later --resume continues the
        campaign instead of restarting it *)

@@ -164,6 +164,17 @@ type options = {
       (** shadow-guided mode: seed the passing set with the analysis'
           predicted configuration, reorder the frontier by predicted
           tolerance, and optionally prune hopeless candidates *)
+  formats : Formats.t list;
+      (** the precision-format menu (lattice). The structural descent runs
+          entirely at the {e entry} format — the widest reduced format on
+          the menu; with the default [[Formats.single]] the search is
+          exactly the pre-lattice BFS, evaluation for evaluation. Cheaper
+          formats on the menu are then tried per passing structure
+          (cheapest first, first pass wins — see the LATTICE log lines),
+          so e.g. [[bf16; f16; single]] can leave a structure at [bf16]
+          when the verifier still accepts it there. [Formats.double] on
+          the menu is ignored: double means "not replaced". Duplicates
+          are removed; order is irrelevant (cost-sorted internally). *)
   stop : unit -> bool;
       (** cooperative stop request, polled at wave boundaries only (a
           consistent checkpoint is always flushed first). When it returns
@@ -190,6 +201,15 @@ type result = {
       (** profile-weighted replaced fraction of {e all} candidate
           executions, including [Ignore]-flagged instructions *)
   passing_nodes : Static.node list;  (** structures that passed as a whole *)
+  passing_flags : (Static.node * Config.flag) list;
+      (** the same structures with the precision flag each one ended the
+          lattice descent at; always [entry]-format flags when the menu
+          has a single reduced format *)
+  bits_saved : int;
+      (** {!Config.bits_saved} of [final]: total mantissa+exponent bits
+          shaved off across every statically replaced candidate — the
+          poster's headline metric, strictly larger when narrow formats
+          survive verification *)
   log : string list;  (** chronological search narration *)
   supervisor : Pool.stats option;
       (** pool supervision tallies, when a pool evaluated the waves *)
@@ -205,8 +225,12 @@ type result = {
 val search : ?options:options -> Target.t -> result
 (** Raises only {!Aborted} (and only if an evaluator raises it). *)
 
+val force_flag : base:Config.t -> Config.flag -> Config.t -> Static.node -> Config.t
+(** [force_flag ~base flag cfg node] marks [node] with [flag] in [cfg] —
+    at the aggregate level when possible, expanded to instruction level
+    when the aggregate contains [Ignore]-flagged instructions (aggregate
+    flags override children, and user ignore-hints must survive). *)
+
 val force_single : base:Config.t -> Config.t -> Static.node -> Config.t
-(** [force_single ~base cfg node] marks [node] single in [cfg] — at the
-    aggregate level when possible, expanded to instruction level when the
-    aggregate contains [Ignore]-flagged instructions (aggregate flags
-    override children, and user ignore-hints must survive). *)
+(** [force_flag ~base Config.Single] — the pre-lattice entry point, kept
+    for callers that only ever speak binary32. *)

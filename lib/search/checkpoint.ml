@@ -65,6 +65,24 @@ let resolve program id =
       | _ -> Error (Printf.sprintf "checkpoint: bad node id %S" id))
   | _ -> Error (Printf.sprintf "checkpoint: bad node id %S" id)
 
+(* A passing entry may carry a precision flag after '@' ("I:12@e5m10");
+   a bare id means Single — exactly what pre-lattice checkpoints wrote, so
+   they resume unchanged. *)
+let flagged_id (node, flag) =
+  match flag with
+  | Config.Single -> node_id node
+  | flag -> node_id node ^ "@" ^ Config.flag_token flag
+
+let resolve_flagged program id =
+  match String.index_opt id '@' with
+  | None -> Result.map (fun n -> (n, Config.Single)) (resolve program id)
+  | Some k -> (
+      let base = String.sub id 0 k in
+      let tok = String.sub id (k + 1) (String.length id - k - 1) in
+      match Config.flag_of_token tok with
+      | Some flag -> Result.map (fun n -> (n, flag)) (resolve program base)
+      | None -> Error (Printf.sprintf "checkpoint: bad flag token in id %S" id))
+
 (* A cheap structural fingerprint so a checkpoint is never resumed against a
    different program: FNV-1a over every node id of the structure tree. *)
 let program_key program =

@@ -60,5 +60,14 @@ val node_id : Static.node -> string
 val resolve : Ir.program -> string -> (Static.node, string) result
 (** Find the structure-tree node a saved id names, or explain why not. *)
 
+val flagged_id : Static.node * Config.flag -> string
+(** A passing entry with its precision flag: bare {!node_id} when the flag
+    is [Single] (byte-identical to pre-lattice checkpoints), otherwise
+    [<node-id>@<flag-token>] (e.g. [I:12@e5m10]). *)
+
+val resolve_flagged : Ir.program -> string -> (Static.node * Config.flag, string) result
+(** Inverse of {!flagged_id}; an id without [@] resolves with flag
+    [Single], so old checkpoints replay to the same resumed state. *)
+
 val program_key : Ir.program -> string
 (** 16-hex-digit structural fingerprint of the program's candidate tree. *)

@@ -22,28 +22,80 @@ let universe base (target : Bfs.Target.t) =
   Array.to_list (Static.candidates target.Bfs.Target.program)
   |> List.filter (fun info -> Config.effective base info = Config.Double)
 
-let config_of base insns =
+let config_of ?(flag = Config.Single) base insns =
   List.fold_left
-    (fun acc (info : Static.insn_info) -> Config.set_insn acc info.Static.addr Config.Single)
+    (fun acc (info : Static.insn_info) -> Config.set_insn acc info.Static.addr flag)
     base insns
 
-let mk_result base ~tested ~pass active n_candidates =
+let config_of_flags base flagged =
+  List.fold_left
+    (fun acc ((info : Static.insn_info), fl) -> Config.set_insn acc info.Static.addr fl)
+    base flagged
+
+(* The format menu, like {!Bfs.options.formats}: structural phases run at
+   the widest reduced format (the entry); cheaper formats are tried per
+   instruction afterwards. *)
+let menu_entry formats =
+  let menu =
+    List.filter (fun f -> not (Formats.equal f Formats.double)) formats
+    |> List.sort_uniq Formats.compare_cost
+  in
+  let entry = match List.rev menu with f :: _ -> f | [] -> Formats.single in
+  (menu, entry)
+
+(* In-place lattice descent on a composed passing configuration: lower one
+   instruction at a time, cheapest format first, keeping the whole
+   configuration passing after every accepted step — so the result is a
+   passing configuration by construction, like everything else here. *)
+let lattice_descend ?pool ~tested ~max_tests ~menu ~entry (target : Bfs.Target.t) base
+    active =
+  let start = List.map (fun i -> (i, Config.of_format entry)) active in
+  match List.filter (fun f -> Formats.compare_cost f entry < 0) menu with
+  | [] -> start
+  | lower ->
+      let flagged = ref start in
+      List.iter
+        (fun (info : Static.insn_info) ->
+          let rec try_fmts = function
+            | [] -> ()
+            | f :: rest ->
+                if !tested >= max_tests then ()
+                else begin
+                  let trial =
+                    List.map
+                      (fun ((i : Static.insn_info), fl) ->
+                        if i.Static.addr = info.Static.addr then (i, Config.of_format f)
+                        else (i, fl))
+                      !flagged
+                  in
+                  incr tested;
+                  if contained_eval ?pool target (config_of_flags base trial) then
+                    flagged := trial
+                  else try_fmts rest
+                end
+          in
+          try_fmts lower)
+        active;
+      !flagged
+
+let mk_result base ~tested ~pass flagged n_candidates =
   {
-    final = config_of base active;
+    final = config_of_flags base flagged;
     final_pass = pass;
     tested;
-    static_replaced = List.length active;
+    static_replaced = List.length flagged;
     candidates = n_candidates;
   }
 
 let delta_debug ?pool ?(base = Config.empty) ?(max_tests = 2000)
-    (target : Bfs.Target.t) =
+    ?(formats = [ Formats.single ]) (target : Bfs.Target.t) =
+  let menu, entry = menu_entry formats in
   let all = universe base target in
   let n_candidates = List.length all in
   let tested = ref 0 in
   let eval insns =
     incr tested;
-    contained_eval ?pool target (config_of base insns)
+    contained_eval ?pool target (config_of ~flag:(Config.of_format entry) base insns)
   in
   let chunks g xs =
     let n = List.length xs in
@@ -112,11 +164,15 @@ let delta_debug ?pool ?(base = Config.empty) ?(max_tests = 2000)
           if eval trial then active := trial
         end)
       removed;
-    mk_result base ~tested:!tested ~pass:true !active n_candidates
+    let flagged =
+      lattice_descend ?pool ~tested ~max_tests ~menu ~entry target base !active
+    in
+    mk_result base ~tested:!tested ~pass:true flagged n_candidates
   end
 
 let greedy_grow ?pool ?(base = Config.empty) ?(max_tests = 2000)
-    (target : Bfs.Target.t) =
+    ?(formats = [ Formats.single ]) (target : Bfs.Target.t) =
+  let menu, entry = menu_entry formats in
   let all = universe base target in
   let n_candidates = List.length all in
   let counts = target.Bfs.Target.profile () in
@@ -133,7 +189,11 @@ let greedy_grow ?pool ?(base = Config.empty) ?(max_tests = 2000)
       if !tested < max_tests then begin
         incr tested;
         let trial = info :: !active in
-        if contained_eval ?pool target (config_of base trial) then active := trial
+        if contained_eval ?pool target (config_of ~flag:(Config.of_format entry) base trial)
+        then active := trial
       end)
     ordered;
-  mk_result base ~tested:!tested ~pass:true !active n_candidates
+  let flagged =
+    lattice_descend ?pool ~tested ~max_tests ~menu ~entry target base !active
+  in
+  mk_result base ~tested:!tested ~pass:true flagged n_candidates

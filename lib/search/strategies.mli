@@ -34,13 +34,30 @@ type result = {
 }
 
 val delta_debug :
-  ?pool:Pool.t -> ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+  ?pool:Pool.t ->
+  ?base:Config.t ->
+  ?max_tests:int ->
+  ?formats:Formats.t list ->
+  Bfs.Target.t ->
+  result
 (** [max_tests] (default 2000) bounds the budget; the best passing
-    configuration found so far is returned when it is exhausted. *)
+    configuration found so far is returned when it is exhausted.
+    [formats] is the precision-format menu (default [[Formats.single]],
+    the pre-lattice behavior): the structural phase runs at the widest
+    reduced format, then each kept instruction is lowered in place,
+    cheapest format first, while the whole configuration keeps passing
+    (still within [max_tests]). *)
 
 val greedy_grow :
-  ?pool:Pool.t -> ?base:Config.t -> ?max_tests:int -> Bfs.Target.t -> result
+  ?pool:Pool.t ->
+  ?base:Config.t ->
+  ?max_tests:int ->
+  ?formats:Formats.t list ->
+  Bfs.Target.t ->
+  result
 (** A simple hill-climbing baseline: instructions are considered one at a
     time in descending profile weight; each is kept single if the
     configuration so far still passes. Always returns a passing
-    configuration; costs exactly one test per candidate. *)
+    configuration; costs exactly one test per candidate, plus the same
+    per-instruction lattice descent as {!delta_debug} when [formats]
+    offers cheaper formats. *)

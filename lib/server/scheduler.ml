@@ -185,6 +185,17 @@ let run_campaign t j =
       Some (Bfs.shadow ~on_pruned report)
     end
   in
+  let formats =
+    (* the menu was validated at submission; a WAL-recovered job whose
+       saved menu no longer parses falls back to the single-only default
+       instead of wedging the runner *)
+    match j.spec.Wire.formats with
+    | "" -> Bfs.default_options.Bfs.formats
+    | m -> (
+        match Formats.menu_of_string m with
+        | Ok menu -> menu
+        | Error _ -> Bfs.default_options.Bfs.formats)
+  in
   let options =
     {
       Bfs.default_options with
@@ -193,14 +204,16 @@ let run_campaign t j =
       pool = Some t.pool;
       checkpoint;
       shadow;
+      formats;
       stop = (fun () -> Atomic.get j.stop || Atomic.get t.kill);
     }
   in
   let finally () = Option.iter Journal.close journal in
   let res = Fun.protect ~finally (fun () -> Bfs.search ~options target) in
   let summary =
-    Printf.sprintf "tested %d (%d from store), static %.1f%%, dynamic %.1f%%, final %s"
-      j.tested j.hits res.Bfs.static_pct res.Bfs.dynamic_pct
+    Printf.sprintf
+      "tested %d (%d from store), static %.1f%%, dynamic %.1f%%, %d bits saved, final %s"
+      j.tested j.hits res.Bfs.static_pct res.Bfs.dynamic_pct res.Bfs.bits_saved
       (if res.Bfs.final_pass then "pass" else "fail")
   in
   let state = if res.Bfs.interrupted then Wire.Cancelled else Wire.Done in
@@ -446,7 +459,16 @@ let create ?(options = default_options) ?(log = ignore) ?fleet ~resolve ~pool ~c
   t
 
 let submit t spec =
-  match t.resolve spec with
+  match
+    (* a bad formats menu is the submitter's error, caught before the job
+       can queue (and long before a runner would have to guess) *)
+    match spec.Wire.formats with
+    | "" -> t.resolve spec
+    | m -> (
+        match Formats.menu_of_string m with
+        | Error why -> Error why
+        | Ok _ -> t.resolve spec)
+  with
   | Error why -> Error (Printf.sprintf "cannot resolve %s.%s: %s" spec.Wire.bench spec.Wire.cls why)
   | Ok kernel ->
       Mutex.protect t.lock (fun () ->

@@ -35,12 +35,13 @@ let state_of_token s =
 
 let record_line = function
   | Submitted { id; spec } ->
-      Printf.sprintf "submit %s %s %s %d %d %s" id
+      Printf.sprintf "submit %s %s %s %d %d %s %s" id
         (Verdict.escape spec.Wire.bench)
         (Verdict.escape spec.Wire.cls)
         (if spec.Wire.shadow then 1 else 0)
         spec.Wire.priority
         (match spec.Wire.eval_steps with None -> "-" | Some n -> string_of_int n)
+        (match spec.Wire.formats with "" -> "-" | m -> Verdict.escape m)
   | Outcome { id; state; summary } ->
       Printf.sprintf "outcome %s %s %s" id (state_token state) (Verdict.escape summary)
 
@@ -51,18 +52,31 @@ let parse_line line =
   if line = "" || line.[0] = '#' then None
   else
     match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-    | [ "submit"; id; bench; cls; shadow; priority; steps ] -> (
+    (* submit records grew an 8th (formats) token with the lattice; the
+       7-token form is what pre-lattice daemons wrote and still loads,
+       resuming those jobs with the single-only default menu *)
+    | [ "submit"; id; bench; cls; shadow; priority; steps ]
+    | [ "submit"; id; bench; cls; shadow; priority; steps; _ ] as toks -> (
+        let formats_tok =
+          match toks with
+          | [ _; _; _; _; _; _; _; m ] -> m
+          | _ -> "-"
+        in
         match
           ( Verdict.unescape bench,
             Verdict.unescape cls,
             (match shadow with "0" -> Some false | "1" -> Some true | _ -> None),
             int_of_string_opt priority,
-            match steps with
+            (match steps with
             | "-" -> Some None
-            | s -> Option.map Option.some (int_of_string_opt s) )
+            | s -> Option.map Option.some (int_of_string_opt s)),
+            match formats_tok with "-" -> Some "" | m -> Verdict.unescape m )
         with
-        | Some bench, Some cls, Some shadow, Some priority, Some eval_steps ->
-            Some (Submitted { id; spec = { Wire.bench; cls; shadow; priority; eval_steps } })
+        | Some bench, Some cls, Some shadow, Some priority, Some eval_steps, Some formats
+          ->
+            Some
+              (Submitted
+                 { id; spec = { Wire.bench; cls; shadow; priority; eval_steps; formats } })
         | _ -> None)
     | "outcome" :: id :: state :: rest -> (
         let summary =

@@ -4,6 +4,9 @@ type job_spec = {
   shadow : bool;
   priority : int;
   eval_steps : int option;
+  formats : string;
+      (* precision-format menu as a comma-separated token string
+         (Formats.menu_of_string syntax); "" means the single-only default *)
 }
 
 type job_state =
@@ -185,7 +188,8 @@ let put_spec b (s : job_spec) =
   put_str b s.cls;
   put_bool b s.shadow;
   put_i64 b s.priority;
-  put_opt_int b s.eval_steps
+  put_opt_int b s.eval_steps;
+  put_str b s.formats
 
 let put_state b = function
   | Queued -> put_u8 b 0
@@ -376,7 +380,8 @@ let get_spec c =
   let shadow = get_bool c in
   let priority = get_i64 c in
   let eval_steps = get_opt c get_i64 in
-  { bench; cls; shadow; priority; eval_steps }
+  let formats = get_str c in
+  { bench; cls; shadow; priority; eval_steps; formats }
 
 let get_state c =
   match get_u8 c with

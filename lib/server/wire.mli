@@ -22,6 +22,10 @@ type job_spec = {
                       seed/reorder the campaign *)
   priority : int;  (** scheduling priority; higher runs first *)
   eval_steps : int option;  (** per-evaluation VM step budget override *)
+  formats : string;
+      (** precision-format menu, comma-separated friendly names or
+          [e<E>m<M>] tokens ({!Formats.menu_of_string} syntax); [""] runs
+          the single-only pre-lattice search. Validated at submission. *)
 }
 
 type job_state =

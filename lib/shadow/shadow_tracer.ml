@@ -61,7 +61,9 @@ type frame = {
 
 type t = {
   prog : Ir.program;
-  single_at : bool array;  (* per addr: shadow computes in binary32 here *)
+  fmt_at : Formats.t option array;
+      (* per addr: the reduced format the shadow computes in here; [None]
+         means the shadow stays in binary64 (Double/Ignore decisions) *)
   op_at : Ir.op option array;
   fid_at : int array;
   stats : insn_stats array;
@@ -75,16 +77,36 @@ let all_single ?(base = Config.empty) prog =
     (fun cfg (info : Static.insn_info) ->
       match Config.effective base info with
       | Config.Ignore -> cfg
-      | Config.Single | Config.Double -> Config.set_insn cfg info.addr Config.Single)
+      | Config.Single | Config.Double | Config.Fmt _ ->
+          Config.set_insn cfg info.addr Config.Single)
     base (Static.candidates prog)
 
-let create ?config (prog : Ir.program) =
-  let config = match config with Some c -> c | None -> all_single prog in
+(* Like [all_single] but predicting an arbitrary lattice format — the
+   "lowest-format shadow" that seeds lattice descent. *)
+let all_format ?(base = Config.empty) fmt prog =
+  let flag = Config.of_format fmt in
+  Array.fold_left
+    (fun cfg (info : Static.insn_info) ->
+      match Config.effective base info with
+      | Config.Ignore -> cfg
+      | Config.Single | Config.Double | Config.Fmt _ -> Config.set_insn cfg info.addr flag)
+    base (Static.candidates prog)
+
+let create ?config ?fmt (prog : Ir.program) =
+  let config =
+    match (config, fmt) with
+    | Some c, _ -> c
+    | None, None -> all_single prog
+    | None, Some f -> all_format f prog
+  in
   let n = Static.max_addr prog + 1 in
-  let single_at = Array.make n false in
+  let fmt_at = Array.make n None in
   Array.iter
     (fun (info : Static.insn_info) ->
-      if Config.effective config info = Config.Single then single_at.(info.addr) <- true)
+      match Config.effective config info with
+      | Config.Single -> fmt_at.(info.addr) <- Some Formats.single
+      | Config.Fmt f -> fmt_at.(info.addr) <- Some f
+      | Config.Double | Config.Ignore -> ())
     (Static.candidates prog);
   let op_at = Array.make n None in
   let fid_at = Array.make n (-1) in
@@ -101,7 +123,7 @@ let create ?config (prog : Ir.program) =
     prog.funcs;
   {
     prog;
-    single_at;
+    fmt_at;
     op_at;
     fid_at;
     stats = Array.init n (fun _ -> fresh_stats ());
@@ -180,32 +202,23 @@ let flibm_d (o : Ir.flibm) x =
   | Log -> log x
   | Atan -> atan x
 
-(* Single-precision pipeline, mirroring Vm Plain smode and the semantics of
-   a To_single-converted binary: operands round to binary32, the operation
-   computes in emulated binary32. *)
-let fbin_s (o : Ir.fbinop) x y =
-  let x = F32.round x and y = F32.round y in
-  match o with
-  | Add -> F32.add x y
-  | Sub -> F32.sub x y
-  | Mul -> F32.mul x y
-  | Div -> F32.div x y
-  | Min -> F32.min x y
-  | Max -> F32.max x y
+(* Reduced-format pipeline, mirroring Vm Plain smode and the semantics of a
+   To_single-converted binary: operands round onto the format's grid, the
+   operation computes in binary64, the result rounds back. For
+   [Formats.single] this is bit-identical to the historical F32 pipeline
+   (every F32 op is the binary32 round of the host double op, and
+   [Formats.round Formats.single] delegates to [F32.round]). *)
+let fbin_f fmt (o : Ir.fbinop) x y =
+  let x = Formats.round fmt x and y = Formats.round fmt y in
+  Formats.round fmt (fbin_d o x y)
 
-let funop_s (o : Ir.funop) x =
-  let x = F32.round x in
-  match o with Sqrt -> F32.sqrt x | Neg -> F32.neg x | Abs -> F32.abs x
+let funop_f fmt (o : Ir.funop) x =
+  let x = Formats.round fmt x in
+  Formats.round fmt (funop_d o x)
 
-let flibm_s (o : Ir.flibm) x =
-  let x = F32.round x in
-  match o with
-  | Sin -> F32.sin x
-  | Cos -> F32.cos x
-  | Tan -> F32.tan x
-  | Exp -> F32.exp x
-  | Log -> F32.log x
-  | Atan -> F32.atan x
+let flibm_f fmt (o : Ir.flibm) x =
+  let x = Formats.round fmt x in
+  Formats.round fmt (flibm_d o x)
 
 let cmp (c : Ir.cmpop) (x : float) (y : float) =
   let b =
@@ -288,7 +301,7 @@ let eaddr (ir : int array) ({ base; index; scale; offset } : Ir.mem) bound =
 
 let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
   let fr = frame.fr and sfr = frame.sfr in
-  let single = t.single_at.(addr) in
+  let sfmt = t.fmt_at.(addr) in
   let defer r = frame.resync <- r :: frame.resync in
   match op with
   | Fbin (D, o, d, a, b) ->
@@ -296,10 +309,11 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       let sa = sfr.(a) and sb = sfr.(b) in
       let dres = fbin_d o da db in
       let sres, local =
-        if single then
-          let s = fbin_s o sa sb in
-          (s, rel s (fbin_d o sa sb))
-        else (fbin_d o sa sb, 0.0)
+        match sfmt with
+        | Some f ->
+            let s = fbin_f f o sa sb in
+            (s, rel s (fbin_d o sa sb))
+        | None -> (fbin_d o sa sb, 0.0)
       in
       sfr.(d) <- sres;
       let mag = Float.max (Float.abs da) (Float.abs db) in
@@ -312,10 +326,11 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
         let sa = sfr.(a + lane) and sb = sfr.(b + lane) in
         let dres = fbin_d o da db in
         let sres, local =
-          if single then
-            let s = fbin_s o sa sb in
-            (s, rel s (fbin_d o sa sb))
-          else (fbin_d o sa sb, 0.0)
+          match sfmt with
+          | Some f ->
+              let s = fbin_f f o sa sb in
+              (s, rel s (fbin_d o sa sb))
+          | None -> (fbin_d o sa sb, 0.0)
         in
         sfr.(d + lane) <- sres;
         let mag = Float.max (Float.abs da) (Float.abs db) in
@@ -327,10 +342,11 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       let da = fr.(a) and sa = sfr.(a) in
       let dres = funop_d o da in
       let sres, local =
-        if single then
-          let s = funop_s o sa in
-          (s, rel s (funop_d o sa))
-        else (funop_d o sa, 0.0)
+        match sfmt with
+        | Some f ->
+            let s = funop_f f o sa in
+            (s, rel s (funop_d o sa))
+        | None -> (funop_d o sa, 0.0)
       in
       sfr.(d) <- sres;
       observe t addr ~mag:(Float.abs da) ~local ~s:sres ~d:dres ~cancel:false
@@ -339,10 +355,11 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       let da = fr.(a) and sa = sfr.(a) in
       let dres = flibm_d o da in
       let sres, local =
-        if single then
-          let s = flibm_s o sa in
-          (s, rel s (flibm_d o sa))
-        else (flibm_d o sa, 0.0)
+        match sfmt with
+        | Some f ->
+            let s = flibm_f f o sa in
+            (s, rel s (flibm_d o sa))
+        | None -> (flibm_d o sa, 0.0)
       in
       sfr.(d) <- sres;
       observe t addr ~mag:(Float.abs da) ~local ~s:sres ~d:dres ~cancel:false
@@ -351,20 +368,21 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       ignore d;
       let actual = cmp c fr.(a) fr.(b) in
       let shadow =
-        if single then cmp c (F32.round sfr.(a)) (F32.round sfr.(b))
-        else cmp c sfr.(a) sfr.(b)
+        match sfmt with
+        | Some f -> cmp c (Formats.round f sfr.(a)) (Formats.round f sfr.(b))
+        | None -> cmp c sfr.(a) sfr.(b)
       in
       observe_flip t addr
         ~mag:(Float.max (Float.abs fr.(a)) (Float.abs fr.(b)))
         ~flipped:(actual <> shadow)
   | Fconst (D, d, x) ->
-      let sres = if single then F32.round x else x in
+      let sres = match sfmt with Some f -> Formats.round f x | None -> x in
       sfr.(d) <- sres;
       observe t addr ~mag:(Float.abs x) ~local:(rel sres x) ~s:sres ~d:x ~cancel:false
         ~opdiv:0.0
   | Fcvt_i2f (D, d, a) ->
       let x = float_of_int vm.Vm.cur_iregs.(a) in
-      let sres = if single then F32.round x else x in
+      let sres = match sfmt with Some f -> Formats.round f x | None -> x in
       sfr.(d) <- sres;
       observe t addr ~mag:(Float.abs x) ~local:(rel sres x) ~s:sres ~d:x ~cancel:false
         ~opdiv:0.0
@@ -372,7 +390,9 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       ignore d;
       let da = fr.(a) and sa = sfr.(a) in
       let actual = int_of_float da in
-      let shadow = int_of_float (if single then F32.round sa else sa) in
+      let shadow =
+        int_of_float (match sfmt with Some f -> Formats.round f sa | None -> sa)
+      in
       observe_flip t addr ~mag:(Float.abs da) ~flipped:(actual <> shadow)
   | Fmov (d, a) -> sfr.(d) <- sfr.(a)
   | Fload (d, m) -> (
@@ -384,20 +404,20 @@ let process t (vm : Vm.t) (frame : frame) addr (op : Ir.op) =
       | Some ea -> t.sheap.(ea) <- sfr.(a)
       | None -> ())
   | Call c -> frame.pending_call <- Some c
-  (* source-level single ops and snippet casts write values the shadow does
-     not model (replaced encodings); refresh from the actual register at
-     the next observation point in this frame *)
-  | Fbin (S, _, d, _, _) -> defer d
-  | Fbinp (S, _, d, _, _) ->
+  (* source-level reduced ops (single or lattice) and snippet casts write
+     values the shadow does not model (replaced encodings); refresh from
+     the actual register at the next observation point in this frame *)
+  | Fbin ((S | E _), _, d, _, _) -> defer d
+  | Fbinp ((S | E _), _, d, _, _) ->
       defer d;
       defer (d + 1)
-  | Funop (S, _, d, _) -> defer d
-  | Flibm (S, _, d, _) -> defer d
-  | Fconst (S, d, _) -> defer d
-  | Fcvt_i2f (S, d, _) -> defer d
+  | Funop ((S | E _), _, d, _) -> defer d
+  | Flibm ((S | E _), _, d, _) -> defer d
+  | Fconst ((S | E _), d, _) -> defer d
+  | Fcvt_i2f ((S | E _), d, _) -> defer d
   | Fdowncast (d, _) -> defer d
   | Fupcast (d, _) -> defer d
-  | Fcmp (S, _, _, _, _) | Fcvt_f2i (S, _, _) -> ()
+  | Fcmp ((S | E _), _, _, _, _) | Fcvt_f2i ((S | E _), _, _) -> ()
   | Ibin _ | Icmp _ | Iconst _ | Imov _ | Iload _ | Istore _ -> ()
   | Ftestflag _ | Fexpo _ -> ()
 

@@ -46,10 +46,17 @@ val all_single : ?base:Config.t -> Ir.program -> Config.t
     candidates whose effective flag under [base] is [Ignore] (hint sets
     mark those as must-stay-exact; their shadow computes in double). *)
 
-val create : ?config:Config.t -> Ir.program -> t
+val all_format : ?base:Config.t -> Formats.t -> Ir.program -> Config.t
+(** Like {!all_single} but every non-[Ignore] candidate carries [fmt] —
+    the lowest-format shadow used by lattice-aware analyses. [fmt] equal
+    to {!Formats.single} reproduces {!all_single} exactly. *)
+
+val create : ?config:Config.t -> ?fmt:Formats.t -> Ir.program -> t
 (** Fresh tracer. [config] assigns each candidate the precision its shadow
     computes in (default {!all_single}); [Double]-flagged instructions
-    propagate shadows exactly and accumulate zero divergence. *)
+    propagate shadows exactly and accumulate zero divergence. [fmt] is a
+    shorthand for [~config:(all_format fmt prog)] — it is an error to pass
+    both. *)
 
 val attach : t -> Vm.t -> int
 (** Install the tracer on a VM (resets any previous trace state); returns

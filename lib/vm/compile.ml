@@ -151,6 +151,24 @@ let s_fetch ~plain ~checked addr : float -> float =
 
 let s_store ~plain : float -> float = if plain then Fun.id else enc
 
+(* Reduced-format [E] operand fetch: identical to the S shapes in Flagged
+   mode (the payload is a binary32 sentinel either way), format-grid round
+   in Plain mode. Trap reasons match Vm.ope exactly — the differential
+   suite compares verdicts bit-for-bit. *)
+let e_fetch ~plain ~checked fmt addr : float -> float =
+  match (plain, checked) with
+  | false, false -> x32
+  | false, true ->
+      fun v ->
+        if not (is_rep v) then
+          trap addr "unreplaced operand reaches a reduced-precision op"
+        else x32 v
+  | true, false -> Formats.round fmt
+  | true, true ->
+      fun v ->
+        if is_rep v then trap addr "replaced operand in a plain reduced-precision binary"
+        else Formats.round fmt v
+
 (* Every F32 binary/unary op is (binary32 round) of the host double op, so
    S-precision compute compiles to [round32 (double_fn ...)]. *)
 let fbin_fn (o : Ir.fbinop) : float -> float -> float =
@@ -262,6 +280,17 @@ let compile_fbinp ~checked ~plain addr (p : Ir.prec) (o : Ir.fbinop) d a b : env
         let x1 = fetch (gf e (a + 1)) and y1 = fetch (gf e (b + 1)) in
         sf e d (st (round32 (fn x0 y0)));
         sf e (d + 1) (st (round32 (fn x1 y1)))
+  | E (eb, mb) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr
+      and rnd = Formats.round fmt
+      and fn = fbin_fn o
+      and st = s_store ~plain in
+      fun e ->
+        let x0 = fetch (gf e a) and y0 = fetch (gf e b) in
+        let x1 = fetch (gf e (a + 1)) and y1 = fetch (gf e (b + 1)) in
+        sf e d (st (rnd (fn x0 y0)));
+        sf e (d + 1) (st (rnd (fn x1 y1)))
 
 (* loads/stores: addressing shape and bounds are burned in; the heap access
    is unsafe after the explicit bounds test (heap length = the witness's
@@ -377,6 +406,15 @@ let compile_instr ~checked ~plain ~nf ~ni ({ addr; op } : Ir.instr) : env -> uni
   match op with
   | Fbin (D, o, d, a, b) -> compile_fbin_d ~checked addr o d a b
   | Fbin (S, o, d, a, b) -> compile_fbin_s ~checked ~plain addr o d a b
+  | Fbin (E (eb, mb), o, d, a, b) ->
+      (* format and rounding resolved at compile time; the body is the S
+         shape with the binary32 round swapped for the format-grid round *)
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr
+      and rnd = Formats.round fmt
+      and fn = fbin_fn o
+      and st = s_store ~plain in
+      fun e -> sf e d (st (rnd (fn (fetch (gf e a)) (fetch (gf e b)))))
   | Fbinp (p, o, d, a, b) -> compile_fbinp ~checked ~plain addr p o d a b
   | Funop (D, o, d, a) ->
       let fn = funop_fn o in
@@ -387,6 +425,13 @@ let compile_instr ~checked ~plain ~nf ~ni ({ addr; op } : Ir.instr) : env -> uni
       and fn = funop_fn o
       and st = s_store ~plain in
       fun e -> sf e d (st (round32 (fn (fetch (gf e a)))))
+  | Funop (E (eb, mb), o, d, a) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr
+      and rnd = Formats.round fmt
+      and fn = funop_fn o
+      and st = s_store ~plain in
+      fun e -> sf e d (st (rnd (fn (fetch (gf e a)))))
   | Flibm (D, o, d, a) ->
       let fn = flibm_fn o in
       if checked then fun e -> sf e d (fn (dchk addr (gf e a)))
@@ -396,6 +441,13 @@ let compile_instr ~checked ~plain ~nf ~ni ({ addr; op } : Ir.instr) : env -> uni
       and fn = flibm_fn o
       and st = s_store ~plain in
       fun e -> sf e d (st (round32 (fn (fetch (gf e a)))))
+  | Flibm (E (eb, mb), o, d, a) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr
+      and rnd = Formats.round fmt
+      and fn = flibm_fn o
+      and st = s_store ~plain in
+      fun e -> sf e d (st (rnd (fn (fetch (gf e a)))))
   | Fcmp (D, c, d, a, b) ->
       let cf = cmp_fn c in
       if checked then
@@ -406,11 +458,21 @@ let compile_instr ~checked ~plain ~nf ~ni ({ addr; op } : Ir.instr) : env -> uni
       let fetch = s_fetch ~plain ~checked addr and cf = cmp_fn c in
       fun e ->
         si e d ((if cf (fetch (gf e a)) (fetch (gf e b)) then 1 else 0))
+  | Fcmp (E (eb, mb), c, d, a, b) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr and cf = cmp_fn c in
+      fun e ->
+        si e d ((if cf (fetch (gf e a)) (fetch (gf e b)) then 1 else 0))
   | Fconst (D, d, x) -> fun e -> sf e d (x)
   | Fconst (S, d, x) ->
       (* the rounded (and, in Flagged mode, encoded) constant is itself a
          compile-time constant *)
       let v = if plain then round32 x else enc (round32 x) in
+      fun e -> sf e d (v)
+  | Fconst (E (eb, mb), d, x) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let r = Formats.round fmt x in
+      let v = if plain then r else enc r in
       fun e -> sf e d (v)
   | Fmov (d, a) -> fun e -> sf e d ((gf e a))
   | Fload (d, m) -> compile_fload ~nf addr d m
@@ -419,11 +481,19 @@ let compile_instr ~checked ~plain ~nf ~ni ({ addr; op } : Ir.instr) : env -> uni
   | Fcvt_i2f (S, d, a) ->
       let st = s_store ~plain in
       fun e -> sf e d (st (round32 (float_of_int (gi e a))))
+  | Fcvt_i2f (E (eb, mb), d, a) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let rnd = Formats.round fmt and st = s_store ~plain in
+      fun e -> sf e d (st (rnd (float_of_int (gi e a))))
   | Fcvt_f2i (D, d, a) ->
       if checked then fun e -> si e d (int_of_float (dchk addr (gf e a)))
       else fun e -> si e d (int_of_float (gf e a))
   | Fcvt_f2i (S, d, a) ->
       let fetch = s_fetch ~plain ~checked addr in
+      fun e -> si e d (int_of_float (fetch (gf e a)))
+  | Fcvt_f2i (E (eb, mb), d, a) ->
+      let fmt = Formats.make ~ebits:eb ~mbits:mb in
+      let fetch = e_fetch ~plain ~checked fmt addr in
       fun e -> si e d (int_of_float (fetch (gf e a)))
   | Ibin (o, d, a, b) -> compile_ibin addr o d a b
   | Icmp (c, d, a, b) -> compile_icmp addr c d a b

@@ -63,13 +63,15 @@ let op_cycles p (op : Ir.op) =
     ->
       p.c_fadd
   | Fbin (_, Mul, _, _, _) | Fbinp (_, Mul, _, _, _) -> p.c_fmul
+  (* reduced emulated formats price like single: narrower-than-binary32
+     hardware is never slower than binary32 *)
   | Fbin (D, Div, _, _, _) | Fbinp (D, Div, _, _, _) -> p.c_fdiv_d
-  | Fbin (S, Div, _, _, _) | Fbinp (S, Div, _, _, _) -> p.c_fdiv_s
+  | Fbin ((S | E _), Div, _, _, _) | Fbinp ((S | E _), Div, _, _, _) -> p.c_fdiv_s
   | Funop (D, Sqrt, _, _) -> p.c_fsqrt_d
-  | Funop (S, Sqrt, _, _) -> p.c_fsqrt_s
+  | Funop ((S | E _), Sqrt, _, _) -> p.c_fsqrt_s
   | Funop (_, (Neg | Abs), _, _) -> p.c_fmov
   | Flibm (D, _, _, _) -> p.c_flibm_d
-  | Flibm (S, _, _, _) -> p.c_flibm_s
+  | Flibm ((S | E _), _, _, _) -> p.c_flibm_s
   | Fcmp _ -> p.c_fcmp
   | Fconst _ -> p.c_fconst
   | Fmov _ -> p.c_fmov

@@ -116,8 +116,26 @@ let ops t addr v =
         trap addr "replaced operand in a plain-single binary"
       else F32.round v
 
+(* Operand fetch for reduced-format [E] ops. Flagged mode is identical to
+   the S case — the operand travels as a binary32 sentinel payload and every
+   in-format value is binary32-exact, so extraction loses nothing. Plain
+   mode rounds through the format grid (the manually-converted-binary
+   reading of a reduced-format op). *)
+let ope t fmt addr v =
+  match t.smode with
+  | Flagged ->
+      if t.checked && not (is_replaced v) then
+        trap addr "unreplaced operand reaches a reduced-precision op"
+      else extract32 v
+  | Plain ->
+      if t.checked && is_replaced v then
+        trap addr "replaced operand in a plain reduced-precision binary"
+      else Formats.round fmt v
+
 (* Result store for S-precision ops. *)
 let sres t v = match t.smode with Flagged -> Replaced.encode v | Plain -> v
+
+let fmt_of e m = Formats.make ~ebits:e ~mbits:m
 
 let fbin_d (o : Ir.fbinop) x y =
   match o with
@@ -243,6 +261,11 @@ let run t =
       | Fbin (D, o, d, a, b) -> fr.(d) <- fbin_d o (opd t addr fr.(a)) (opd t addr fr.(b))
       | Fbin (S, o, d, a, b) ->
           fr.(d) <- sres t (fbin_s o (ops t addr fr.(a)) (ops t addr fr.(b)))
+      | Fbin (E (e, m), o, d, a, b) ->
+          (* compute in binary64, round through the (e,m) grid: exact by the
+             double-rounding theorem since every format has mbits <= 23 *)
+          let f = fmt_of e m in
+          fr.(d) <- sres t (Formats.round f (fbin_d o (ope t f addr fr.(a)) (ope t f addr fr.(b))))
       | Fbinp (D, o, d, a, b) ->
           (* both lanes read their operands before either result lands, as a
              packed register file does element-wise — with write-then-read,
@@ -257,21 +280,40 @@ let run t =
           let x1 = ops t addr fr.(a + 1) and y1 = ops t addr fr.(b + 1) in
           fr.(d) <- sres t (fbin_s o x0 y0);
           fr.(d + 1) <- sres t (fbin_s o x1 y1)
+      | Fbinp (E (e, m), o, d, a, b) ->
+          let f = fmt_of e m in
+          let x0 = ope t f addr fr.(a) and y0 = ope t f addr fr.(b) in
+          let x1 = ope t f addr fr.(a + 1) and y1 = ope t f addr fr.(b + 1) in
+          fr.(d) <- sres t (Formats.round f (fbin_d o x0 y0));
+          fr.(d + 1) <- sres t (Formats.round f (fbin_d o x1 y1))
       | Funop (D, o, d, a) -> fr.(d) <- funop_d o (opd t addr fr.(a))
       | Funop (S, o, d, a) -> fr.(d) <- sres t (funop_s o (ops t addr fr.(a)))
+      | Funop (E (e, m), o, d, a) ->
+          let f = fmt_of e m in
+          fr.(d) <- sres t (Formats.round f (funop_d o (ope t f addr fr.(a))))
       | Flibm (D, o, d, a) -> fr.(d) <- flibm_d o (opd t addr fr.(a))
       | Flibm (S, o, d, a) -> fr.(d) <- sres t (flibm_s o (ops t addr fr.(a)))
+      | Flibm (E (e, m), o, d, a) ->
+          let f = fmt_of e m in
+          fr.(d) <- sres t (Formats.round f (flibm_d o (ope t f addr fr.(a))))
       | Fcmp (D, c, d, a, b) -> ir.(d) <- cmp c (opd t addr fr.(a)) (opd t addr fr.(b))
       | Fcmp (S, c, d, a, b) -> ir.(d) <- cmp c (ops t addr fr.(a)) (ops t addr fr.(b))
+      | Fcmp (E (e, m), c, d, a, b) ->
+          let f = fmt_of e m in
+          ir.(d) <- cmp c (ope t f addr fr.(a)) (ope t f addr fr.(b))
       | Fconst (D, d, x) -> fr.(d) <- x
       | Fconst (S, d, x) -> fr.(d) <- sres t (F32.round x)
+      | Fconst (E (e, m), d, x) -> fr.(d) <- sres t (Formats.round (fmt_of e m) x)
       | Fmov (d, a) -> fr.(d) <- fr.(a)
       | Fload (d, m) -> fr.(d) <- fheap.(eaddr addr m nf)
       | Fstore (m, a) -> fheap.(eaddr addr m nf) <- fr.(a)
       | Fcvt_i2f (D, d, a) -> fr.(d) <- float_of_int ir.(a)
       | Fcvt_i2f (S, d, a) -> fr.(d) <- sres t (F32.round (float_of_int ir.(a)))
+      | Fcvt_i2f (E (e, m), d, a) ->
+          fr.(d) <- sres t (Formats.round (fmt_of e m) (float_of_int ir.(a)))
       | Fcvt_f2i (D, d, a) -> ir.(d) <- int_of_float (opd t addr fr.(a))
       | Fcvt_f2i (S, d, a) -> ir.(d) <- int_of_float (ops t addr fr.(a))
+      | Fcvt_f2i (E (e, m), d, a) -> ir.(d) <- int_of_float (ope t (fmt_of e m) addr fr.(a))
       | Ibin (o, d, a, b) -> ir.(d) <- ibin addr o ir.(a) ir.(b)
       | Icmp (c, d, a, b) -> ir.(d) <- icmp c ir.(a) ir.(b)
       | Iconst (d, x) -> ir.(d) <- x

@@ -45,7 +45,7 @@ let synthetic_kernel ?(name = "syn.W") ~n_ops ~poison () =
 let the_kernel () = synthetic_kernel ~n_ops:5 ~poison:[ 1; 3 ] ()
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
 
 let worker_resolve ~bench ~cls =
   if bench = "syn" && cls = "W" then Ok (the_kernel ())
@@ -381,6 +381,55 @@ let test_quarantine_after_repeated_deaths () =
       | Some (Wire.Heartbeat_ack { abandon }) -> checkb "heartbeat abandons" true abandon
       | _ -> Alcotest.fail "unexpected heartbeat reply")
 
+(* A worker fed a config text whose flag column carries an unknown format
+   token refuses it with a typed parse error: the item is counted as
+   skipped (never a fabricated verdict), the connection survives, and the
+   same worker keeps evaluating well-formed items. The unserved hostile
+   item falls back to the waiter's local closure at the item deadline. *)
+let test_worker_skips_unknown_format () =
+  with_fleet_stack
+    ~fleet_opts:{ fast_fleet with poll_timeout = 0.02; lease_ttl = 0.3; item_deadline = 1.0 }
+    (fun _sched _store fleet addr ->
+      let stop_flag = Atomic.make false in
+      let wstats = ref None in
+      let th =
+        Thread.create
+          (fun () ->
+            wstats :=
+              Some
+                (Worker.run ~name:"strict" ~capacity:2 ~dial_retries:3
+                   ~stop:(fun () -> Atomic.get stop_flag)
+                   ~resolve:worker_resolve addr))
+          ()
+      in
+      wait_live fleet 1;
+      let program = (the_kernel ()).Kernel.program in
+      let local_runs = ref 0 in
+      let verdict, how =
+        Fleet.eval fleet ~ctx ~key:"hostile" ~text:"e9m9 MODULE: syn" (fun () ->
+            incr local_runs;
+            Verdict.Pass)
+      in
+      checkb "hostile item fell back to local" true
+        (how = `Local && verdict = Verdict.Pass);
+      checki "local fallback ran once" 1 !local_runs;
+      (* the same connection still serves well-formed work *)
+      let verdict2, how2 =
+        Fleet.eval fleet ~ctx ~key:"good"
+          ~text:(Config.print program Config.empty)
+          (fun () -> Alcotest.fail "well-formed item should evaluate remotely")
+      in
+      checkb "good item evaluated remotely" true
+        (how2 = `Remote && verdict2 = Verdict.Pass);
+      Atomic.set stop_flag true;
+      Thread.join th;
+      match !wstats with
+      | Some s ->
+          checkb "worker counted the refusal as skipped" true (s.Worker.skipped >= 1);
+          checkb "worker evaluated the good item" true (s.Worker.evaluated >= 1);
+          checki "connection survived (no rejoins)" 0 s.Worker.rejoins
+      | None -> Alcotest.fail "worker never returned stats")
+
 let suite =
   [
     ("fleet: campaign over 2 workers matches inline", `Quick, test_fleet_matches_inline);
@@ -392,4 +441,5 @@ let suite =
     ("fleet: lease/result/heartbeat protocol walkthrough", `Quick, test_protocol_walkthrough);
     ("fleet: rejoin with result-store delta sync", `Quick, test_rejoin_delta_sync);
     ("fleet: repeated deaths quarantine the worker", `Quick, test_quarantine_after_repeated_deaths);
+    ("fleet: unknown format token skipped, connection survives", `Quick, test_worker_skips_unknown_format);
   ]

@@ -10,6 +10,7 @@ let () =
       ("vm", Test_vm.suite);
       ("vm-properties", Test_vm_props.suite);
       ("config", Test_config.suite);
+      ("formats", Test_formats.suite);
       ("instrument", Test_instrument.suite);
       ("dataflow", Test_dataflow.suite);
       ("cancellation", Test_cancellation.suite);

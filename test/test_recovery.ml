@@ -214,10 +214,13 @@ let spec_gen =
   (* non-empty: an empty bench/cls escapes to an empty field, which the
      space-split line format cannot carry (and [submit] never sends) *)
   let word = string_size ~gen:printable (int_range 1 8) in
+  (* the formats menu round-trips through the same escaped-token slot;
+     "" must survive as "" (it serializes as "-") *)
+  let menu = oneofl [ ""; "bf16,single"; "f16"; "e5m10,e8m7,single" ] in
   map
-    (fun ((bench, cls), (shadow, priority, steps)) ->
-      { Wire.bench; cls; shadow; priority; eval_steps = steps })
-    (pair (pair word word) (triple bool (int_range (-5) 5) (option small_nat)))
+    (fun ((bench, cls), (shadow, priority, steps), formats) ->
+      { Wire.bench; cls; shadow; priority; eval_steps = steps; formats })
+    (triple (pair word word) (triple bool (int_range (-5) 5) (option small_nat)) menu)
 
 let outcome_gen =
   let open QCheck2.Gen in
@@ -267,7 +270,7 @@ let test_wal_drops_unactionable () =
   let path = Filename.concat dir "jobs.wal" in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
       let spec =
-        { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+        { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
       in
       let wal = Wal.create ~path in
       Wal.append wal (Wal.Submitted { id = "j0001"; spec });
@@ -281,6 +284,55 @@ let test_wal_drops_unactionable () =
           checks "job listed" "j0001" id;
           checkb "still unfinished" true (outcome = None)
       | table -> Alcotest.failf "expected one entry, got %d" (List.length table))
+
+(* A WAL written by a pre-lattice daemon: submit records carry only seven
+   tokens (no formats column). They must load cleanly and resume with the
+   single-only default menu — byte-for-byte fixture, not synthesized by
+   today's writer. *)
+let test_wal_loads_prelattice_lines () =
+  let dir = temp_dir "craft_wal" in
+  let path = Filename.concat dir "jobs.wal" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
+      let oc = open_out path in
+      output_string oc "# craft-wal v1\n";
+      output_string oc "submit j0001 cg W 0 0 -\n";
+      output_string oc "submit j0002 mg W 1 5 120000\n";
+      output_string oc "outcome j0001 done tested%2045\n";
+      close_out oc;
+      match Wal.replay (Wal.load ~path) with
+      | [ (a, ea); (b, eb) ] ->
+          checks "first id" "j0001" a;
+          checks "second id" "j0002" b;
+          checks "old records resume single-only" "" ea.Wal.spec.Wire.formats;
+          checks "steps survive alongside" "" eb.Wal.spec.Wire.formats;
+          checkb "other fields intact" true
+            (eb.Wal.spec.Wire.shadow && eb.Wal.spec.Wire.priority = 5
+            && eb.Wal.spec.Wire.eval_steps = Some 120000);
+          checkb "outcome attached" true
+            (match ea.Wal.outcome with Some (Wire.Done, _) -> true | _ -> false);
+          (* and a lattice-era record in the same file round-trips its menu *)
+          let wal = Wal.create ~path in
+          Wal.append wal
+            (Wal.Submitted
+               {
+                 id = "j0003";
+                 spec =
+                   {
+                     Wire.bench = "cg";
+                     cls = "W";
+                     shadow = false;
+                     priority = 0;
+                     eval_steps = None;
+                     formats = "bf16,f16,single";
+                   };
+               });
+          Wal.close wal;
+          (match Wal.replay (Wal.load ~path) with
+          | [ _; _; (c, ec) ] ->
+              checks "new id" "j0003" c;
+              checks "menu survives" "bf16,f16,single" ec.Wal.spec.Wire.formats
+          | table -> Alcotest.failf "expected three entries, got %d" (List.length table))
+      | table -> Alcotest.failf "expected two entries, got %d" (List.length table))
 
 (* ---------------------------------------------------------------- journal *)
 
@@ -368,7 +420,7 @@ let synthetic_kernel ?(name = "syn.W") ~n_ops ~poison () =
   }
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
 
 let with_stack ?(state_dir = None) ~resolve f =
   let pool = Pool.create ~options:{ Pool.default_options with workers = 2 } () in
@@ -512,7 +564,7 @@ let test_daemon_kill9_recovery () =
           killed := Some pid;
           let c = Result.get_ok (Client.connect (Server.Unix_path socket)) in
           let spec =
-            { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+            { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
           in
           let id = Result.get_ok (Client.submit c spec) in
           wait_for "first checkpoint" (fun () ->
@@ -633,6 +685,8 @@ let suite =
     fuzz_wal_replay;
     Alcotest.test_case "wal: unactionable outcomes are dropped" `Quick
       test_wal_drops_unactionable;
+    Alcotest.test_case "wal: pre-lattice 7-token submits load" `Quick
+      test_wal_loads_prelattice_lines;
     Alcotest.test_case "journal: --verify classifies truncation vs torn" `Quick
       test_journal_verify;
     Alcotest.test_case "lockfile: acquire/release/stale-reclaim" `Quick test_lockfile;

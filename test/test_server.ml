@@ -46,7 +46,7 @@ let synthetic_kernel ?(name = "syn.W") ?(delay = 0.0) ~n_ops ~poison () =
   }
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
 
 let with_stack ?(workers = 2) ?options ~resolve f =
   let pool = Pool.create ~options:{ Pool.default_options with workers } () in
@@ -313,6 +313,15 @@ let test_resolve_rejection () =
       (match Scheduler.submit sched { default_spec with Wire.bench = "nope" } with
       | Error _ -> ()
       | Ok id -> Alcotest.failf "bogus spec accepted as %s" id);
+      (* a hostile format menu is refused at submission, with a typed error
+         naming the token — it never reaches the queue or a worker *)
+      (match Scheduler.submit sched { default_spec with Wire.formats = "bf16,zz9" } with
+      | Error why -> checkb "error names the token" true (contains why "zz9")
+      | Ok id -> Alcotest.failf "hostile menu accepted as %s" id);
+      (* a valid menu still submits *)
+      (match Scheduler.submit sched { default_spec with Wire.formats = "bf16,single" } with
+      | Ok _ -> ()
+      | Error why -> Alcotest.failf "valid menu refused: %s" why);
       match Scheduler.status sched (Some "j0042") with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "unknown job has a status")

@@ -19,9 +19,9 @@ let float_gen =
 
 let spec_gen =
   map
-    (fun (bench, cls, shadow, priority, eval_steps) ->
-      { Wire.bench; cls; shadow; priority; eval_steps })
-    (tup5 raw_string raw_string bool int (option int))
+    (fun ((bench, cls, shadow, priority, eval_steps), formats) ->
+      { Wire.bench; cls; shadow; priority; eval_steps; formats })
+    (pair (tup5 raw_string raw_string bool int (option int)) raw_string)
 
 let state_gen =
   oneof
@@ -267,6 +267,39 @@ let version_gating () =
   | Error (Wire.Bad_tag _) -> ()
   | r -> Alcotest.failf "downgraded fleet frame: got %s" (show_result r)
 
+(* The wire codec is content-agnostic about the format menu: hostile menus
+   (unknown tokens, control bytes, embedded NULs) travel intact as Submit
+   payloads and are rejected by the schedulers's typed validation, never by
+   the codec — and config exchange texts smuggling an unknown format token
+   ride batches unharmed, to be refused by the worker's Config.parse. *)
+let hostile_formats_payload () =
+  List.iter
+    (fun menu ->
+      let f = Wire.Submit { Wire.bench = "cg"; cls = "W"; shadow = false;
+                            priority = 0; eval_steps = None; formats = menu } in
+      let buf = Wire.encode f in
+      match Wire.decode buf ~pos:0 ~len:(Bytes.length buf) with
+      | Ok (Wire.Submit s, _) ->
+          Alcotest.check Alcotest.string "menu intact" menu s.Wire.formats;
+          (* the validation layer, not the codec, rejects it *)
+          Alcotest.check Alcotest.bool "menu refused by validation" true
+            (Result.is_error (Formats.menu_of_string menu))
+      | r -> Alcotest.failf "hostile menu: got %s" (show_result r))
+    [ "zz9"; "bf16,\x00,single"; "e99m99"; "\xff\xfe"; "bf16;single" ];
+  (* a batch item whose config text carries an unknown format flag decodes
+     fine; rejecting the text is the worker's job *)
+  let hostile_text = "e9m9 MODULE: cg" in
+  let b =
+    Wire.Lease_reply
+      (Some { Wire.lease = "L1"; bench = "cg"; cls = "W"; eval_steps = None;
+              retries = 0; items = [ ("k1", hostile_text) ] })
+  in
+  let buf = Wire.encode b in
+  match Wire.decode buf ~pos:0 ~len:(Bytes.length buf) with
+  | Ok (Wire.Lease_reply (Some { Wire.items = [ ("k1", t) ]; _ }), _) ->
+      Alcotest.check Alcotest.string "config text intact" hostile_text t
+  | r -> Alcotest.failf "hostile batch: got %s" (show_result r)
+
 let empty_window () =
   match Wire.decode (Bytes.create 0) ~pos:0 ~len:0 with
   | Error (Wire.Need_more 4) -> ()
@@ -289,6 +322,7 @@ let suite =
     garbage_total;
     flipped;
     ("wire: hostile headers give typed errors", `Quick, hostile_header);
+    ("wire: hostile format menus travel intact", `Quick, hostile_formats_payload);
     ("wire: fleet tags are version-gated", `Quick, version_gating);
     ("wire: empty window", `Quick, empty_window);
     ("wire: invalid windows", `Quick, bad_window);
