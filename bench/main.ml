@@ -430,36 +430,89 @@ let packed () =
 
 (* ------------------------------------------------- search strategies *)
 
+(* The pluggable-strategy bake-off: every strategy behind the Strategy
+   interface runs the same campaigns (kernel x backend, second-phase
+   composition on, exactly like the formats bench) and the bench asserts
+   — exit 1 on violation — that every strategy's final configuration is
+   verified passing and saves at least as many bits as BFS's on the same
+   campaign. Emits the strategy x kernel x backend matrix of
+   evals-to-final, wall time and bits saved to BENCH_strategies.json. *)
 let strategies () =
-  section "Future optimization (paper 2.5): alternative search strategies";
-  Format.printf "%-8s | %22s | %18s | %18s@." "bench" "BFS (paper)" "ddmax" "greedy";
-  Format.printf "%-8s | %10s %6s %4s | %8s %6s %2s | %8s %6s %2s@." "" "tested" "repl"
-    "fin" "tested" "repl" "" "tested" "repl" "";
-  List.iter
-    (fun k ->
-      let t = Kernel.target k in
-      let bfs =
-        Bfs.search ~options:{ Bfs.default_options with workers; base = k.Kernel.hints } t
-      in
-      let dd = Strategies.delta_debug ~base:k.Kernel.hints t in
-      let gg = Strategies.greedy_grow ~base:k.Kernel.hints t in
-      Format.printf "%-8s | %10d %6d %4s | %8d %6d %2s | %8d %6d %2s@." k.Kernel.name
-        bfs.Bfs.tested bfs.Bfs.static_replaced
-        (if bfs.Bfs.final_pass then "ok" else "FAIL")
-        dd.Strategies.tested dd.Strategies.static_replaced
-        (if dd.Strategies.final_pass then "ok" else "F")
-        gg.Strategies.tested gg.Strategies.static_replaced
-        (if gg.Strategies.final_pass then "ok" else "F"))
+  section "Search-strategy bake-off: evals-to-final, wall time, bits saved";
+  let kernels =
+    [ Nas_cg.make Kernel.W; Nas_mg.make Kernel.W; Nas_ep.make Kernel.W ]
+  in
+  let backends = [ ("compiled", Compile.Compiled); ("interp", Compile.Interp) ] in
+  let toks =
     [
-      Nas_ep.make Kernel.W;
-      Nas_cg.make Kernel.W;
-      Nas_mg.make Kernel.W;
-      Nas_sp.make Kernel.W;
-      Nas_lu.make Kernel.W;
-    ];
+      Strategy.Bfs;
+      Strategy.Split;
+      Strategy.Delta;
+      Strategy.Anneal Strategy.default_seed;
+    ]
+  in
+  Format.printf "(second-phase composition on, %d workers)@." workers;
+  Format.printf "%-6s %-9s %-8s %8s %9s %6s %6s@." "kernel" "backend" "strategy"
+    "evals" "wall(s)" "bits" "final";
+  let rows =
+    List.concat_map
+      (fun (k : Kernel.t) ->
+        List.concat_map
+          (fun (bname, backend) ->
+            let options =
+              {
+                Bfs.default_options with
+                workers;
+                second_phase = true;
+                base = k.Kernel.hints;
+              }
+            in
+            let bfs_bits = ref 0 in
+            List.map
+              (fun tok ->
+                let target = Kernel.target ~backend k in
+                let t0 = Unix.gettimeofday () in
+                let r = Strategy.run ~options tok target in
+                let wall = Unix.gettimeofday () -. t0 in
+                let name = Strategy.to_string tok in
+                if tok = Strategy.Bfs then bfs_bits := r.Bfs.bits_saved;
+                if not r.Bfs.final_pass then begin
+                  Format.printf "!! %s/%s/%s: final configuration is unverified@."
+                    k.Kernel.name bname name;
+                  exit 1
+                end;
+                if r.Bfs.bits_saved < !bfs_bits then begin
+                  Format.printf
+                    "!! %s/%s/%s: saved %d bits, BFS saved %d — worse than the \
+                     baseline@."
+                    k.Kernel.name bname name r.Bfs.bits_saved !bfs_bits;
+                  exit 1
+                end;
+                Format.printf "%-6s %-9s %-8s %8d %9.2f %6d %6s@." k.Kernel.name
+                  bname name r.Bfs.tested wall r.Bfs.bits_saved
+                  (if r.Bfs.final_pass then "pass" else "FAIL");
+                (k.Kernel.name, bname, name, r.Bfs.tested, wall, r.Bfs.bits_saved,
+                 r.Bfs.bits_saved - !bfs_bits))
+              toks)
+          backends)
+      kernels
+  in
+  let oc = open_out "BENCH_strategies.json" in
+  Printf.fprintf oc "{\n  \"workers\": %d,\n  \"matrix\": [\n" workers;
+  List.iteri
+    (fun i (kernel, backend, strat, evals, wall, bits, vs_bfs) ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"backend\": %S, \"strategy\": %S, \"evals\": \
+         %d, \"wall_s\": %.3f, \"bits_saved\": %d, \"bits_vs_bfs\": %d, \
+         \"final_pass\": true }%s\n"
+        kernel backend strat evals wall bits vs_bfs
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
   Format.printf
-    "@.ddmax and greedy always end on a passing configuration (no final-union@.\
-     failures) at the price of more tests; the BFS exploits program structure.@."
+    "@.every strategy's final is verified passing and saves >= BFS bits \
+     (asserted)@.(written to BENCH_strategies.json)@."
 
 (* --------------------------------------------------- cancellation (§4.4) *)
 
@@ -954,7 +1007,7 @@ let server_bench () =
   in
   let connect () = ok (Client.connect (Server.Unix_path path)) in
   let spec bench =
-    { Wire.bench; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+    { Wire.bench; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
   in
   let hit_frac (st : Wire.job_status) =
     float_of_int st.Wire.store_hits /. float_of_int (max 1 st.Wire.tested)
@@ -1112,7 +1165,7 @@ let server_bench () =
 let fleet_bench () =
   section "Distributed worker fleet: campaign wall time vs in-process pool";
   let spec =
-    { Wire.bench = "ep"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+    { Wire.bench = "ep"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
   in
   let resolve (s : Wire.job_spec) =
     match (s.Wire.bench, s.Wire.cls) with
@@ -1146,7 +1199,7 @@ let fleet_bench () =
                    ~stop:(fun () -> Atomic.get stop_flag)
                    ~resolve:(fun ~bench ~cls ->
                      resolve
-                       { Wire.bench; cls; shadow = false; priority = 0; eval_steps = None; formats = "" })
+                       { Wire.bench; cls; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" })
                    (Server.Unix_path path)))
             ())
     in
@@ -1319,7 +1372,7 @@ let recovery_bench () =
   let wal_n = 1000 in
   let wal_path = Filename.concat dir "jobs.wal" in
   let wal = Wal.create ~path:wal_path in
-  let spec = { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" } in
+  let spec = { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" } in
   let t0 = Unix.gettimeofday () in
   for i = 1 to wal_n do
     let id = Printf.sprintf "j%04d" i in

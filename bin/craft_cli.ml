@@ -130,7 +130,12 @@ let out_arg =
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the final configuration here.")
 
 let strategy_arg =
-  let doc = "Search strategy: bfs (the paper's), ddmax, or greedy." in
+  let doc =
+    "Search strategy: bfs (the paper's breadth-first descent), split \
+     (count-weighted binary splitting), delta (Precimonious-style \
+     delta-debugging), anneal[:seed] (shadow-seeded greedy descent with \
+     random restarts), or the legacy ddmax/greedy baselines."
+  in
   Arg.(value & opt string "bfs" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
 let journal_arg =
@@ -319,8 +324,12 @@ let search_cmd =
         let shadow_opts =
           if not use_shadow then None
           else begin
-            if strategy <> "bfs" then
-              prerr_endline "craft: note: --shadow only guides the bfs strategy";
+            (match strategy with
+            | "ddmax" | "greedy" ->
+                prerr_endline
+                  "craft: note: --shadow does not guide the legacy ddmax/greedy \
+                   baselines"
+            | _ -> ());
             let tracer =
               Shadow_tracer.create
                 ~config:(Shadow_tracer.all_single ~base:k.Kernel.hints k.Kernel.program)
@@ -434,9 +443,63 @@ let search_cmd =
                 close_out oc;
                 Format.printf "final configuration written to %s@." path
             | None -> print_string (Tree_view.render k.Kernel.program r.Strategies.final))
-        | s ->
-            prerr_endline ("craft: unknown strategy " ^ s);
-            exit 1);
+        | s -> (
+            match Strategy.of_string s with
+            | Error why ->
+                prerr_endline ("craft: " ^ why);
+                exit 1
+            | Ok tok ->
+                (* same SIGINT contract as the bfs arm: first ^C stops at a
+                   wave boundary with a final checkpoint, second ^C aborts *)
+                let interrupt = Atomic.make false in
+                let prev_sigint =
+                  Sys.signal Sys.sigint
+                    (Sys.Signal_handle
+                       (fun _ ->
+                         if Atomic.get interrupt then exit 130
+                         else begin
+                           Atomic.set interrupt true;
+                           prerr_endline
+                             "craft: SIGINT — finishing the current wave, \
+                              flushing a final checkpoint, composing the \
+                              partial result (^C again to abort)"
+                         end))
+                in
+                let options =
+                  {
+                    Bfs.default_options with
+                    workers;
+                    base = k.Kernel.hints;
+                    pool;
+                    checkpoint;
+                    shadow = shadow_opts;
+                    formats;
+                    stop = (fun () -> Atomic.get interrupt);
+                  }
+                in
+                let r = Strategy.run ~options tok target in
+                Sys.set_signal Sys.sigint prev_sigint;
+                snapshots := r.Bfs.snapshots;
+                if r.Bfs.interrupted then
+                  Format.printf
+                    "search INTERRUPTED — the report below is the partial \
+                     result; resume with --checkpoint/--resume@.";
+                Format.printf
+                  "strategy %s: tested %d configurations, replaced %d of %d \
+                   candidates (static %.1f%%, dynamic %.1f%%), %d bit(s) \
+                   saved (%s)@."
+                  (Strategy.to_string tok) r.Bfs.tested r.Bfs.static_replaced
+                  r.Bfs.candidates r.Bfs.static_pct r.Bfs.dynamic_pct
+                  r.Bfs.bits_saved
+                  (if r.Bfs.final_pass then "pass" else "fail");
+                (match out with
+                | Some path ->
+                    let oc = open_out path in
+                    output_string oc (Config.print k.Kernel.program r.Bfs.final);
+                    close_out oc;
+                    Format.printf "final configuration written to %s@." path
+                | None ->
+                    print_string (Tree_view.render k.Kernel.program r.Bfs.final))));
         Format.printf "%s@." (Harness.report harness);
         if cache_stats then begin
           match target.Bfs.Target.code_cache with
@@ -959,11 +1022,23 @@ let wait_flag =
         ~doc:"Block until the campaign finishes and print its result (see also \
               $(b,craft watch)).")
 
+let submit_strategy_arg =
+  let doc =
+    "Search strategy for the campaign: bfs (default), split, delta, or \
+     anneal[:seed]."
+  in
+  Arg.(value & opt string "" & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
 let submit_cmd =
-  let run socket tcp bench cls shadow priority eval_steps wait out formats =
+  let run socket tcp bench cls shadow priority eval_steps wait out formats strategy =
     (* validate locally for a friendly error; the daemon re-validates *)
     if formats <> "" then ignore (parse_formats_menu formats);
-    let spec = { Wire.bench; cls; shadow; priority; eval_steps; formats } in
+    (match Strategy.of_string strategy with
+    | Ok _ -> ()
+    | Error why ->
+        prerr_endline ("craft: --strategy: " ^ why);
+        exit 1);
+    let spec = { Wire.bench; cls; shadow; priority; eval_steps; formats; strategy } in
     with_client socket tcp (fun c ->
         let id = or_die (Client.submit c spec) in
         if not wait then print_endline id
@@ -985,7 +1060,8 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"Submit a search campaign to the daemon (prints the job id)")
     Term.(
       const run $ socket_arg $ tcp_arg $ bench_arg $ class_arg $ submit_shadow_flag
-      $ priority_arg $ eval_steps_arg $ wait_flag $ out_arg $ formats_arg)
+      $ priority_arg $ eval_steps_arg $ wait_flag $ out_arg $ formats_arg
+      $ submit_strategy_arg)
 
 let job_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")

@@ -326,6 +326,7 @@ let search ?(options = default_options) (target : Target.t) =
             passing = List.map Checkpoint.flagged_id (List.rev !passing);
             counters = ck.save_counters ();
             log = List.rev !log;
+            strategy = "bfs";
           };
         incr snapshots
   in
@@ -339,6 +340,10 @@ let search ?(options = default_options) (target : Target.t) =
         | Ok snap when snap.Checkpoint.key <> Checkpoint.program_key target.program ->
             say "CHECKPOINT not resumed: written by a different program (key %s)"
               snap.Checkpoint.key;
+            false
+        | Ok snap when snap.Checkpoint.strategy <> "bfs" ->
+            say "CHECKPOINT not resumed: written by strategy %s"
+              snap.Checkpoint.strategy;
             false
         | Ok snap -> (
             let resolve_with res ids =

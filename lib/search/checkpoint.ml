@@ -112,6 +112,7 @@ type snapshot = {
   passing : string list;
   counters : (string * int) list;
   log : string list;
+  strategy : string;
 }
 
 let save ~path snap =
@@ -120,6 +121,10 @@ let save ~path snap =
   Printf.fprintf oc "%s %s\n" header snap.key;
   Printf.fprintf oc "tested %d\n" snap.tested;
   Printf.fprintf oc "seq %d\n" snap.next_seq;
+  (* The strategy record is written only for non-default strategies: bfs
+     checkpoints stay byte-identical to every pre-strategy snapshot. *)
+  if snap.strategy <> "" && snap.strategy <> "bfs" then
+    Printf.fprintf oc "strategy %s\n" (Verdict.escape snap.strategy);
   List.iter
     (fun (k, v) -> Printf.fprintf oc "counter %s %d\n" (Verdict.escape k) v)
     snap.counters;
@@ -185,6 +190,7 @@ let load ~path =
                 passing = [];
                 counters = [];
                 log = [];
+                strategy = "bfs";
               }
           in
           let bad = ref None in
@@ -201,6 +207,10 @@ let load ~path =
                     match int_of_string_opt n with
                     | Some n -> snap := { !snap with next_seq = n }
                     | None -> fail "bad seq count")
+                | [ "strategy"; tok ] -> (
+                    match Verdict.unescape tok with
+                    | Some s -> snap := { !snap with strategy = s }
+                    | None -> fail "bad strategy record")
                 | [ "counter"; k; v ] -> (
                     match (Verdict.unescape k, int_of_string_opt v) with
                     | Some k, Some v ->

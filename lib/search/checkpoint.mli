@@ -20,6 +20,7 @@
     # craft-checkpoint v1 <program-key>
     tested <n>
     seq <n>
+    strategy <escaped-token>           (only when not "bfs")
     counter <escaped-name> <n>         (zero or more)
     passing <node-id> ...
     item <seq> <weight> <node-id> ...  (one per queued work item)
@@ -45,6 +46,12 @@ type snapshot = {
   counters : (string * int) list;
       (** opaque caller state (e.g. harness counters), restored verbatim *)
   log : string list;  (** search narration, chronological *)
+  strategy : string;
+      (** the search strategy that wrote the snapshot. Written to disk only
+          when not ["bfs"] — bfs snapshots stay byte-identical to every
+          pre-strategy checkpoint, and a file without the record loads as
+          ["bfs"]. Resuming refuses a snapshot written by another
+          strategy. *)
 }
 
 val save : path:string -> snapshot -> unit

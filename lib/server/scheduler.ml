@@ -208,8 +208,18 @@ let run_campaign t j =
       stop = (fun () -> Atomic.get j.stop || Atomic.get t.kill);
     }
   in
+  let strategy =
+    (* validated at submission, like the menu; a WAL-recovered job whose
+       saved token no longer parses falls back to the default bfs *)
+    match Strategy.of_string j.spec.Wire.strategy with
+    | Ok tok -> tok
+    | Error _ -> Strategy.Bfs
+  in
   let finally () = Option.iter Journal.close journal in
-  let res = Fun.protect ~finally (fun () -> Bfs.search ~options target) in
+  (* Strategy.run with Bfs IS Bfs.search — same moves, same journal, same
+     checkpoints; the other strategies drive the same wrapped eval path
+     (store, fleet offload, journal) through their wave machines *)
+  let res = Fun.protect ~finally (fun () -> Strategy.run ~options strategy target) in
   let summary =
     Printf.sprintf
       "tested %d (%d from store), static %.1f%%, dynamic %.1f%%, %d bits saved, final %s"
@@ -460,14 +470,22 @@ let create ?(options = default_options) ?(log = ignore) ?fleet ~resolve ~pool ~c
 
 let submit t spec =
   match
-    (* a bad formats menu is the submitter's error, caught before the job
-       can queue (and long before a runner would have to guess) *)
-    match spec.Wire.formats with
-    | "" -> t.resolve spec
-    | m -> (
-        match Formats.menu_of_string m with
-        | Error why -> Error why
-        | Ok _ -> t.resolve spec)
+    (* a bad formats menu or an unknown strategy token is the submitter's
+       error, caught before the job can queue (and long before a runner
+       would have to guess) *)
+    match
+      match spec.Wire.strategy with
+      | "" -> Ok ()
+      | s -> Result.map (fun (_ : Strategy.token) -> ()) (Strategy.of_string s)
+    with
+    | Error why -> Error why
+    | Ok () -> (
+        match spec.Wire.formats with
+        | "" -> t.resolve spec
+        | m -> (
+            match Formats.menu_of_string m with
+            | Error why -> Error why
+            | Ok _ -> t.resolve spec))
   with
   | Error why -> Error (Printf.sprintf "cannot resolve %s.%s: %s" spec.Wire.bench spec.Wire.cls why)
   | Ok kernel ->

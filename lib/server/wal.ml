@@ -35,13 +35,14 @@ let state_of_token s =
 
 let record_line = function
   | Submitted { id; spec } ->
-      Printf.sprintf "submit %s %s %s %d %d %s %s" id
+      Printf.sprintf "submit %s %s %s %d %d %s %s %s" id
         (Verdict.escape spec.Wire.bench)
         (Verdict.escape spec.Wire.cls)
         (if spec.Wire.shadow then 1 else 0)
         spec.Wire.priority
         (match spec.Wire.eval_steps with None -> "-" | Some n -> string_of_int n)
         (match spec.Wire.formats with "" -> "-" | m -> Verdict.escape m)
+        (match spec.Wire.strategy with "" -> "-" | s -> Verdict.escape s)
   | Outcome { id; state; summary } ->
       Printf.sprintf "outcome %s %s %s" id (state_token state) (Verdict.escape summary)
 
@@ -52,15 +53,19 @@ let parse_line line =
   if line = "" || line.[0] = '#' then None
   else
     match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-    (* submit records grew an 8th (formats) token with the lattice; the
-       7-token form is what pre-lattice daemons wrote and still loads,
-       resuming those jobs with the single-only default menu *)
+    (* submit records grew an 8th (formats) token with the lattice and a
+       9th (strategy) token with pluggable strategies; the 7-token form is
+       what pre-lattice daemons wrote, the 8-token form what pre-strategy
+       daemons wrote — both still load, resuming those jobs with the
+       single-only default menu and the default bfs strategy *)
     | [ "submit"; id; bench; cls; shadow; priority; steps ]
-    | [ "submit"; id; bench; cls; shadow; priority; steps; _ ] as toks -> (
-        let formats_tok =
+    | [ "submit"; id; bench; cls; shadow; priority; steps; _ ]
+    | [ "submit"; id; bench; cls; shadow; priority; steps; _; _ ] as toks -> (
+        let formats_tok, strategy_tok =
           match toks with
-          | [ _; _; _; _; _; _; _; m ] -> m
-          | _ -> "-"
+          | [ _; _; _; _; _; _; _; m ] -> (m, "-")
+          | [ _; _; _; _; _; _; _; m; s ] -> (m, s)
+          | _ -> ("-", "-")
         in
         match
           ( Verdict.unescape bench,
@@ -70,13 +75,31 @@ let parse_line line =
             (match steps with
             | "-" -> Some None
             | s -> Option.map Option.some (int_of_string_opt s)),
-            match formats_tok with "-" -> Some "" | m -> Verdict.unescape m )
+            (match formats_tok with "-" -> Some "" | m -> Verdict.unescape m),
+            match strategy_tok with "-" -> Some "" | s -> Verdict.unescape s )
         with
-        | Some bench, Some cls, Some shadow, Some priority, Some eval_steps, Some formats
-          ->
+        | ( Some bench,
+            Some cls,
+            Some shadow,
+            Some priority,
+            Some eval_steps,
+            Some formats,
+            Some strategy ) ->
             Some
               (Submitted
-                 { id; spec = { Wire.bench; cls; shadow; priority; eval_steps; formats } })
+                 {
+                   id;
+                   spec =
+                     {
+                       Wire.bench;
+                       cls;
+                       shadow;
+                       priority;
+                       eval_steps;
+                       formats;
+                       strategy;
+                     };
+                 })
         | _ -> None)
     | "outcome" :: id :: state :: rest -> (
         let summary =

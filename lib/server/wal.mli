@@ -14,9 +14,14 @@
 
     {v
     # craft-wal v1
-    submit <id> <bench> <cls> <0|1> <priority> <steps|->
+    submit <id> <bench> <cls> <0|1> <priority> <steps|-> <formats|-> <strategy|->
     outcome <id> <done|cancelled|failed:why|quarantined:why> <summary>
-    v} *)
+    v}
+
+    The trailing [formats] and [strategy] tokens are later additions:
+    7-token (pre-lattice) and 8-token (pre-strategy) submit records still
+    load, resuming with the single-only menu and the default [bfs]
+    strategy respectively. *)
 
 type record =
   | Submitted of { id : string; spec : Wire.job_spec }

@@ -7,6 +7,10 @@ type job_spec = {
   formats : string;
       (* precision-format menu as a comma-separated token string
          (Formats.menu_of_string syntax); "" means the single-only default *)
+  strategy : string;
+      (* search-strategy token (Strategy.of_string syntax); "" means the
+         default bfs. Like formats, the codec carries it verbatim —
+         validation happens at Scheduler.submit *)
 }
 
 type job_state =
@@ -189,7 +193,8 @@ let put_spec b (s : job_spec) =
   put_bool b s.shadow;
   put_i64 b s.priority;
   put_opt_int b s.eval_steps;
-  put_str b s.formats
+  put_str b s.formats;
+  put_str b s.strategy
 
 let put_state b = function
   | Queued -> put_u8 b 0
@@ -381,7 +386,8 @@ let get_spec c =
   let priority = get_i64 c in
   let eval_steps = get_opt c get_i64 in
   let formats = get_str c in
-  { bench; cls; shadow; priority; eval_steps; formats }
+  let strategy = get_str c in
+  { bench; cls; shadow; priority; eval_steps; formats; strategy }
 
 let get_state c =
   match get_u8 c with

@@ -26,6 +26,12 @@ type job_spec = {
       (** precision-format menu, comma-separated friendly names or
           [e<E>m<M>] tokens ({!Formats.menu_of_string} syntax); [""] runs
           the single-only pre-lattice search. Validated at submission. *)
+  strategy : string;
+      (** search-strategy token ({!Strategy.of_string} syntax: [bfs],
+          [split], [delta], [anneal[:<seed>]]); [""] runs the default
+          [bfs]. The codec carries the token verbatim — hostile bytes
+          travel intact and are refused with a typed error at
+          submission. *)
 }
 
 type job_state =

@@ -29,6 +29,7 @@ let sample_snapshot key =
     passing = [ "M:syn"; "F:0" ];
     counters = [ ("evaluations", 17); ("odd name: 100% |risky", 3) ];
     log = [ "PASS syn (weight 5)"; "line with: colons | pipes % and\ttabs"; "" ];
+    strategy = "bfs";
   }
 
 (* ------------------------------------------------- node ids *)

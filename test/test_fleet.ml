@@ -45,7 +45,7 @@ let synthetic_kernel ?(name = "syn.W") ~n_ops ~poison () =
 let the_kernel () = synthetic_kernel ~n_ops:5 ~poison:[ 1; 3 ] ()
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
 
 let worker_resolve ~bench ~cls =
   if bench = "syn" && cls = "W" then Ok (the_kernel ())
@@ -222,6 +222,29 @@ let test_empty_fleet_degrades_to_local () =
       checkb "final matches inline" true (String.equal text inline);
       let fs = Fleet.stats fleet in
       checki "nothing went remote" 0 fs.Fleet.remote)
+
+(* anneal's explicit seed pins the whole campaign: the same spec submitted
+   twice over the fleet reaches the same final configuration as an inline
+   run of the same strategy — the eval path (fleet vs local) is invisible *)
+let test_anneal_deterministic_over_fleet () =
+  let k = the_kernel () in
+  let inline = Strategy.run (Strategy.Anneal 42) (Kernel.target k) in
+  let inline_text = Config.print k.Kernel.program inline.Bfs.final in
+  checkb "inline anneal passes" true inline.Bfs.final_pass;
+  with_fleet_stack (fun sched _store fleet addr ->
+      let stop_flag = Atomic.make false in
+      let stop () = Atomic.get stop_flag in
+      let th = host_worker ~name:"anneal-w0" ~stop addr in
+      wait_live fleet 1;
+      let spec = { default_spec with Wire.strategy = "anneal:42" } in
+      let id1 = Result.get_ok (Scheduler.submit sched spec) in
+      let _, text1, _ = wait_done sched id1 in
+      let id2 = Result.get_ok (Scheduler.submit sched spec) in
+      let _, text2, _ = wait_done sched id2 in
+      Atomic.set stop_flag true;
+      Thread.join th;
+      checkb "fleet run matches inline anneal" true (String.equal text1 inline_text);
+      checkb "second fleet run identical" true (String.equal text2 text1))
 
 (* ------------------------------------------------- direct protocol tests *)
 
@@ -438,6 +461,7 @@ let suite =
     ("fleet: chaos garbage frame, rejoin, identical final", `Quick, test_chaos_garbage_rejoin);
     ("fleet: chaos duplicate delivery, identical final", `Quick, test_chaos_dup);
     ("fleet: empty fleet degrades to the local pool", `Quick, test_empty_fleet_degrades_to_local);
+    ("fleet: anneal seed deterministic over the fleet", `Quick, test_anneal_deterministic_over_fleet);
     ("fleet: lease/result/heartbeat protocol walkthrough", `Quick, test_protocol_walkthrough);
     ("fleet: rejoin with result-store delta sync", `Quick, test_rejoin_delta_sync);
     ("fleet: repeated deaths quarantine the worker", `Quick, test_quarantine_after_repeated_deaths);

@@ -19,6 +19,7 @@ let () =
       ("pool", Test_pool.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("strategies", Test_strategies.suite);
+      ("strategy", Test_strategy.suite);
       ("kernels", Test_kernels.suite);
       ("superlu", Test_superlu.suite);
       ("analysis", Test_analysis.suite);

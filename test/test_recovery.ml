@@ -214,13 +214,16 @@ let spec_gen =
   (* non-empty: an empty bench/cls escapes to an empty field, which the
      space-split line format cannot carry (and [submit] never sends) *)
   let word = string_size ~gen:printable (int_range 1 8) in
-  (* the formats menu round-trips through the same escaped-token slot;
-     "" must survive as "" (it serializes as "-") *)
+  (* the formats menu and strategy token round-trip through the same
+     escaped-token slots; "" must survive as "" (it serializes as "-") *)
   let menu = oneofl [ ""; "bf16,single"; "f16"; "e5m10,e8m7,single" ] in
+  let strat = oneofl [ ""; "bfs"; "split"; "delta"; "anneal:42" ] in
   map
-    (fun ((bench, cls), (shadow, priority, steps), formats) ->
-      { Wire.bench; cls; shadow; priority; eval_steps = steps; formats })
-    (triple (pair word word) (triple bool (int_range (-5) 5) (option small_nat)) menu)
+    (fun ((bench, cls), (shadow, priority, steps), (formats, strategy)) ->
+      { Wire.bench; cls; shadow; priority; eval_steps = steps; formats; strategy })
+    (triple (pair word word)
+       (triple bool (int_range (-5) 5) (option small_nat))
+       (pair menu strat))
 
 let outcome_gen =
   let open QCheck2.Gen in
@@ -270,7 +273,7 @@ let test_wal_drops_unactionable () =
   let path = Filename.concat dir "jobs.wal" in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
       let spec =
-        { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+        { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
       in
       let wal = Wal.create ~path in
       Wal.append wal (Wal.Submitted { id = "j0001"; spec });
@@ -286,9 +289,10 @@ let test_wal_drops_unactionable () =
       | table -> Alcotest.failf "expected one entry, got %d" (List.length table))
 
 (* A WAL written by a pre-lattice daemon: submit records carry only seven
-   tokens (no formats column). They must load cleanly and resume with the
-   single-only default menu — byte-for-byte fixture, not synthesized by
-   today's writer. *)
+   tokens (no formats column); a pre-strategy daemon wrote eight (no
+   strategy column). Both must load cleanly and resume with the
+   single-only default menu and the default bfs strategy — byte-for-byte
+   fixtures, not synthesized by today's writer. *)
 let test_wal_loads_prelattice_lines () =
   let dir = temp_dir "craft_wal" in
   let path = Filename.concat dir "jobs.wal" in
@@ -297,25 +301,32 @@ let test_wal_loads_prelattice_lines () =
       output_string oc "# craft-wal v1\n";
       output_string oc "submit j0001 cg W 0 0 -\n";
       output_string oc "submit j0002 mg W 1 5 120000\n";
+      output_string oc "submit j0003 ep W 0 0 - bf16,single\n";
       output_string oc "outcome j0001 done tested%2045\n";
       close_out oc;
       match Wal.replay (Wal.load ~path) with
-      | [ (a, ea); (b, eb) ] ->
+      | [ (a, ea); (b, eb); (c, ec) ] ->
           checks "first id" "j0001" a;
           checks "second id" "j0002" b;
+          checks "third id" "j0003" c;
           checks "old records resume single-only" "" ea.Wal.spec.Wire.formats;
           checks "steps survive alongside" "" eb.Wal.spec.Wire.formats;
+          checks "7-token records resume as bfs" "" ea.Wal.spec.Wire.strategy;
+          checks "8-token (pre-strategy) records keep their menu" "bf16,single"
+            ec.Wal.spec.Wire.formats;
+          checks "8-token records resume as bfs" "" ec.Wal.spec.Wire.strategy;
           checkb "other fields intact" true
             (eb.Wal.spec.Wire.shadow && eb.Wal.spec.Wire.priority = 5
             && eb.Wal.spec.Wire.eval_steps = Some 120000);
           checkb "outcome attached" true
             (match ea.Wal.outcome with Some (Wire.Done, _) -> true | _ -> false);
-          (* and a lattice-era record in the same file round-trips its menu *)
+          (* and a strategy-era record in the same file round-trips both
+             its menu and its strategy token *)
           let wal = Wal.create ~path in
           Wal.append wal
             (Wal.Submitted
                {
-                 id = "j0003";
+                 id = "j0004";
                  spec =
                    {
                      Wire.bench = "cg";
@@ -324,15 +335,17 @@ let test_wal_loads_prelattice_lines () =
                      priority = 0;
                      eval_steps = None;
                      formats = "bf16,f16,single";
+                     strategy = "anneal:7";
                    };
                });
           Wal.close wal;
           (match Wal.replay (Wal.load ~path) with
-          | [ _; _; (c, ec) ] ->
-              checks "new id" "j0003" c;
-              checks "menu survives" "bf16,f16,single" ec.Wal.spec.Wire.formats
-          | table -> Alcotest.failf "expected three entries, got %d" (List.length table))
-      | table -> Alcotest.failf "expected two entries, got %d" (List.length table))
+          | [ _; _; _; (d, ed) ] ->
+              checks "new id" "j0004" d;
+              checks "menu survives" "bf16,f16,single" ed.Wal.spec.Wire.formats;
+              checks "strategy survives" "anneal:7" ed.Wal.spec.Wire.strategy
+          | table -> Alcotest.failf "expected four entries, got %d" (List.length table))
+      | table -> Alcotest.failf "expected three entries, got %d" (List.length table))
 
 (* ---------------------------------------------------------------- journal *)
 
@@ -420,7 +433,7 @@ let synthetic_kernel ?(name = "syn.W") ~n_ops ~poison () =
   }
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
 
 let with_stack ?(state_dir = None) ~resolve f =
   let pool = Pool.create ~options:{ Pool.default_options with workers = 2 } () in
@@ -564,7 +577,7 @@ let test_daemon_kill9_recovery () =
           killed := Some pid;
           let c = Result.get_ok (Client.connect (Server.Unix_path socket)) in
           let spec =
-            { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+            { Wire.bench = "cg"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
           in
           let id = Result.get_ok (Client.submit c spec) in
           wait_for "first checkpoint" (fun () ->

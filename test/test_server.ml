@@ -46,7 +46,7 @@ let synthetic_kernel ?(name = "syn.W") ?(delay = 0.0) ~n_ops ~poison () =
   }
 
 let default_spec =
-  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = "" }
+  { Wire.bench = "syn"; cls = "W"; shadow = false; priority = 0; eval_steps = None; formats = ""; strategy = "" }
 
 let with_stack ?(workers = 2) ?options ~resolve f =
   let pool = Pool.create ~options:{ Pool.default_options with workers } () in
@@ -322,6 +322,21 @@ let test_resolve_rejection () =
       (match Scheduler.submit sched { default_spec with Wire.formats = "bf16,single" } with
       | Ok _ -> ()
       | Error why -> Alcotest.failf "valid menu refused: %s" why);
+      (* hostile strategy tokens are likewise refused at submission with a
+         typed error naming the token — never a crash, never queued *)
+      List.iter
+        (fun tok ->
+          match Scheduler.submit sched { default_spec with Wire.strategy = tok } with
+          | Error why -> checkb "error names the token" true (contains why tok)
+          | Ok id -> Alcotest.failf "hostile strategy %S accepted as %s" tok id)
+        [ "zz9"; "anneal:"; "anneal:9q"; "bfs;drop" ];
+      (* while every documented spelling still submits *)
+      List.iter
+        (fun tok ->
+          match Scheduler.submit sched { default_spec with Wire.strategy = tok } with
+          | Ok _ -> ()
+          | Error why -> Alcotest.failf "valid strategy %S refused: %s" tok why)
+        [ ""; "bfs"; "split"; "delta"; "anneal"; "anneal:7" ];
       match Scheduler.status sched (Some "j0042") with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "unknown job has a status")

@@ -1,0 +1,276 @@
+(* Tests for the pluggable search-strategy subsystem: token parsing,
+   bfs-delegation fidelity (Strategy.run Bfs replays the exact evaluation
+   sequence of Bfs.search on fuzzed programs), split/delta/anneal sanity
+   on known-answer synthetics, anneal fixed-seed determinism across the
+   sequential and pool evaluation paths, and strategy-tagged checkpoint
+   compatibility — untagged pre-strategy snapshots load and resume as
+   bfs, tagged snapshots refuse to resume under a different strategy. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else String.sub s i n = sub || go (i + 1)
+  in
+  go 0
+
+(* the known-answer synthetic from the BFS tests: [n_ops] const+add
+   chains, the poisoned ones losing bits in single precision *)
+let synthetic ~n_ops ~poison =
+  let t = Builder.create () in
+  let out = Builder.alloc_f t n_ops in
+  let main =
+    Builder.func t ~module_:"syn" "main" ~nf_args:0 ~ni_args:0 (fun b _ _ ->
+        for k = 0 to n_ops - 1 do
+          let c = Builder.fconst b (if List.mem k poison then 0.1 else 0.5) in
+          let v = Builder.fadd b c c in
+          Builder.storef b (Builder.at (out + k)) v
+        done)
+  in
+  let program = Builder.program t ~main in
+  let reference = Array.init n_ops (fun k -> if List.mem k poison then 0.2 else 1.0) in
+  Bfs.Target.make program
+    ~setup:(fun _ -> ())
+    ~output:(fun vm -> Vm.read_f vm out n_ops)
+    ~verify:(fun res -> res = reference)
+
+(* ------------------------------------------------------------- tokens *)
+
+let test_tokens () =
+  let ok s t =
+    match Strategy.of_string s with
+    | Ok t' -> checkb (Printf.sprintf "%S parses" s) true (t' = t)
+    | Error why -> Alcotest.failf "%S refused: %s" s why
+  in
+  ok "" Strategy.Bfs;
+  ok "bfs" Strategy.Bfs;
+  ok " BFS " Strategy.Bfs;
+  ok "split" Strategy.Split;
+  ok "delta" Strategy.Delta;
+  ok "anneal" (Strategy.Anneal Strategy.default_seed);
+  ok "anneal:42" (Strategy.Anneal 42);
+  List.iter
+    (fun s ->
+      checkb
+        (Printf.sprintf "%S refused" s)
+        true
+        (Result.is_error (Strategy.of_string s)))
+    [ "zz9"; "anneal:"; "anneal:x"; "bfs;drop"; "b fs" ];
+  List.iter
+    (fun t ->
+      checkb "to_string round-trips" true
+        (Strategy.of_string (Strategy.to_string t) = Ok t))
+    [
+      Strategy.Bfs;
+      Strategy.Split;
+      Strategy.Delta;
+      Strategy.Anneal Strategy.default_seed;
+      Strategy.Anneal 7;
+    ];
+  checks "default seed prints bare" "anneal"
+    (Strategy.to_string (Strategy.Anneal Strategy.default_seed))
+
+(* --------------------------------------------------- bfs delegation *)
+
+(* wrap both evaluation entry points so every configuration tested is
+   recorded (as its digest) in evaluation order *)
+let recording target =
+  let log = ref [] in
+  let m = Mutex.create () in
+  let note cfg =
+    Mutex.lock m;
+    log := Config.digest target.Bfs.Target.program cfg :: !log;
+    Mutex.unlock m
+  in
+  let wrap f cfg =
+    note cfg;
+    f cfg
+  in
+  ( {
+      target with
+      Bfs.Target.eval = wrap target.Bfs.Target.eval;
+      raw_eval = wrap target.Bfs.Target.raw_eval;
+    },
+    log )
+
+let prop_bfs_delegation =
+  let gen =
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_bound 4) (int_bound 5)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25
+       ~name:"Strategy.run Bfs replays Bfs.search's exact eval sequence" gen
+       (fun (n_ops, poison) ->
+         let t1, log1 = recording (synthetic ~n_ops ~poison) in
+         let r1 = Bfs.search t1 in
+         let t2, log2 = recording (synthetic ~n_ops ~poison) in
+         let r2 = Strategy.run Strategy.Bfs t2 in
+         !log1 <> [] && !log1 = !log2
+         && r1.Bfs.tested = r2.Bfs.tested
+         && r1.Bfs.final_pass = r2.Bfs.final_pass
+         && r1.Bfs.log = r2.Bfs.log
+         && Config.digest t1.Bfs.Target.program r1.Bfs.final
+            = Config.digest t2.Bfs.Target.program r2.Bfs.final))
+
+(* -------------------------------------------- the machine strategies *)
+
+let test_machines_find_the_answer () =
+  let bfs = Bfs.search (synthetic ~n_ops:10 ~poison:[ 3; 7 ]) in
+  List.iter
+    (fun tok ->
+      let name = Strategy.to_string tok in
+      let r = Strategy.run tok (synthetic ~n_ops:10 ~poison:[ 3; 7 ]) in
+      checkb (name ^ " passes") true r.Bfs.final_pass;
+      (* exactly the benign 8 chains * 2 insns survive; the top-up sweep
+         makes every strategy maximal over the same move set *)
+      checki (name ^ " replaced") 16 r.Bfs.static_replaced;
+      checkb (name ^ " saves at least bfs bits") true
+        (r.Bfs.bits_saved >= bfs.Bfs.bits_saved))
+    [ Strategy.Split; Strategy.Delta; Strategy.Anneal Strategy.default_seed ]
+
+let test_machines_all_poisoned () =
+  List.iter
+    (fun tok ->
+      let name = Strategy.to_string tok in
+      let r = Strategy.run tok (synthetic ~n_ops:4 ~poison:[ 0; 1; 2; 3 ]) in
+      checkb (name ^ " still passes") true r.Bfs.final_pass;
+      checkb (name ^ " keeps few") true (r.Bfs.static_replaced <= 4))
+    [ Strategy.Split; Strategy.Delta; Strategy.Anneal Strategy.default_seed ]
+
+let test_anneal_determinism () =
+  let t = synthetic ~n_ops:12 ~poison:[ 2; 9 ] in
+  let p = t.Bfs.Target.program in
+  let go workers =
+    Strategy.run
+      ~options:{ Bfs.default_options with workers }
+      (Strategy.Anneal 42) t
+  in
+  let a = go 1 in
+  let b = go 1 in
+  let c = go 4 in
+  checkb "passes" true a.Bfs.final_pass;
+  checks "same seed, same final (sequential rerun)"
+    (Config.digest p a.Bfs.final)
+    (Config.digest p b.Bfs.final);
+  checks "same seed, same final (pool path)"
+    (Config.digest p a.Bfs.final)
+    (Config.digest p c.Bfs.final);
+  checki "same evals" a.Bfs.tested c.Bfs.tested;
+  checki "same bits" a.Bfs.bits_saved c.Bfs.bits_saved
+
+(* --------------------------------------------- checkpoint compatibility *)
+
+let with_temp f =
+  let path = Filename.temp_file "craft_strategy" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* the committed fixture is a verbatim pre-strategy checkpoint — written
+   before the strategy record existed — and must load with strategy "bfs" *)
+let test_prestrategy_fixture_loads_as_bfs () =
+  let path =
+    Filename.concat (Filename.dirname Sys.executable_name) "prestrategy.ckpt"
+  in
+  match Checkpoint.load ~path with
+  | Error why -> Alcotest.failf "fixture refused: %s" why
+  | Ok snap ->
+      checks "untagged snapshot is bfs" "bfs" snap.Checkpoint.strategy;
+      checki "tested" 7 snap.Checkpoint.tested;
+      checkb "passing carried" true
+        (snap.Checkpoint.passing = [ "M:syn"; "I:12@e5m10" ])
+
+let test_bfs_snapshots_stay_untagged () =
+  with_temp (fun path ->
+      let snap =
+        {
+          Checkpoint.key = "cafe";
+          tested = 3;
+          next_seq = 1;
+          queue = [];
+          passing = [ "I:4" ];
+          counters = [];
+          log = [ "one line" ];
+          strategy = "bfs";
+        }
+      in
+      Checkpoint.save ~path snap;
+      (* byte-compatible with the pre-strategy format: no strategy record *)
+      checkb "no strategy line for bfs" false
+        (contains (read_file path) "strategy");
+      checks "loads back as bfs" "bfs"
+        (Result.get_ok (Checkpoint.load ~path)).Checkpoint.strategy;
+      (* a machine strategy's tag round-trips *)
+      Checkpoint.save ~path { snap with strategy = "anneal:42" };
+      checkb "tag written" true (contains (read_file path) "strategy anneal");
+      checks "tag loads back" "anneal:42"
+        (Result.get_ok (Checkpoint.load ~path)).Checkpoint.strategy)
+
+let test_tagged_snapshot_refuses_other_strategy () =
+  with_temp (fun path ->
+      let target = synthetic ~n_ops:6 ~poison:[ 1 ] in
+      let options =
+        {
+          Bfs.default_options with
+          checkpoint = Some (Bfs.checkpoint ~resume:true path);
+        }
+      in
+      (* run split to completion so a split-tagged snapshot lands on disk *)
+      let r = Strategy.run ~options Strategy.Split target in
+      checkb "split wrote snapshots" true (r.Bfs.snapshots > 0);
+      checks "on-disk tag is split" "split"
+        (Result.get_ok (Checkpoint.load ~path)).Checkpoint.strategy;
+      (* split itself resumes its own snapshot... *)
+      let r3 = Strategy.run ~options Strategy.Split target in
+      checkb "split resumes split" true
+        (List.exists (fun l -> contains l "RESUME from split") r3.Bfs.log);
+      (* ...but delta must refuse it and still finish fresh *)
+      let r2 = Strategy.run ~options Strategy.Delta target in
+      checkb "delta still passes" true r2.Bfs.final_pass;
+      checkb "refusal is narrated" true
+        (List.exists
+           (fun l -> contains l "not resumed" && contains l "split")
+           r2.Bfs.log))
+
+let test_bfs_resumes_untagged_snapshot_via_strategy_run () =
+  with_temp (fun path ->
+      let target = synthetic ~n_ops:6 ~poison:[ 1 ] in
+      let options resume =
+        {
+          Bfs.default_options with
+          checkpoint = Some (Bfs.checkpoint ~resume path);
+        }
+      in
+      (* a bfs campaign leaves an untagged snapshot behind... *)
+      let r = Strategy.run ~options:(options false) Strategy.Bfs target in
+      checkb "bfs wrote snapshots" true (r.Bfs.snapshots > 0);
+      checkb "snapshot is untagged" false (contains (read_file path) "strategy");
+      (* ...which a resuming bfs run accepts (pre-strategy compatibility) *)
+      let r2 = Strategy.run ~options:(options true) Strategy.Bfs target in
+      checkb "resumed run passes" true r2.Bfs.final_pass;
+      checkb "no refusal narrated" false
+        (List.exists (fun l -> contains l "not resumed") r2.Bfs.log))
+
+let suite =
+  [
+    ("strategy: token parse/print", `Quick, test_tokens);
+    prop_bfs_delegation;
+    ("strategy: split/delta/anneal find the known answer", `Quick, test_machines_find_the_answer);
+    ("strategy: machines survive an all-poisoned kernel", `Quick, test_machines_all_poisoned);
+    ("strategy: anneal seed is deterministic across eval paths", `Quick, test_anneal_determinism);
+    ("strategy: pre-strategy fixture loads as bfs", `Quick, test_prestrategy_fixture_loads_as_bfs);
+    ("strategy: bfs snapshots stay untagged", `Quick, test_bfs_snapshots_stay_untagged);
+    ("strategy: tagged snapshot refuses other strategies", `Quick, test_tagged_snapshot_refuses_other_strategy);
+    ("strategy: bfs resumes untagged snapshots", `Quick, test_bfs_resumes_untagged_snapshot_via_strategy_run);
+  ]

@@ -19,9 +19,9 @@ let float_gen =
 
 let spec_gen =
   map
-    (fun ((bench, cls, shadow, priority, eval_steps), formats) ->
-      { Wire.bench; cls; shadow; priority; eval_steps; formats })
-    (pair (tup5 raw_string raw_string bool int (option int)) raw_string)
+    (fun ((bench, cls, shadow, priority, eval_steps), formats, strategy) ->
+      { Wire.bench; cls; shadow; priority; eval_steps; formats; strategy })
+    (triple (tup5 raw_string raw_string bool int (option int)) raw_string raw_string)
 
 let state_gen =
   oneof
@@ -276,7 +276,8 @@ let hostile_formats_payload () =
   List.iter
     (fun menu ->
       let f = Wire.Submit { Wire.bench = "cg"; cls = "W"; shadow = false;
-                            priority = 0; eval_steps = None; formats = menu } in
+                            priority = 0; eval_steps = None; formats = menu;
+                            strategy = "" } in
       let buf = Wire.encode f in
       match Wire.decode buf ~pos:0 ~len:(Bytes.length buf) with
       | Ok (Wire.Submit s, _) ->
@@ -299,6 +300,34 @@ let hostile_formats_payload () =
   | Ok (Wire.Lease_reply (Some { Wire.items = [ ("k1", t) ]; _ }), _) ->
       Alcotest.check Alcotest.string "config text intact" hostile_text t
   | r -> Alcotest.failf "hostile batch: got %s" (show_result r)
+
+(* Same contract for strategy tokens: the codec carries any byte string
+   verbatim — hostile or unknown tokens decode fine and are refused with a
+   typed error by Strategy.of_string at the validation layer (exercised
+   end-to-end against Scheduler.submit in the server suite), never by the
+   codec and never via an exception. *)
+let hostile_strategy_payload () =
+  List.iter
+    (fun strategy ->
+      let f = Wire.Submit { Wire.bench = "cg"; cls = "W"; shadow = false;
+                            priority = 0; eval_steps = None; formats = "";
+                            strategy } in
+      let buf = Wire.encode f in
+      match Wire.decode buf ~pos:0 ~len:(Bytes.length buf) with
+      | Ok (Wire.Submit s, _) ->
+          Alcotest.check Alcotest.string "token intact" strategy s.Wire.strategy;
+          Alcotest.check Alcotest.bool "token refused by validation" true
+            (Result.is_error (Strategy.of_string strategy))
+      | r -> Alcotest.failf "hostile strategy: got %s" (show_result r))
+    [ "zz9"; "anneal:"; "anneal:9q"; "bfs\x00"; "\xff\xfe"; "delta;bfs"; "spl it" ];
+  (* and the known spellings all validate *)
+  List.iter
+    (fun strategy ->
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "%S accepted" strategy)
+        true
+        (Result.is_ok (Strategy.of_string strategy)))
+    [ ""; "bfs"; "split"; "delta"; "anneal"; "anneal:42"; "ANNEAL:42"; " bfs " ]
 
 let empty_window () =
   match Wire.decode (Bytes.create 0) ~pos:0 ~len:0 with
@@ -323,6 +352,7 @@ let suite =
     flipped;
     ("wire: hostile headers give typed errors", `Quick, hostile_header);
     ("wire: hostile format menus travel intact", `Quick, hostile_formats_payload);
+    ("wire: hostile strategy tokens travel intact", `Quick, hostile_strategy_payload);
     ("wire: fleet tags are version-gated", `Quick, version_gating);
     ("wire: empty window", `Quick, empty_window);
     ("wire: invalid windows", `Quick, bad_window);
